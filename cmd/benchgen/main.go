@@ -1,0 +1,117 @@
+// Command benchgen emits synthetic workloads in the surface syntax: graph
+// databases for the reachability experiments and iWarded-style warded TGD
+// scenarios with the Section 1.2 recursion-shape mix.
+//
+// Usage:
+//
+//	benchgen -kind graph -shape chain|cycle|grid|tree|random -n 64 [-m 128]
+//	benchgen -kind iwarded -n 20 [-seed 7]
+//	benchgen -kind owl -n 10
+//
+// Output goes to stdout and parses back with cmd/vadalog.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("benchgen", flag.ContinueOnError)
+	kind := fs.String("kind", "graph", "graph | iwarded | owl")
+	shape := fs.String("shape", "chain", "graph shape: chain | cycle | grid | tree | random")
+	n := fs.Int("n", 32, "size (nodes / scenarios / classes)")
+	m := fs.Int("m", 0, "secondary size (edges for random, grid height)")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch *kind {
+	case "graph":
+		return genGraph(out, *shape, *n, *m, *seed)
+	case "iwarded":
+		return genIWarded(out, *n, *seed)
+	case "owl":
+		return genOWL(out, *n, *seed)
+	default:
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+}
+
+func genGraph(out io.Writer, shape string, n, m int, seed int64) error {
+	var g *workload.Graph
+	switch shape {
+	case "chain":
+		g = workload.Chain(n)
+	case "cycle":
+		g = workload.Cycle(n)
+	case "grid":
+		if m == 0 {
+			m = n
+		}
+		g = workload.Grid(n, m)
+	case "tree":
+		g = workload.BinaryTree(n)
+	case "random":
+		if m == 0 {
+			m = 2 * n
+		}
+		g = workload.RandomDigraph(n, m, seed)
+	default:
+		return fmt.Errorf("unknown graph shape %q", shape)
+	}
+	fmt.Fprintf(out, "%% %s graph, %d nodes, %d edges\n", shape, g.N, len(g.Edges))
+	fmt.Fprintln(out, "t(X,Y) :- e(X,Y).")
+	fmt.Fprintln(out, "t(X,Z) :- e(X,Y), t(Y,Z).")
+	for _, e := range g.Edges {
+		fmt.Fprintf(out, "e(n%d,n%d).\n", e[0], e[1])
+	}
+	fmt.Fprintf(out, "?(X) :- t(n0,X).\n")
+	return nil
+}
+
+func genIWarded(out io.Writer, n int, seed int64) error {
+	suite, err := workload.GenSuite(workload.DefaultSuiteParams(n, seed))
+	if err != nil {
+		return err
+	}
+	counts := map[workload.Shape]int{}
+	for _, sc := range suite {
+		counts[sc.Shape]++
+		c := analysis.Classify(sc.Program)
+		fmt.Fprintf(out, "%% ===== %s (warded=%v pwl=%v linearizable=%v levels=%d) =====\n",
+			sc.Name, c.Warded, c.PWL, c.Linearizable, c.MaxLevel)
+		fmt.Fprint(out, sc.Program.String())
+	}
+	fmt.Fprintf(out, "%% mix: pwl=%d linearizable=%d nonpwl=%d of %d\n",
+		counts[workload.ShapePWL], counts[workload.ShapeLinearizable],
+		counts[workload.ShapeNonPWL], len(suite))
+	return nil
+}
+
+func genOWL(out io.Writer, n int, seed int64) error {
+	o, err := workload.GenOWL(workload.OWLParams{
+		Classes: n, Chains: 2, Restrictions: n / 2, Individuals: n, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, workload.OWLSource)
+	for _, f := range o.DB.All() {
+		fmt.Fprintf(out, "%s.\n", f.String(o.Program.Store, o.Program.Reg))
+	}
+	fmt.Fprintf(out, "?(X,Y) :- type(X,Y).\n")
+	return nil
+}

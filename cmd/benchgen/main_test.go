@@ -1,0 +1,65 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/parser"
+)
+
+func TestGenGraphShapesParseBack(t *testing.T) {
+	for _, shape := range []string{"chain", "cycle", "grid", "tree", "random"} {
+		var out strings.Builder
+		if err := run([]string{"-kind", "graph", "-shape", shape, "-n", "6"}, &out); err != nil {
+			t.Fatalf("shape %s: %v", shape, err)
+		}
+		res, err := parser.Parse(out.String())
+		if err != nil {
+			t.Fatalf("shape %s output does not parse: %v", shape, err)
+		}
+		if len(res.Program.TGDs) != 2 || len(res.Queries) != 1 {
+			t.Fatalf("shape %s: wrong program shape", shape)
+		}
+		if len(res.Facts) == 0 {
+			t.Fatalf("shape %s: no facts", shape)
+		}
+	}
+}
+
+func TestGenIWardedParsesAndReportsMix(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-kind", "iwarded", "-n", "10", "-seed", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "mix:") {
+		t.Fatalf("mix summary missing")
+	}
+	if !strings.Contains(s, "warded=true") {
+		t.Fatalf("classification annotations missing")
+	}
+}
+
+func TestGenOWLParsesBack(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-kind", "owl", "-n", "6"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	res, err := parser.Parse(out.String())
+	if err != nil {
+		t.Fatalf("owl output does not parse: %v", err)
+	}
+	if len(res.Program.TGDs) != 6 {
+		t.Fatalf("OWL program must have the 6 Example 3.3 rules, got %d", len(res.Program.TGDs))
+	}
+}
+
+func TestGenErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-kind", "nope"}, &out); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if err := run([]string{"-kind", "graph", "-shape", "blob"}, &out); err == nil {
+		t.Fatal("unknown shape accepted")
+	}
+}

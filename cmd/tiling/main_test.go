@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSolvableDemo(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-demo", "solvable"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"piece-wise linear: true",
+		"warded:            false",
+		"tiling exists = true",
+		"= true", // chase verdict
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "verdicts differ") {
+		t.Errorf("oracle and chase disagree on the solvable demo")
+	}
+}
+
+func TestUnsolvableDemo(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-demo", "unsolvable"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "tiling exists = false") {
+		t.Errorf("oracle should find no tiling:\n%s", s)
+	}
+	if strings.Contains(s, "verdicts differ") {
+		t.Errorf("oracle and chase disagree on the unsolvable demo")
+	}
+}
+
+func TestUnknownDemo(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-demo", "weird"}, &out); err == nil {
+		t.Fatal("unknown demo accepted")
+	}
+}

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const sample = `
+t(X,Y) :- e(X,Y).
+t(X,Z) :- e(X,Y), t(Y,Z).
+e(a,b). e(b,c).
+?(X) :- t(a,X).
+? :- t(a,c).
+`
+
+func TestRunClassifyAndAnswer(t *testing.T) {
+	f := writeTemp(t, "p.vada", sample)
+	var out strings.Builder
+	if err := run([]string{f}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"warded:              true",
+		"piece-wise linear:   true",
+		"WARD ∩ PWL",
+		"answers (2)",
+		"answer: true",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunEngines(t *testing.T) {
+	f := writeTemp(t, "p.vada", sample)
+	for _, engine := range []string{"auto", "prooftree", "alternating", "chase", "translate"} {
+		var out strings.Builder
+		if err := run([]string{"-engine", engine, f}, &out); err != nil {
+			t.Fatalf("engine %s: %v", engine, err)
+		}
+		if !strings.Contains(out.String(), "answers (2)") {
+			t.Errorf("engine %s: wrong answers:\n%s", engine, out.String())
+		}
+	}
+}
+
+func TestRunStatsFlag(t *testing.T) {
+	f := writeTemp(t, "p.vada", sample)
+	var out strings.Builder
+	if err := run([]string{"-stats", f}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "stats:") {
+		t.Errorf("stats flag produced no stats:\n%s", out.String())
+	}
+}
+
+func TestRunClassifyOnly(t *testing.T) {
+	f := writeTemp(t, "p.vada", sample)
+	var out strings.Builder
+	if err := run([]string{"-classify-only", f}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "query 1") {
+		t.Errorf("classify-only ran queries")
+	}
+}
+
+func TestRunMultipleFilesShareContext(t *testing.T) {
+	rules := writeTemp(t, "rules.vada", "t(X,Y) :- e(X,Y).\nt(X,Z) :- e(X,Y), t(Y,Z).\n")
+	data := writeTemp(t, "data.vada", "e(a,b). e(b,c).\n?(X) :- t(a,X).\n")
+	var out strings.Builder
+	if err := run([]string{rules, data}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "answers (2)") {
+		t.Errorf("cross-file context broken:\n%s", out.String())
+	}
+}
+
+func TestRunExplain(t *testing.T) {
+	f := writeTemp(t, "p.vada", sample)
+	var out strings.Builder
+	if err := run([]string{"-explain", "-classify-only", f}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "ward:") || !strings.Contains(s, "recursion:") {
+		t.Errorf("explain output missing sections:\n%s", s)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-engine", "nope", writeTemp(t, "x.vada", "e(a,b).")}, &out); err == nil {
+		t.Errorf("bad engine accepted")
+	}
+	if err := run([]string{"/does/not/exist.vada"}, &out); err == nil {
+		t.Errorf("missing file accepted")
+	}
+	bad := writeTemp(t, "bad.vada", "p(X) :- .")
+	if err := run([]string{bad}, &out); err == nil {
+		t.Errorf("syntax error accepted")
+	}
+}
+
+func TestNonWardedWarning(t *testing.T) {
+	f := writeTemp(t, "nw.vada", `
+r(X,Z) :- p(X).
+q(Z) :- r(X,Z), r(Y,Z).
+p(a).
+? :- q(Z).
+`)
+	var out strings.Builder
+	if err := run([]string{f}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "INCOMPLETE") {
+		t.Errorf("non-warded run should be flagged incomplete:\n%s", out.String())
+	}
+}

@@ -1,0 +1,211 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runREPL(t *testing.T, input string, args ...string) string {
+	t.Helper()
+	var out strings.Builder
+	allArgs := append([]string{"-repl"}, args...)
+	if err := runIO(allArgs, strings.NewReader(input), &out); err != nil {
+		t.Fatalf("repl: %v\noutput:\n%s", err, out.String())
+	}
+	return out.String()
+}
+
+func TestREPLFactsRulesQuery(t *testing.T) {
+	out := runREPL(t, `
+e(a,b).
+e(b,c).
+t(X,Y) :- e(X,Y).
+t(X,Z) :- e(X,Y), t(Y,Z).
+?(X) :- t(a,X).
+:quit
+`)
+	for _, want := range []string{"+1 facts", "(program: 2 TGDs)", "(b)", "(c)", "2 answers"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("repl output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestREPLMultilineStatement(t *testing.T) {
+	out := runREPL(t, `
+t(X,Z) :-
+e(X,Y),
+t(Y,Z).
+:rules
+:quit
+`)
+	if !strings.Contains(out, "+1 rules") {
+		t.Errorf("multiline rule not accepted:\n%s", out)
+	}
+	if !strings.Contains(out, "t(") || !strings.Contains(out, ":- ") {
+		t.Errorf(":rules did not list the rule:\n%s", out)
+	}
+}
+
+func TestREPLCommands(t *testing.T) {
+	out := runREPL(t, `
+e(a,b).
+:classify
+:facts
+:facts e
+:engine chase
+:stats on
+?(X) :- e(X,Y).
+:engine bogus
+:unknown
+:quit
+`)
+	for _, want := range []string{
+		"warded:              true", // empty rule set is trivially warded
+		"e                    1",
+		"e(a,b)",
+		"engine: chase",
+		"stats: true",
+		"1 answers",
+		"stats: facts=",
+		`unknown engine "bogus"`,
+		"unknown command :unknown",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("repl output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestREPLParseErrorRecovers(t *testing.T) {
+	out := runREPL(t, `
+t(X :- e(X).
+e(a,b).
+?(X,Y) :- e(X,Y).
+:quit
+`)
+	if !strings.Contains(out, "error:") {
+		t.Errorf("parse error not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "1 answers") {
+		t.Errorf("session did not recover after error:\n%s", out)
+	}
+}
+
+func TestREPLLoadCSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "edge.csv"), []byte("a,b\nb,c\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := runREPL(t, `
+:load `+dir+`
+?(X,Y) :- edge(X,Y).
+:quit
+`)
+	if !strings.Contains(out, "+2 facts from") || !strings.Contains(out, "2 answers") {
+		t.Errorf("csv load failed:\n%s", out)
+	}
+}
+
+func TestREPLNegationQuery(t *testing.T) {
+	out := runREPL(t, `
+node(a). node(b).
+e(a,b).
+covered(Y) :- e(X,Y).
+bare(X) :- node(X), not covered(X).
+?(X) :- bare(X).
+:quit
+`)
+	if !strings.Contains(out, "(a)") || !strings.Contains(out, "1 answers") {
+		t.Errorf("negation in repl failed:\n%s", out)
+	}
+}
+
+func TestREPLWhy(t *testing.T) {
+	out := runREPL(t, `
+t(X,Y) :- e(X,Y).
+t(X,Z) :- e(X,Y), t(Y,Z).
+e(a,b). e(b,c).
+:why t(a,c)
+:why t(c,a)
+:why
+:quit
+`)
+	for _, want := range []string{
+		"t(a,c)   [by r1@", // statements parse separately, so each rule is its file's r1
+		"e(a,b)   [database]",
+		"error: chase: fact not in the chase result",
+		"usage: :why",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("repl :why output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestREPLProve(t *testing.T) {
+	out := runREPL(t, `
+t(X,Y) :- e(X,Y).
+t(X,Z) :- e(X,Y), t(Y,Z).
+e(a,b). e(b,c).
+:prove t(a,c)
+:prove t(c,a)
+:prove
+:quit
+`)
+	for _, want := range []string{
+		"certain (node-width bound",
+		"resolve",
+		"embed into D",
+		"not certain (no linear proof tree exists)",
+		"usage: :prove",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("repl :prove output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDataAndExportFlags(t *testing.T) {
+	dataDir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dataDir, "e.csv"), []byte("a,b\nb,c\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rules := writeTemp(t, "p.vada", `
+t(X,Y) :- e(X,Y).
+t(X,Z) :- e(X,Y), t(Y,Z).
+?(X) :- t(a,X).
+`)
+	exportDir := filepath.Join(t.TempDir(), "out")
+	var out strings.Builder
+	if err := run([]string{"-data", dataDir, "-export", exportDir, rules}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "loaded 2 facts") {
+		t.Errorf("missing data-load report:\n%s", out.String())
+	}
+	b, err := os.ReadFile(filepath.Join(exportDir, "t.csv"))
+	if err != nil {
+		t.Fatalf("exported t.csv: %v", err)
+	}
+	if n := strings.Count(string(b), "\n"); n != 3 { // (a,b),(b,c),(a,c)
+		t.Errorf("t.csv rows = %d, want 3:\n%s", n, b)
+	}
+}
+
+func TestEngineUCQFlag(t *testing.T) {
+	f := writeTemp(t, "p.vada", `
+p(X) :- base(X).
+base(a).
+?(X) :- p(X).
+`)
+	var out strings.Builder
+	if err := run([]string{"-engine", "ucq", "-stats", f}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "ucq-rewriting") || !strings.Contains(out.String(), "ucq-members=") {
+		t.Errorf("ucq engine output:\n%s", out.String())
+	}
+}

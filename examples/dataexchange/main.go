@@ -1,0 +1,110 @@
+// Data exchange in the ChaseBench style (the paper's §1.2 benchmark
+// family): a source schema is mapped into a target schema by source-to-
+// target TGDs whose existentials invent target entities, the chase
+// materializes a universal target instance, and certain-answer queries run
+// over it. The scenario exercises the full bulk-data pipeline: relations
+// arrive as CSV files (internal/relio), the warded chase materializes the
+// exchange, and the target relations are exported back to CSV.
+//
+// Source schema:   worksAt(emp, deptName), mgr(deptName, boss)
+// Target schema:   emp(e, d), dept(d, name), head(d, boss)
+// The department entity d is INVENTED by the mapping (existential): the
+// source never had department ids, only names.
+//
+// Run with:
+//
+//	go run ./examples/dataexchange
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/chase"
+	"repro/internal/core"
+	"repro/internal/parser"
+	"repro/internal/relio"
+	"repro/internal/storage"
+)
+
+const mapping = `
+% Source-to-target TGDs. D is an invented department entity; the two rules
+% agree on it only through the chase's restricted semantics, so the same
+% department name can map to several entity ids — exactly the incomplete-
+% information semantics data exchange is defined by.
+emp(E,D), dept(D,N) :- worksAt(E,N).
+head(D,B) :- dept(D,N), mgr(N,B).
+
+% Target-side view: who (transitively) reports to whom through dept heads.
+reports(E,B) :- emp(E,D), head(D,B).
+
+?(E,B) :- reports(E,B).
+?(N) :- dept(D,N).
+`
+
+func main() {
+	// Stage the source instance as CSV files, as a ChaseBench scenario would
+	// ship them.
+	srcDir, err := os.MkdirTemp("", "dx-source-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(srcDir)
+	write := func(name, content string) {
+		if err := os.WriteFile(filepath.Join(srcDir, name), []byte(content), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	write("worksAt.csv", "ada,engineering\ngrace,engineering\nalan,research\n")
+	write("mgr.csv", "engineering,barbara\nresearch,donald\n")
+
+	res, err := parser.Parse(mapping)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db := storage.NewDB()
+	n, err := relio.LoadDir(res.Program, db, srcDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d source facts from CSV\n", n)
+
+	reasoner := core.New(res.Program)
+	cls := reasoner.Class()
+	fmt.Printf("mapping: warded=%v pwl=%v (existential invention, still warded)\n\n", cls.Warded, cls.PWL)
+
+	st := res.Program.Store
+	for i, q := range res.Queries {
+		ans, info, err := reasoner.CertainAnswers(db, q, core.Auto)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("query %d (%s): %d certain answers\n", i+1, info.Strategy, len(ans))
+		for _, tup := range ans {
+			fmt.Printf("  (%v)\n", st.Names(tup))
+		}
+	}
+
+	// Materialize and export the target instance.
+	cres, err := chase.Run(res.Program, db, chase.Default())
+	if err != nil {
+		log.Fatal(err)
+	}
+	outDir, err := os.MkdirTemp("", "dx-target-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(outDir)
+	if err := relio.DumpDir(res.Program, cres.DB, outDir); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmaterialized target instance: %d facts (%d invented entities), exported to CSV\n",
+		cres.DB.Len(), st.NullCount())
+	b, err := os.ReadFile(filepath.Join(outDir, "emp.csv"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("emp.csv (invented department entities render as _:n<id>):\n%s", b)
+}

@@ -1,0 +1,91 @@
+// Theorem 6.3 in action: a warded, piece-wise linear Datalog± query —
+// including an existential rule — is rewritten into an equivalent
+// piece-wise linear PLAIN Datalog query, which is then evaluated bottom-up.
+// The example prints the generated program (each predicate cq_* stands for
+// one canonical proof-tree CQ class) and shows both pipelines agree.
+//
+// Run with:
+//
+//	go run ./examples/translate
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/analysis"
+	"repro/internal/datalog"
+	"repro/internal/parser"
+	"repro/internal/prooftree"
+	"repro/internal/rewrite"
+	"repro/internal/storage"
+)
+
+const source = `
+% Every employee has a contract with some (possibly unknown) employer.
+contract(X,E) :- employee(X).
+% Employers of contracted people are liable, transitively through
+% subsidiaries.
+liable(E) :- contract(X,E).
+liable(P) :- subsidiary(P,Q), liable(Q).
+
+employee(ada).
+contract(bob, globex).      % a concrete contract: globex is liable
+subsidiary(initech, globex).
+? :- contract(ada, E).
+?(P) :- liable(P).
+`
+
+func main() {
+	res, err := parser.Parse(source)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db := storage.NewDB()
+	db.InsertAll(res.Facts)
+
+	an := analysis.Analyze(res.Program)
+	warded, _ := an.IsWarded()
+	pwl, _ := an.IsPWL()
+	fmt.Printf("input: warded=%v pwl=%v (Theorem 6.3 requires both)\n\n", warded, pwl)
+
+	for qi, q := range res.Queries {
+		tr, err := rewrite.Translate(res.Program, q, rewrite.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ta := analysis.Analyze(tr.Program)
+		tPWL, _ := ta.IsPWL()
+		fmt.Printf("query %d translated to %d Datalog rules over %d CQ classes (pwl=%v, datalog=%v)\n",
+			qi+1, len(tr.Program.TGDs), tr.Classes, tPWL, ta.IsFullSingleHead())
+
+		direct, _, err := prooftree.Answers(res.Program, db, q, prooftree.Options{Mode: prooftree.Linear})
+		if err != nil {
+			log.Fatal(err)
+		}
+		viaDatalog, _, err := datalog.Answers(tr.Program, db, tr.Query,
+			datalog.Options{Stratify: true, BiasRecursiveAtom: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  proof-tree answers: %d, translated-Datalog answers: %d (must match)\n",
+			len(direct), len(viaDatalog))
+		for _, tup := range viaDatalog {
+			fmt.Printf("  %v\n", res.Program.Store.Names(tup))
+		}
+	}
+
+	// A peek at the generated rules for the Boolean query.
+	tr, err := rewrite.Translate(res.Program, res.Queries[0], rewrite.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfirst rules of the translated program for query 1:\n")
+	for i, tgd := range tr.Program.TGDs {
+		if i >= 6 {
+			fmt.Printf("  ... (%d more)\n", len(tr.Program.TGDs)-i)
+			break
+		}
+		fmt.Printf("  %s\n", tgd.String(res.Program.Store, res.Program.Reg))
+	}
+}

@@ -1,0 +1,408 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/atom"
+	"repro/internal/logic"
+	"repro/internal/schema"
+	"repro/internal/term"
+)
+
+// VarClass classifies a body variable of a TGD (§3): harmless variables
+// have a body occurrence at a non-affected position; harmful variables do
+// not; dangerous variables are harmful frontier variables.
+type VarClass uint8
+
+const (
+	Harmless VarClass = iota
+	Harmful
+	Dangerous
+)
+
+func (c VarClass) String() string {
+	switch c {
+	case Harmless:
+		return "harmless"
+	case Harmful:
+		return "harmful"
+	default:
+		return "dangerous"
+	}
+}
+
+// Analysis holds all derived syntactic structure for one program.
+type Analysis struct {
+	Prog *logic.Program
+	// Graph is pg(Σ).
+	Graph *PredGraph
+	// Affected is aff(Σ), the affected positions of sch(Σ) (§3).
+	Affected map[schema.Position]bool
+	// Intensional marks predicates occurring in some head.
+	Intensional map[schema.PredID]bool
+	// NegEdges records the dependency edges contributed by negated body
+	// atoms: NegEdges[P][R] means some TGD negates P in its body and has R
+	// in its head. Stratified negation forbids such an edge inside a
+	// recursive component.
+	NegEdges map[schema.PredID]map[schema.PredID]bool
+	// levels caches ℓΣ.
+	levels map[schema.PredID]int
+}
+
+// Analyze computes the full analysis of a program.
+func Analyze(p *logic.Program) *Analysis {
+	a := &Analysis{
+		Prog:        p,
+		Intensional: p.HeadPreds(),
+	}
+	a.buildGraph()
+	a.computeAffected()
+	a.levels = a.Graph.Levels()
+	return a
+}
+
+func (a *Analysis) buildGraph() {
+	nodes := a.Prog.Schema()
+	edges := make(map[schema.PredID]map[schema.PredID]bool)
+	addEdge := func(from, to schema.PredID) {
+		m := edges[from]
+		if m == nil {
+			m = make(map[schema.PredID]bool)
+			edges[from] = m
+		}
+		m[to] = true
+	}
+	a.NegEdges = make(map[schema.PredID]map[schema.PredID]bool)
+	for _, t := range a.Prog.TGDs {
+		for _, b := range t.Body {
+			for _, h := range t.Head {
+				addEdge(b.Pred, h.Pred)
+			}
+		}
+		// Negated atoms contribute dependency edges too: the head cannot be
+		// computed before the negated predicate is closed, so levels (and
+		// hence strata) must respect them.
+		for _, n := range t.NegBody {
+			for _, h := range t.Head {
+				addEdge(n.Pred, h.Pred)
+				m := a.NegEdges[n.Pred]
+				if m == nil {
+					m = make(map[schema.PredID]bool)
+					a.NegEdges[n.Pred] = m
+				}
+				m[h.Pred] = true
+			}
+		}
+	}
+	a.Graph = newPredGraph(nodes, edges)
+}
+
+// computeAffected runs the inductive definition of aff(Σ) (§3) to fixpoint:
+//   - positions hosting an existential variable are affected;
+//   - if a frontier variable occurs in the body ONLY at affected positions,
+//     its head positions are affected.
+func (a *Analysis) computeAffected() {
+	aff := make(map[schema.Position]bool)
+	// Base case.
+	for _, t := range a.Prog.TGDs {
+		ex := t.Existentials()
+		for _, h := range t.Head {
+			for i, x := range h.Args {
+				if x.IsVar() && ex[x] {
+					aff[schema.Position{Pred: h.Pred, Index: i}] = true
+				}
+			}
+		}
+	}
+	// Inductive case to fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for _, t := range a.Prog.TGDs {
+			fr := t.Frontier()
+			for x := range fr {
+				if !bodyOccursOnlyAffected(t, x, aff) {
+					continue
+				}
+				for _, h := range t.Head {
+					for i, y := range h.Args {
+						if y == x {
+							pos := schema.Position{Pred: h.Pred, Index: i}
+							if !aff[pos] {
+								aff[pos] = true
+								changed = true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	a.Affected = aff
+}
+
+// bodyOccursOnlyAffected reports whether every body occurrence of x sits at
+// an affected position (and x occurs in the body at all).
+func bodyOccursOnlyAffected(t *logic.TGD, x term.Term, aff map[schema.Position]bool) bool {
+	occurs := false
+	for _, b := range t.Body {
+		for i, y := range b.Args {
+			if y == x {
+				occurs = true
+				if !aff[schema.Position{Pred: b.Pred, Index: i}] {
+					return false
+				}
+			}
+		}
+	}
+	return occurs
+}
+
+// ClassifyVar classifies a body variable of the TGD (which must belong to
+// the analyzed program).
+func (a *Analysis) ClassifyVar(t *logic.TGD, x term.Term) VarClass {
+	harmless := false
+	for _, b := range t.Body {
+		for i, y := range b.Args {
+			if y == x && !a.Affected[schema.Position{Pred: b.Pred, Index: i}] {
+				harmless = true
+			}
+		}
+	}
+	if harmless {
+		return Harmless
+	}
+	if t.Frontier()[x] {
+		return Dangerous
+	}
+	return Harmful
+}
+
+// DangerousVars returns the dangerous variables of a TGD's body.
+func (a *Analysis) DangerousVars(t *logic.TGD) map[term.Term]bool {
+	out := make(map[term.Term]bool)
+	for x := range t.BodyVars() {
+		if a.ClassifyVar(t, x) == Dangerous {
+			out[x] = true
+		}
+	}
+	return out
+}
+
+// Ward returns the index (into t.Body) of a ward for the TGD, if one
+// exists, following Definition 3.1: an atom containing all dangerous
+// variables that shares only harmless variables with the rest of the body.
+// When the TGD has no dangerous variables it returns (-1, true).
+func (a *Analysis) Ward(t *logic.TGD) (int, bool) {
+	danger := a.DangerousVars(t)
+	if len(danger) == 0 {
+		return -1, true
+	}
+	for i, cand := range t.Body {
+		if !containsAll(cand, danger) {
+			continue
+		}
+		if a.sharesOnlyHarmless(t, i) {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+func containsAll(a atom.Atom, vars map[term.Term]bool) bool {
+	have := make(map[term.Term]bool)
+	for _, t := range a.Args {
+		if t.IsVar() {
+			have[t] = true
+		}
+	}
+	for v := range vars {
+		if !have[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// sharesOnlyHarmless checks the second ward condition: each variable shared
+// between body[i] and the rest of the body is harmless.
+func (a *Analysis) sharesOnlyHarmless(t *logic.TGD, i int) bool {
+	wardVars := atom.VarSet(t.Body[i : i+1])
+	rest := make([]atom.Atom, 0, len(t.Body)-1)
+	rest = append(rest, t.Body[:i]...)
+	rest = append(rest, t.Body[i+1:]...)
+	restVars := atom.VarSet(rest)
+	for v := range wardVars {
+		if restVars[v] && a.ClassifyVar(t, v) != Harmless {
+			return false
+		}
+	}
+	return true
+}
+
+// Violation describes why a TGD breaks a syntactic class.
+type Violation struct {
+	TGDIndex int
+	Reason   string
+}
+
+// IsWarded checks Definition 3.1 for the whole program.
+func (a *Analysis) IsWarded() (bool, []Violation) {
+	var vs []Violation
+	for i, t := range a.Prog.TGDs {
+		if _, ok := a.Ward(t); !ok {
+			vs = append(vs, Violation{TGDIndex: i,
+				Reason: fmt.Sprintf("no ward covers dangerous variables of %q", t.Label)})
+		}
+	}
+	return len(vs) == 0, vs
+}
+
+// RecursiveBodyAtoms returns the indices of body atoms whose predicate is
+// mutually recursive with some head predicate of the TGD.
+func (a *Analysis) RecursiveBodyAtoms(t *logic.TGD) []int {
+	var out []int
+	for i, b := range t.Body {
+		rec := false
+		for _, h := range t.Head {
+			if a.Graph.MutuallyRecursive(b.Pred, h.Pred) {
+				rec = true
+				break
+			}
+		}
+		if rec {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// IsPWL checks Definition 4.1: each TGD has at most one body atom whose
+// predicate is mutually recursive with a head predicate.
+func (a *Analysis) IsPWL() (bool, []Violation) {
+	var vs []Violation
+	for i, t := range a.Prog.TGDs {
+		if n := len(a.RecursiveBodyAtoms(t)); n > 1 {
+			vs = append(vs, Violation{TGDIndex: i,
+				Reason: fmt.Sprintf("%d mutually recursive body atoms in %q", n, t.Label)})
+		}
+	}
+	return len(vs) == 0, vs
+}
+
+// IsIL checks intensional linearity (§5): at most one body atom per TGD
+// with an intensional predicate.
+func (a *Analysis) IsIL() bool {
+	for _, t := range a.Prog.TGDs {
+		n := 0
+		for _, b := range t.Body {
+			if a.Intensional[b.Pred] {
+				n++
+			}
+		}
+		if n > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsFullSingleHead reports whether every TGD is full (no existentials) with
+// exactly one head atom — i.e. the program is a Datalog program (FULL1, §6).
+func (a *Analysis) IsFullSingleHead() bool {
+	for _, t := range a.Prog.TGDs {
+		if len(t.Head) != 1 || !t.IsFull() {
+			return false
+		}
+	}
+	return true
+}
+
+// IsLinearDatalog reports whether the program is a linear Datalog program:
+// full single-head TGDs with at most one intensional body atom.
+func (a *Analysis) IsLinearDatalog() bool {
+	return a.IsFullSingleHead() && a.IsIL()
+}
+
+// Level returns ℓΣ(P) (§4.2).
+func (a *Analysis) Level(p schema.PredID) int { return a.levels[p] }
+
+// MaxLevel returns max_{P ∈ sch(Σ)} ℓΣ(P); 0 for an empty program.
+func (a *Analysis) MaxLevel() int {
+	m := 0
+	for _, l := range a.levels {
+		if l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// Strata groups the predicates by level, lowest first — the stratification
+// induced by piece-wise linearity that Section 7(3) materializes at.
+func (a *Analysis) Strata() [][]schema.PredID {
+	if len(a.levels) == 0 {
+		return nil
+	}
+	max := a.MaxLevel()
+	out := make([][]schema.PredID, max)
+	for p, l := range a.levels {
+		out[l-1] = append(out[l-1], p)
+	}
+	for _, s := range out {
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	}
+	return out
+}
+
+// Class is a program classification summary (one row of experiment E3).
+type Class struct {
+	Warded        bool
+	PWL           bool
+	IL            bool
+	Datalog       bool // full single-head
+	LinearDatalog bool
+	// Linearizable reports whether a non-PWL program becomes PWL after
+	// EliminateNonLinearRecursion.
+	Linearizable bool
+	MaxLevel     int
+	NumTGDs      int
+	NumPreds     int
+	// HasNegation / StratifiedNegation / MildNegation describe the
+	// program's use of the mild negation extension (§1.1, key property 2).
+	// They are vacuously true=false/true/true for negation-free programs.
+	HasNegation        bool
+	StratifiedNegation bool
+	MildNegation       bool
+}
+
+// Classify produces the summary used by experiment E3 (§1.2 statistics).
+func Classify(p *logic.Program) Class {
+	a := Analyze(p)
+	warded, _ := a.IsWarded()
+	pwl, _ := a.IsPWL()
+	strat, _ := a.IsStratifiedNegation()
+	mild, _ := a.IsMildNegation()
+	c := Class{
+		Warded:             warded,
+		PWL:                pwl,
+		IL:                 a.IsIL(),
+		Datalog:            a.IsFullSingleHead(),
+		LinearDatalog:      a.IsLinearDatalog(),
+		MaxLevel:           a.MaxLevel(),
+		NumTGDs:            len(p.TGDs),
+		NumPreds:           len(p.Schema()),
+		HasNegation:        p.HasNegation(),
+		StratifiedNegation: strat,
+		MildNegation:       mild,
+	}
+	if !pwl {
+		if lin, changed := EliminateNonLinearRecursion(p); changed {
+			la := Analyze(lin)
+			if ok, _ := la.IsPWL(); ok {
+				c.Linearizable = true
+			}
+		}
+	}
+	return c
+}

@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/term"
+)
+
+// VarReport describes one body variable of a TGD under the Section 3
+// classification.
+type VarReport struct {
+	Name  string
+	Class VarClass
+}
+
+// TGDReport explains one TGD: its rendered form, the classification of its
+// body variables, its ward (if needed/found), and its recursive body atoms.
+type TGDReport struct {
+	Index int
+	Text  string
+	Vars  []VarReport
+	// WardIndex is the body atom acting as ward; -1 when the TGD has no
+	// dangerous variables. WardOK is false when a ward is needed but none
+	// exists (the TGD breaks wardedness).
+	WardIndex int
+	WardOK    bool
+	// RecursiveAtoms lists body atom indices mutually recursive with the
+	// head; more than one breaks piece-wise linearity.
+	RecursiveAtoms []int
+	// HeadLevel is ℓΣ of the (first) head predicate.
+	HeadLevel int
+}
+
+// Explain produces a per-TGD report of the wardedness/PWL analysis — the
+// programmer-facing view of Definitions 3.1 and 4.1.
+func (a *Analysis) Explain() []TGDReport {
+	out := make([]TGDReport, 0, len(a.Prog.TGDs))
+	for i, t := range a.Prog.TGDs {
+		r := TGDReport{
+			Index: i,
+			Text:  t.String(a.Prog.Store, a.Prog.Reg),
+		}
+		var vars []term.Term
+		for v := range t.BodyVars() {
+			vars = append(vars, v)
+		}
+		sort.Slice(vars, func(x, y int) bool {
+			return a.Prog.Store.Name(vars[x]) < a.Prog.Store.Name(vars[y])
+		})
+		for _, v := range vars {
+			r.Vars = append(r.Vars, VarReport{
+				Name:  a.Prog.Store.Name(v),
+				Class: a.ClassifyVar(t, v),
+			})
+		}
+		r.WardIndex, r.WardOK = a.Ward(t)
+		r.RecursiveAtoms = a.RecursiveBodyAtoms(t)
+		if len(t.Head) > 0 {
+			r.HeadLevel = a.Level(t.Head[0].Pred)
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// FormatReport renders the reports as an aligned, human-readable block.
+func FormatReport(reports []TGDReport) string {
+	var b strings.Builder
+	for _, r := range reports {
+		fmt.Fprintf(&b, "tgd %d (level %d): %s\n", r.Index, r.HeadLevel, r.Text)
+		if len(r.Vars) > 0 {
+			parts := make([]string, len(r.Vars))
+			for i, v := range r.Vars {
+				parts[i] = v.Name + ":" + v.Class.String()
+			}
+			fmt.Fprintf(&b, "  vars: %s\n", strings.Join(parts, "  "))
+		}
+		switch {
+		case !r.WardOK:
+			fmt.Fprintf(&b, "  ward: NONE — dangerous variables escape every candidate atom (not warded)\n")
+		case r.WardIndex < 0:
+			fmt.Fprintf(&b, "  ward: not needed (no dangerous variables)\n")
+		default:
+			fmt.Fprintf(&b, "  ward: body atom %d\n", r.WardIndex)
+		}
+		switch len(r.RecursiveAtoms) {
+		case 0:
+			fmt.Fprintf(&b, "  recursion: none\n")
+		case 1:
+			fmt.Fprintf(&b, "  recursion: body atom %d (piece-wise linear)\n", r.RecursiveAtoms[0])
+		default:
+			fmt.Fprintf(&b, "  recursion: body atoms %v — NOT piece-wise linear\n", r.RecursiveAtoms)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExplainOWL(t *testing.T) {
+	a := analyze(t, owl2ql)
+	reports := a.Explain()
+	if len(reports) != 6 {
+		t.Fatalf("reports = %d, want 6", len(reports))
+	}
+	// Rule 3 (type(X,Z) :- type(X,Y), subclassS(Y,Z)): X dangerous, ward
+	// at body atom 0, one recursive atom.
+	r3 := reports[2]
+	if !r3.WardOK || r3.WardIndex != 0 {
+		t.Errorf("rule 3 ward = %d/%v", r3.WardIndex, r3.WardOK)
+	}
+	if len(r3.RecursiveAtoms) != 1 {
+		t.Errorf("rule 3 recursive atoms = %v", r3.RecursiveAtoms)
+	}
+	foundDangerous := false
+	for _, v := range r3.Vars {
+		if v.Class == Dangerous {
+			foundDangerous = true
+		}
+	}
+	if !foundDangerous {
+		t.Errorf("rule 3 should have a dangerous variable")
+	}
+	// Rule 1 has no dangerous variables.
+	if reports[0].WardIndex != -1 || !reports[0].WardOK {
+		t.Errorf("rule 1 should not need a ward")
+	}
+	// Levels are reported and non-decreasing along the module structure.
+	if r3.HeadLevel == 0 {
+		t.Errorf("head level missing")
+	}
+
+	text := FormatReport(reports)
+	for _, want := range []string{"dangerous", "harmless", "ward: body atom 0", "piece-wise linear"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("formatted report missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestExplainNonWarded(t *testing.T) {
+	a := analyze(t, `
+r(X,Z) :- p(X).
+q(Z) :- r(X,Z), r(Y,Z).
+`)
+	reports := a.Explain()
+	if reports[1].WardOK {
+		t.Fatalf("rule 2 must report a missing ward")
+	}
+	if !strings.Contains(FormatReport(reports), "NONE") {
+		t.Fatalf("formatted report should flag the missing ward")
+	}
+}
+
+func TestExplainNonPWL(t *testing.T) {
+	a := analyze(t, `
+t(X,Y) :- e(X,Y).
+t(X,Z) :- t(X,Y), t(Y,Z).
+`)
+	reports := a.Explain()
+	if len(reports[1].RecursiveAtoms) != 2 {
+		t.Fatalf("associative rule should report 2 recursive atoms")
+	}
+	if !strings.Contains(FormatReport(reports), "NOT piece-wise linear") {
+		t.Fatalf("formatted report should flag non-PWL recursion")
+	}
+}

@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"fmt"
+)
+
+// IsStratifiedNegation checks that no predicate is negated inside its own
+// recursive component: for every negative dependency edge P → R (some TGD
+// negates P and derives R), P and R must not be mutually recursive, and P
+// must not be reachable from R back onto the edge's cycle. With the
+// negative edges folded into pg(Σ) (see buildGraph), the condition is
+// exactly that no negative edge connects two predicates of the same SCC
+// that lies on a cycle — the classical stratification condition.
+func (a *Analysis) IsStratifiedNegation() (bool, []Violation) {
+	var vs []Violation
+	for i, t := range a.Prog.TGDs {
+		for _, n := range t.NegBody {
+			for _, h := range t.Head {
+				if a.Graph.SCC(n.Pred) == a.Graph.SCC(h.Pred) {
+					vs = append(vs, Violation{TGDIndex: i,
+						Reason: fmt.Sprintf("%q negates a predicate inside its own recursive component", t.Label)})
+				}
+			}
+		}
+	}
+	return len(vs) == 0, vs
+}
+
+// IsMildNegation checks the "very mild" negation discipline of §1.1: every
+// variable occurring in a negated atom must be harmless (it can unify only
+// with constants during the chase). Negating an atom whose variables could
+// bind labeled nulls would make certain-answer semantics depend on null
+// identity, which is exactly what wardedness is designed to prevent.
+// Programs without existential quantification have no affected positions,
+// so every safe negation is automatically mild there.
+func (a *Analysis) IsMildNegation() (bool, []Violation) {
+	var vs []Violation
+	for i, t := range a.Prog.TGDs {
+		for _, n := range t.NegBody {
+			for _, x := range n.Args {
+				if x.IsVar() && a.ClassifyVar(t, x) != Harmless {
+					vs = append(vs, Violation{TGDIndex: i,
+						Reason: fmt.Sprintf("%q negates an atom over non-harmless variable %s",
+							t.Label, a.Prog.Store.Name(x))})
+				}
+			}
+		}
+	}
+	return len(vs) == 0, vs
+}
+
+// NegationStrata returns, for each TGD index, the stratum the rule is
+// evaluated in: the minimum level among its head predicates. Rules of lower
+// strata saturate before higher strata start, so by the time a rule fires,
+// every predicate it negates (whose level is strictly below every head
+// level, by stratifiedness plus the negative edges in pg(Σ)) is closed.
+// It returns an error if the program is not stratified.
+func (a *Analysis) NegationStrata() ([]int, error) {
+	if ok, vs := a.IsStratifiedNegation(); !ok {
+		return nil, fmt.Errorf("analysis: program is not stratified: %s", vs[0].Reason)
+	}
+	out := make([]int, len(a.Prog.TGDs))
+	for i, t := range a.Prog.TGDs {
+		min := -1
+		for _, h := range t.Head {
+			l := a.Level(h.Pred)
+			if min < 0 || l < min {
+				min = l
+			}
+		}
+		out[i] = min
+	}
+	return out, nil
+}

@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/parser"
+)
+
+func TestStratifiedNegationAccepted(t *testing.T) {
+	// Complement of reachability: classic two-stratum program.
+	r, err := parser.Parse(`
+t(X,Y) :- e(X,Y).
+t(X,Z) :- e(X,Y), t(Y,Z).
+unreach(X,Y) :- node(X), node(Y), not t(X,Y).
+`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	a := Analyze(r.Program)
+	if ok, vs := a.IsStratifiedNegation(); !ok {
+		t.Fatalf("stratified program rejected: %v", vs)
+	}
+	strata, err := a.NegationStrata()
+	if err != nil {
+		t.Fatalf("NegationStrata: %v", err)
+	}
+	// The unreach rule must sit at a strictly higher stratum than the t rules.
+	if !(strata[2] > strata[0] && strata[2] > strata[1]) {
+		t.Fatalf("strata = %v; unreach rule must come after t rules", strata)
+	}
+}
+
+func TestUnstratifiedNegationRejected(t *testing.T) {
+	// Win-move: win(X) :- move(X,Y), not win(Y) — negation through recursion.
+	r, err := parser.Parse(`win(X) :- move(X,Y), not win(Y).`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	a := Analyze(r.Program)
+	if ok, _ := a.IsStratifiedNegation(); ok {
+		t.Fatalf("win-move accepted as stratified")
+	}
+	if _, err := a.NegationStrata(); err == nil {
+		t.Fatalf("NegationStrata succeeded on unstratified program")
+	}
+}
+
+func TestUnstratifiedNegationThroughLongerCycle(t *testing.T) {
+	// p -> q -> p with the negation on the q -> p rule: still a negative
+	// edge inside one recursive component.
+	r, err := parser.Parse(`
+q(X) :- p(X), e(X).
+p(X) :- base(X), not q(X).
+`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	a := Analyze(r.Program)
+	if ok, _ := a.IsStratifiedNegation(); ok {
+		t.Fatalf("negation through a two-rule cycle accepted")
+	}
+}
+
+func TestNegationEdgesRaiseLevels(t *testing.T) {
+	// Without the negative edge, derived and flag would share level 2.
+	r, err := parser.Parse(`
+flag(X) :- base(X).
+derived(X) :- base(X), not flag(X).
+`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	a := Analyze(r.Program)
+	flag, _ := r.Program.Reg.Lookup("flag")
+	derived, _ := r.Program.Reg.Lookup("derived")
+	if a.Level(derived) <= a.Level(flag) {
+		t.Fatalf("level(derived)=%d not above level(flag)=%d", a.Level(derived), a.Level(flag))
+	}
+}
+
+func TestMildNegation(t *testing.T) {
+	// Harmless variables only: mild.
+	mild, err := parser.Parse(`
+flag(X) :- base(X).
+derived(X) :- base(X), not flag(X).
+`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if ok, vs := Analyze(mild.Program).IsMildNegation(); !ok {
+		t.Fatalf("mild program rejected: %v", vs)
+	}
+	// The negated atom's variable can carry a null (it is dangerous):
+	// P(x) → ∃z R(x,z);  S(y) :- R(x,y), not Q(y) — y is harmful.
+	harsh, err := parser.Parse(`
+r(X,Z) :- p(X).
+s(Y) :- r(X,Y), not q(Y).
+`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if ok, _ := Analyze(harsh.Program).IsMildNegation(); ok {
+		t.Fatalf("negation over a harmful variable accepted as mild")
+	}
+}
+
+func TestClassifyReportsNegation(t *testing.T) {
+	r, err := parser.Parse(`
+t(X,Y) :- e(X,Y).
+only(X) :- node(X), not t(X,X).
+`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	c := Classify(r.Program)
+	if !c.HasNegation || !c.StratifiedNegation || !c.MildNegation {
+		t.Fatalf("classify = %+v; want negation present, stratified, mild", c)
+	}
+	pos, err := parser.Parse(`t(X,Y) :- e(X,Y).`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	c2 := Classify(pos.Program)
+	if c2.HasNegation || !c2.StratifiedNegation || !c2.MildNegation {
+		t.Fatalf("negation-free classify = %+v", c2)
+	}
+}
+
+func TestSingleHeadPreservesNegation(t *testing.T) {
+	r, err := parser.Parse(`a(X), b(X,Y) :- c(X), not d(X).`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	sh := SingleHead(r.Program)
+	negs := 0
+	for _, tg := range sh.TGDs {
+		negs += len(tg.NegBody)
+		if len(tg.Head) != 1 {
+			t.Fatalf("multi-head survived: %s", tg.String(sh.Store, sh.Reg))
+		}
+	}
+	if negs != 1 {
+		t.Fatalf("negated atoms after SingleHead = %d, want 1", negs)
+	}
+}
+
+func TestLinearizationSkipsNegatedTC(t *testing.T) {
+	// The associative-TC eliminator must not fire on a rule with negation.
+	r, err := parser.Parse(`
+t(X,Y) :- e(X,Y).
+t(X,Z) :- t(X,Y), t(Y,Z), not blocked(X).
+`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if _, changed := EliminateNonLinearRecursion(r.Program); changed {
+		t.Fatalf("linearization rewrote a negated TC rule")
+	}
+}

@@ -1,0 +1,210 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/atom"
+	"repro/internal/logic"
+	"repro/internal/term"
+)
+
+// SingleHead converts a program into single-atom-head normal form, as
+// assumed w.l.o.g. in §4.2 (citing [11]): a TGD
+//
+//	φ(x̄,ȳ) → ∃z̄ ψ1(x̄,z̄), ..., ψk(x̄,z̄)     (k > 1)
+//
+// becomes
+//
+//	φ(x̄,ȳ) → ∃z̄ Auxσ(x̄,z̄)
+//	Auxσ(x̄,z̄) → ψi(x̄,z̄)                    for each i ∈ [k]
+//
+// where Auxσ is a fresh predicate collecting the frontier and existential
+// variables. Certain answers over the original schema are preserved. The
+// transformation preserves wardedness and piece-wise linearity (the Auxσ
+// rules are linear and Auxσ is fresh).
+//
+// The result shares the naming context of the input; single-head TGDs are
+// passed through untouched (not copied).
+func SingleHead(p *logic.Program) *logic.Program {
+	out := &logic.Program{Store: p.Store, Reg: p.Reg}
+	for idx, t := range p.TGDs {
+		if len(t.Head) <= 1 {
+			out.Add(t)
+			continue
+		}
+		fr := t.Frontier()
+		ex := t.Existentials()
+		args := sortedVars(fr)
+		args = append(args, sortedVars(ex)...)
+		aux := p.Reg.Intern(fmt.Sprintf("aux_sh_%d", idx), len(args))
+		auxAtom := atom.New(aux, args...)
+		out.Add(&logic.TGD{
+			Body:    t.Body,
+			NegBody: t.NegBody, // negation stays on the body-side rule
+			Head:    []atom.Atom{auxAtom},
+			Label:   t.Label + "/sh",
+		})
+		for j, h := range t.Head {
+			out.Add(&logic.TGD{
+				Body:  []atom.Atom{auxAtom},
+				Head:  []atom.Atom{h},
+				Label: fmt.Sprintf("%s/sh%d", t.Label, j),
+			})
+		}
+	}
+	return out
+}
+
+func sortedVars(vs map[term.Term]bool) []term.Term {
+	out := make([]term.Term, 0, len(vs))
+	for v := range vs {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// EliminateNonLinearRecursion applies the standard elimination procedure of
+// unnecessary non-linear recursion mentioned in §1.2: the non-linear
+// transitive-closure shape
+//
+//	T(x,y)  :- B(x,y).      (one or more base copy rules, B non-recursive)
+//	T(x,z)  :- T(x,y), T(y,z).
+//
+// is rewritten to the linear form
+//
+//	T(x,y)  :- B(x,y).
+//	T(x,z)  :- B(x,y), T(y,z).   (one rule per base predicate B)
+//
+// The rewrite is applied only when its classical soundness precondition
+// holds — T is defined exactly by copy rules from non-recursive predicates
+// plus the one associative rule — so the transformed program computes the
+// same certain answers. It reports whether anything changed.
+func EliminateNonLinearRecursion(p *logic.Program) (*logic.Program, bool) {
+	a := Analyze(p)
+	// Group rule indices by (single-atom) head predicate.
+	rulesFor := make(map[int][]int) // pred -> indices
+	for i, t := range p.TGDs {
+		if len(t.Head) == 1 {
+			rulesFor[int(t.Head[0].Pred)] = append(rulesFor[int(t.Head[0].Pred)], i)
+		}
+	}
+	drop := make(map[int]bool)
+	var added []*logic.TGD
+	changed := false
+
+	for i, t := range p.TGDs {
+		if !isAssociativeTC(t) {
+			continue
+		}
+		tc := t.Head[0].Pred
+		// Collect T's other defining rules; all must be copy rules from
+		// non-recursive predicates, and no other rule may define T.
+		var basePreds []atom.Atom
+		ok := true
+		for _, j := range rulesFor[int(tc)] {
+			if j == i {
+				continue
+			}
+			r := p.TGDs[j]
+			if !isCopyRule(r) || a.Graph.MutuallyRecursive(r.Body[0].Pred, tc) {
+				ok = false
+				break
+			}
+			basePreds = append(basePreds, r.Body[0])
+		}
+		// Any multi-head rule defining T disqualifies the rewrite.
+		for k, r := range p.TGDs {
+			if k == i {
+				continue
+			}
+			if len(r.Head) > 1 {
+				for _, h := range r.Head {
+					if h.Pred == tc {
+						ok = false
+					}
+				}
+			}
+		}
+		if !ok || len(basePreds) == 0 {
+			continue
+		}
+		// Rewrite: replace the first recursive atom with each base atom.
+		x, y := t.Body[0].Args[0], t.Body[0].Args[1]
+		z := t.Body[1].Args[1]
+		for _, b := range basePreds {
+			added = append(added, &logic.TGD{
+				Body: []atom.Atom{
+					atom.New(b.Pred, x, y),
+					atom.New(tc, y, z),
+				},
+				Head:  []atom.Atom{atom.New(tc, x, z)},
+				Label: t.Label + "/lin",
+			})
+		}
+		drop[i] = true
+		changed = true
+	}
+	if !changed {
+		return p, false
+	}
+	out := &logic.Program{Store: p.Store, Reg: p.Reg}
+	for i, t := range p.TGDs {
+		if !drop[i] {
+			out.Add(t)
+		}
+	}
+	for _, t := range added {
+		out.Add(t)
+	}
+	return out, true
+}
+
+// isAssociativeTC recognizes T(x,z) :- T(x,y), T(y,z) with x, y, z
+// pairwise distinct variables and T binary. Rules carrying negation never
+// match (the rewrite template would drop the negated atoms).
+func isAssociativeTC(t *logic.TGD) bool {
+	if len(t.Head) != 1 || len(t.Body) != 2 || t.HasNegation() {
+		return false
+	}
+	h := t.Head[0]
+	b1, b2 := t.Body[0], t.Body[1]
+	if h.Pred != b1.Pred || h.Pred != b2.Pred {
+		return false
+	}
+	if len(h.Args) != 2 || len(b1.Args) != 2 || len(b2.Args) != 2 {
+		return false
+	}
+	x, y := b1.Args[0], b1.Args[1]
+	y2, z := b2.Args[0], b2.Args[1]
+	if !x.IsVar() || !y.IsVar() || !z.IsVar() {
+		return false
+	}
+	if y != y2 {
+		return false
+	}
+	if x == y || y == z || x == z {
+		return false
+	}
+	return h.Args[0] == x && h.Args[1] == z
+}
+
+// isCopyRule recognizes T(x̄) :- B(x̄) with x̄ a tuple of distinct variables.
+func isCopyRule(t *logic.TGD) bool {
+	if len(t.Head) != 1 || len(t.Body) != 1 || t.HasNegation() {
+		return false
+	}
+	h, b := t.Head[0], t.Body[0]
+	if len(h.Args) != len(b.Args) {
+		return false
+	}
+	seen := make(map[term.Term]bool)
+	for i := range h.Args {
+		if h.Args[i] != b.Args[i] || !h.Args[i].IsVar() || seen[h.Args[i]] {
+			return false
+		}
+		seen[h.Args[i]] = true
+	}
+	return true
+}

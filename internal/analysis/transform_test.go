@@ -1,0 +1,169 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/parser"
+)
+
+func TestSingleHeadPassThrough(t *testing.T) {
+	r := parser.MustParse(`
+t(X,Y) :- e(X,Y).
+t(X,Z) :- e(X,Y), t(Y,Z).
+`)
+	out := SingleHead(r.Program)
+	if len(out.TGDs) != 2 {
+		t.Fatalf("single-head program should be unchanged, got %d TGDs", len(out.TGDs))
+	}
+}
+
+func TestSingleHeadSplitsMultiHead(t *testing.T) {
+	r := parser.MustParse(`
+a(X), b(X,W) :- c(X).
+`)
+	out := SingleHead(r.Program)
+	if len(out.TGDs) != 3 {
+		t.Fatalf("expected 3 TGDs (1 aux + 2 projections), got %d", len(out.TGDs))
+	}
+	// First rule: c(X) -> aux(X,W), W existential.
+	first := out.TGDs[0]
+	if len(first.Head) != 1 {
+		t.Fatalf("aux rule must be single-head")
+	}
+	if len(first.Existentials()) != 1 {
+		t.Fatalf("existential W must move to the aux rule")
+	}
+	// Projection rules are full.
+	for _, tg := range out.TGDs[1:] {
+		if !tg.IsFull() {
+			t.Errorf("projection rule must be full: %s", tg.String(out.Store, out.Reg))
+		}
+		if len(tg.Body) != 1 {
+			t.Errorf("projection rule must have the aux atom as its only body atom")
+		}
+	}
+	// Result must be valid and single-head everywhere.
+	if err := out.Validate(); err != nil {
+		t.Fatalf("invalid output: %v", err)
+	}
+	for _, tg := range out.TGDs {
+		if len(tg.Head) != 1 {
+			t.Fatalf("head not split")
+		}
+	}
+}
+
+func TestSingleHeadPreservesClasses(t *testing.T) {
+	// A warded PWL program with a multi-atom head; the transform must keep
+	// it warded and PWL.
+	r := parser.MustParse(`
+person(Y), knows(X,Y) :- employee(X).
+knows(X,Z) :- knows(X,Y), friend(Y,Z).
+`)
+	a := Analyze(r.Program)
+	if ok, _ := a.IsWarded(); !ok {
+		t.Fatalf("input should be warded")
+	}
+	out := SingleHead(r.Program)
+	oa := Analyze(out)
+	if ok, vs := oa.IsWarded(); !ok {
+		t.Errorf("SingleHead broke wardedness: %v", vs)
+	}
+	if ok, vs := oa.IsPWL(); !ok {
+		t.Errorf("SingleHead broke piece-wise linearity: %v", vs)
+	}
+}
+
+func TestEliminateNonLinearRecursionTC(t *testing.T) {
+	r := parser.MustParse(`
+t(X,Y) :- e(X,Y).
+t(X,Z) :- t(X,Y), t(Y,Z).
+`)
+	out, changed := EliminateNonLinearRecursion(r.Program)
+	if !changed {
+		t.Fatalf("TC must be rewritten")
+	}
+	a := Analyze(out)
+	if ok, vs := a.IsPWL(); !ok {
+		t.Fatalf("rewritten TC must be PWL: %v", vs)
+	}
+	if !a.IsLinearDatalog() {
+		t.Fatalf("rewritten TC should be linear Datalog")
+	}
+	if len(out.TGDs) != 2 {
+		t.Fatalf("expected 2 rules, got %d:\n%s", len(out.TGDs), out.String())
+	}
+}
+
+func TestEliminateMultipleBasePredicates(t *testing.T) {
+	r := parser.MustParse(`
+t(X,Y) :- road(X,Y).
+t(X,Y) :- rail(X,Y).
+t(X,Z) :- t(X,Y), t(Y,Z).
+`)
+	out, changed := EliminateNonLinearRecursion(r.Program)
+	if !changed {
+		t.Fatalf("must rewrite")
+	}
+	// One linear rule per base predicate.
+	if len(out.TGDs) != 4 {
+		t.Fatalf("expected 4 rules (2 base + 2 linear), got %d", len(out.TGDs))
+	}
+	if ok, _ := Analyze(out).IsPWL(); !ok {
+		t.Fatalf("result not PWL")
+	}
+}
+
+func TestEliminateRefusesUnsafeShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"extra recursive rule", `
+t(X,Y) :- e(X,Y).
+t(X,Y) :- t(Y,X).
+t(X,Z) :- t(X,Y), t(Y,Z).
+`},
+		{"non copy base", `
+t(X,Y) :- e(Y,X).
+t(X,Z) :- t(X,Y), t(Y,Z).
+`},
+		{"no base rule", `
+t(X,Z) :- t(X,Y), t(Y,Z).
+`},
+		{"head not x z", `
+t(X,Y) :- e(X,Y).
+t(Z,X) :- t(X,Y), t(Y,Z).
+`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			r := parser.MustParse(c.src)
+			_, changed := EliminateNonLinearRecursion(r.Program)
+			if changed {
+				t.Fatalf("unsafe shape must not be rewritten")
+			}
+		})
+	}
+}
+
+func TestEliminateLeavesOtherRulesIntact(t *testing.T) {
+	r := parser.MustParse(`
+t(X,Y) :- e(X,Y).
+t(X,Z) :- t(X,Y), t(Y,Z).
+reach(X) :- t(X,Y), goal(Y).
+`)
+	out, changed := EliminateNonLinearRecursion(r.Program)
+	if !changed {
+		t.Fatalf("must rewrite")
+	}
+	found := false
+	for _, tg := range out.TGDs {
+		if tg.Label != "" && len(tg.Head) == 1 && out.Reg.Name(tg.Head[0].Pred) == "reach" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("unrelated rule lost")
+	}
+}

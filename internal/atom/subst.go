@@ -1,0 +1,132 @@
+package atom
+
+import (
+	"repro/internal/term"
+)
+
+// Subst is a substitution from terms to terms (paper §2). Only variables —
+// and, during chase-graph unravelling, nulls — are ever mapped; constants
+// are always the identity. A nil Subst behaves as the identity.
+type Subst map[term.Term]term.Term
+
+// NewSubst returns an empty substitution.
+func NewSubst() Subst { return make(Subst) }
+
+// Clone returns a copy of the substitution.
+func (s Subst) Clone() Subst {
+	out := make(Subst, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// Apply resolves a single term through the substitution, following chains
+// (x ↦ y, y ↦ c resolves x to c). Chains arise during unification; Resolve
+// keeps application correct without eager path compression.
+func (s Subst) Apply(t term.Term) term.Term {
+	if s == nil {
+		return t
+	}
+	seen := 0
+	for {
+		nxt, ok := s[t]
+		if !ok || nxt == t {
+			return t
+		}
+		t = nxt
+		seen++
+		if seen > len(s) {
+			// A cycle among variables (x↦y, y↦x) denotes equality; return
+			// the current representative rather than looping forever.
+			return t
+		}
+	}
+}
+
+// ApplyAtom applies the substitution to every argument of the atom,
+// returning a new atom.
+func (s Subst) ApplyAtom(a Atom) Atom {
+	args := make([]term.Term, len(a.Args))
+	for i, t := range a.Args {
+		args[i] = s.Apply(t)
+	}
+	return Atom{Pred: a.Pred, Args: args}
+}
+
+// ApplyAtoms applies the substitution to a set of atoms.
+func (s Subst) ApplyAtoms(atoms []Atom) []Atom {
+	out := make([]Atom, len(atoms))
+	for i, a := range atoms {
+		out[i] = s.ApplyAtom(a)
+	}
+	return out
+}
+
+// ApplyTerms applies the substitution to a tuple of terms.
+func (s Subst) ApplyTerms(ts []term.Term) []term.Term {
+	out := make([]term.Term, len(ts))
+	for i, t := range ts {
+		out[i] = s.Apply(t)
+	}
+	return out
+}
+
+// Bind records t ↦ u. It refuses to bind constants (which must stay fixed)
+// and reports whether the binding is consistent with existing entries.
+func (s Subst) Bind(t, u term.Term) bool {
+	if t.IsConst() {
+		return t == u
+	}
+	cur := s.Apply(t)
+	tgt := s.Apply(u)
+	if cur == tgt {
+		return true
+	}
+	if cur.IsVar() {
+		s[cur] = tgt
+		return true
+	}
+	if tgt.IsVar() {
+		s[tgt] = cur
+		return true
+	}
+	return false
+}
+
+// Restrict returns s restricted to the given set of terms (paper §2, h|S).
+func (s Subst) Restrict(keep map[term.Term]bool) Subst {
+	out := make(Subst)
+	for k := range keep {
+		if v := s.Apply(k); v != k {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// Compose returns the substitution t ↦ g(s.Apply(t)) for all t in dom(s) ∪
+// dom(g) — i.e. g ∘ s in the paper's notation γ' ∘ γ.
+func Compose(g, s Subst) Subst {
+	out := make(Subst, len(s)+len(g))
+	for k := range s {
+		out[k] = g.Apply(s.Apply(k))
+	}
+	for k := range g {
+		if _, done := out[k]; !done {
+			out[k] = g.Apply(k)
+		}
+	}
+	return out
+}
+
+// IsIdentityOn reports whether the substitution maps every term of the set
+// to itself.
+func (s Subst) IsIdentityOn(ts map[term.Term]bool) bool {
+	for t := range ts {
+		if s.Apply(t) != t {
+			return false
+		}
+	}
+	return true
+}

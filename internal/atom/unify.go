@@ -1,0 +1,188 @@
+package atom
+
+import (
+	"repro/internal/term"
+)
+
+// UnifyTerms extends the substitution s so that it unifies t and u, treating
+// constants as rigid and both variables and nulls as unifiable placeholders.
+// It reports whether unification succeeded; on failure s may be partially
+// extended (callers clone when they need rollback).
+//
+// Nulls unify like variables here because chase-graph unravelling (paper
+// §4.2) renames nulls, and the homomorphism machinery treats them as
+// flexible; callers that require null-rigidity use MatchTerms instead.
+func UnifyTerms(s Subst, t, u term.Term) bool {
+	t = s.Apply(t)
+	u = s.Apply(u)
+	if t == u {
+		return true
+	}
+	switch {
+	case t.IsVar():
+		s[t] = u
+		return true
+	case u.IsVar():
+		s[u] = t
+		return true
+	case t.IsNull():
+		s[t] = u
+		return true
+	case u.IsNull():
+		s[u] = t
+		return true
+	default: // two distinct constants
+		return false
+	}
+}
+
+// UnifyAtoms extends s to unify atoms a and b argument-wise. The predicates
+// must match exactly.
+func UnifyAtoms(s Subst, a, b Atom) bool {
+	if a.Pred != b.Pred || len(a.Args) != len(b.Args) {
+		return false
+	}
+	for i := range a.Args {
+		if !UnifyTerms(s, a.Args[i], b.Args[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// MGU computes a most general unifier of the two atom sets A and B in the
+// sense of the paper (§4.1): a substitution γ with γ(A) = γ(B). The sets
+// unify when there is a pairing of atoms that unifies; because the paper's
+// chunk unifiers are built from explicitly chosen atom pairings, MGU here
+// unifies the sets positionally after sorting is NOT correct in general —
+// instead the caller supplies the pairing. MGU therefore unifies two equal-
+// length *sequences* of atoms pairwise.
+//
+// It returns (γ, true) on success; γ is idempotent up to chain resolution
+// via Apply.
+func MGU(as, bs []Atom) (Subst, bool) {
+	if len(as) != len(bs) {
+		return nil, false
+	}
+	s := NewSubst()
+	for i := range as {
+		if !UnifyAtoms(s, as[i], bs[i]) {
+			return nil, false
+		}
+	}
+	return s, true
+}
+
+// MatchTerm extends s to match pattern term p against ground term g, where
+// only variables in the pattern may be bound (constants and nulls in the
+// pattern are rigid). This is one-way matching, the building block of
+// homomorphism search.
+func MatchTerm(s Subst, p, g term.Term) bool {
+	p = s.Apply(p)
+	if p.IsVar() {
+		s[p] = g
+		return true
+	}
+	return p == g
+}
+
+// MatchAtom extends s to match pattern atom pa against ground atom ga.
+func MatchAtom(s Subst, pa, ga Atom) bool {
+	if pa.Pred != ga.Pred || len(pa.Args) != len(ga.Args) {
+		return false
+	}
+	for i := range pa.Args {
+		if !MatchTerm(s, pa.Args[i], ga.Args[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// HomomorphismTo reports whether there exists a homomorphism from the atom
+// set pattern to the atom set target extending base: a substitution that is
+// the identity on constants, maps each pattern atom onto some target atom.
+// Nulls in the pattern are treated as rigid (instance-to-instance
+// homomorphisms rename nulls via the base substitution supplied by the
+// caller if desired).
+//
+// The target is given as a plain slice; packages with indexed stores provide
+// faster entry points. Search is backtracking with the standard
+// most-constrained-first static order.
+func HomomorphismTo(pattern, target []Atom, base Subst) (Subst, bool) {
+	if base == nil {
+		base = NewSubst()
+	}
+	// Order pattern atoms: those sharing variables with already-placed atoms
+	// first is approximated by a greedy connectivity order.
+	ordered := connectivityOrder(pattern)
+	var rec func(i int, s Subst) (Subst, bool)
+	rec = func(i int, s Subst) (Subst, bool) {
+		if i == len(ordered) {
+			return s, true
+		}
+		pa := ordered[i]
+		for _, ga := range target {
+			if ga.Pred != pa.Pred {
+				continue
+			}
+			s2 := s.Clone()
+			if MatchAtom(s2, pa, ga) {
+				if out, ok := rec(i+1, s2); ok {
+					return out, true
+				}
+			}
+		}
+		return nil, false
+	}
+	return rec(0, base)
+}
+
+// connectivityOrder orders atoms so that each atom (after the first) shares
+// a variable with an earlier one when possible, improving backtracking.
+func connectivityOrder(atoms []Atom) []Atom {
+	if len(atoms) <= 2 {
+		return atoms
+	}
+	placed := make([]bool, len(atoms))
+	seen := make(map[term.Term]bool)
+	out := make([]Atom, 0, len(atoms))
+	for len(out) < len(atoms) {
+		best := -1
+		for i, a := range atoms {
+			if placed[i] {
+				continue
+			}
+			if best == -1 {
+				best = i
+			}
+			for _, t := range a.Args {
+				if t.IsVar() && seen[t] {
+					best = i
+					break
+				}
+			}
+			if best == i && len(out) > 0 && sharesVar(a, seen) {
+				break
+			}
+		}
+		placed[best] = true
+		a := atoms[best]
+		out = append(out, a)
+		for _, t := range a.Args {
+			if t.IsVar() {
+				seen[t] = true
+			}
+		}
+	}
+	return out
+}
+
+func sharesVar(a Atom, seen map[term.Term]bool) bool {
+	for _, t := range a.Args {
+		if t.IsVar() && seen[t] {
+			return true
+		}
+	}
+	return false
+}

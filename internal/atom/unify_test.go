@@ -1,0 +1,236 @@
+package atom
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/term"
+)
+
+func TestUnifyTermsBasic(t *testing.T) {
+	c := newCtx()
+	x := c.st.Var("X")
+	a, b := c.st.Const("a"), c.st.Const("b")
+	s := NewSubst()
+	if !UnifyTerms(s, x, a) {
+		t.Fatalf("var-const unify failed")
+	}
+	if s.Apply(x) != a {
+		t.Fatalf("binding lost")
+	}
+	if UnifyTerms(s, x, b) {
+		t.Fatalf("X already bound to a, must not unify with b")
+	}
+	if !UnifyTerms(s, a, a) {
+		t.Fatalf("const self-unify failed")
+	}
+	if UnifyTerms(NewSubst(), a, b) {
+		t.Fatalf("distinct constants unified")
+	}
+}
+
+func TestUnifyNullsFlexible(t *testing.T) {
+	c := newCtx()
+	n := c.st.FreshNull()
+	a := c.st.Const("a")
+	s := NewSubst()
+	if !UnifyTerms(s, n, a) {
+		t.Fatalf("null should unify with constant in MGU context")
+	}
+	if s.Apply(n) != a {
+		t.Fatalf("null binding lost")
+	}
+}
+
+func TestUnifyAtoms(t *testing.T) {
+	c := newCtx()
+	a1 := c.atom("p", "X", "b")
+	a2 := c.atom("p", "a", "Y")
+	s := NewSubst()
+	if !UnifyAtoms(s, a1, a2) {
+		t.Fatalf("unifiable atoms failed")
+	}
+	g1, g2 := s.ApplyAtom(a1), s.ApplyAtom(a2)
+	if !g1.Equal(g2) {
+		t.Fatalf("unifier does not equalize: %v vs %v",
+			g1.String(c.st, c.reg), g2.String(c.st, c.reg))
+	}
+	if UnifyAtoms(NewSubst(), c.atom("s1", "a"), c.atom("s2", "a")) {
+		t.Fatalf("different predicates unified")
+	}
+}
+
+func TestMGUSequences(t *testing.T) {
+	c := newCtx()
+	as := []Atom{c.atom("p", "X", "Y"), c.atom("q", "Y")}
+	bs := []Atom{c.atom("p", "a", "Z"), c.atom("q", "b")}
+	g, ok := MGU(as, bs)
+	if !ok {
+		t.Fatalf("MGU failed")
+	}
+	for i := range as {
+		if !g.ApplyAtom(as[i]).Equal(g.ApplyAtom(bs[i])) {
+			t.Fatalf("MGU does not unify pair %d", i)
+		}
+	}
+	if _, ok := MGU(as, bs[:1]); ok {
+		t.Fatalf("length mismatch must fail")
+	}
+}
+
+// Property: for random unifiable pairs, the MGU is most general — any other
+// unifier factors through it. We approximate by checking that applying the
+// MGU twice equals applying it once (idempotence up to chain resolution).
+func TestMGUIdempotent(t *testing.T) {
+	c := newCtx()
+	rng := rand.New(rand.NewSource(7))
+	varPool := []term.Term{c.st.Var("A"), c.st.Var("B"), c.st.Var("C"), c.st.Var("D")}
+	constPool := []term.Term{c.st.Const("k1"), c.st.Const("k2")}
+	randTerm := func() term.Term {
+		if rng.Intn(2) == 0 {
+			return varPool[rng.Intn(len(varPool))]
+		}
+		return constPool[rng.Intn(len(constPool))]
+	}
+	pred := c.reg.Intern("r", 3)
+	for i := 0; i < 300; i++ {
+		a := New(pred, randTerm(), randTerm(), randTerm())
+		b := New(pred, randTerm(), randTerm(), randTerm())
+		s := NewSubst()
+		if !UnifyAtoms(s, a, b) {
+			continue
+		}
+		once := s.ApplyAtom(a)
+		twice := s.ApplyAtom(once)
+		if !once.Equal(twice) {
+			t.Fatalf("MGU application not idempotent: %v vs %v",
+				once.String(c.st, c.reg), twice.String(c.st, c.reg))
+		}
+		if !s.ApplyAtom(a).Equal(s.ApplyAtom(b)) {
+			t.Fatalf("unifier does not equalize atoms")
+		}
+	}
+}
+
+func TestMatchAtomOneWay(t *testing.T) {
+	c := newCtx()
+	pat := c.atom("p", "X", "a")
+	gr := c.atom("p", "b", "a")
+	s := NewSubst()
+	if !MatchAtom(s, pat, gr) {
+		t.Fatalf("match failed")
+	}
+	if s.Apply(c.st.Var("X")) != c.st.Const("b") {
+		t.Fatalf("X not bound to b")
+	}
+	// Constants in pattern are rigid.
+	if MatchAtom(NewSubst(), c.atom("p", "a", "a"), c.atom("p", "b", "a")) {
+		t.Fatalf("rigid constant matched different constant")
+	}
+	// Nulls in pattern are rigid for matching.
+	n := c.atom("p", "_", "a")
+	if MatchAtom(NewSubst(), n, gr) {
+		t.Fatalf("null should be rigid in MatchAtom")
+	}
+}
+
+func TestHomomorphismTo(t *testing.T) {
+	c := newCtx()
+	// Pattern: path of length 2. Target: triangle a->b->c->a.
+	pattern := []Atom{c.atom("e", "X", "Y"), c.atom("e", "Y", "Z")}
+	target := []Atom{
+		c.atom("e", "a", "b"),
+		c.atom("e", "b", "cc"),
+		c.atom("e", "cc", "a"),
+	}
+	h, ok := HomomorphismTo(pattern, target, nil)
+	if !ok {
+		t.Fatalf("homomorphism must exist")
+	}
+	// Verify h maps pattern into target.
+	for _, pa := range pattern {
+		img := h.ApplyAtom(pa)
+		found := false
+		for _, ga := range target {
+			if img.Equal(ga) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("image %v not in target", img.String(c.st, c.reg))
+		}
+	}
+}
+
+func TestHomomorphismToFails(t *testing.T) {
+	c := newCtx()
+	// Pattern needs a 2-cycle; target is a simple edge.
+	pattern := []Atom{c.atom("e", "X", "Y"), c.atom("e", "Y", "X")}
+	target := []Atom{c.atom("e", "a", "b")}
+	if _, ok := HomomorphismTo(pattern, target, nil); ok {
+		t.Fatalf("no homomorphism should exist")
+	}
+}
+
+func TestHomomorphismRespectsBase(t *testing.T) {
+	c := newCtx()
+	pattern := []Atom{c.atom("e", "X", "Y")}
+	target := []Atom{c.atom("e", "a", "b"), c.atom("e", "b", "cc")}
+	base := Subst{c.st.Var("X"): c.st.Const("b")}
+	h, ok := HomomorphismTo(pattern, target, base)
+	if !ok {
+		t.Fatalf("homomorphism with base must exist")
+	}
+	if h.Apply(c.st.Var("Y")) != c.st.Const("cc") {
+		t.Fatalf("base binding not respected: Y = %v", c.st.Name(h.Apply(c.st.Var("Y"))))
+	}
+}
+
+// Property: homomorphisms compose — if h1 : A→B and h2 : B→C then the
+// composed substitution maps A into C.
+func TestHomomorphismComposition(t *testing.T) {
+	c := newCtx()
+	a := []Atom{c.atom("e", "X", "Y")}
+	b := []Atom{c.atom("e", "U", "V"), c.atom("e", "V", "U")}
+	cs := []Atom{c.atom("e", "k1", "k2"), c.atom("e", "k2", "k1")}
+	h1, ok1 := HomomorphismTo(a, b, nil)
+	h2, ok2 := HomomorphismTo(b, cs, nil)
+	if !ok1 || !ok2 {
+		t.Fatalf("homomorphisms must exist")
+	}
+	comp := Compose(h2, h1)
+	img := comp.ApplyAtoms(a)
+	for _, ia := range img {
+		found := false
+		for _, ga := range cs {
+			if ia.Equal(ga) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("composition image %v not in C", ia.String(c.st, c.reg))
+		}
+	}
+}
+
+func TestConnectivityOrder(t *testing.T) {
+	c := newCtx()
+	// Disconnected first atom should still work; order must contain all.
+	atoms := []Atom{
+		c.atom("p", "A"),
+		c.atom("q", "B", "C"),
+		c.atom("r", "C", "D"),
+		c.atom("s", "A", "B"),
+	}
+	ord := connectivityOrder(atoms)
+	if len(ord) != len(atoms) {
+		t.Fatalf("order lost atoms: %d", len(ord))
+	}
+	seen := make(map[string]bool)
+	for _, a := range ord {
+		seen[a.String(c.st, c.reg)] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("order duplicated/lost atoms")
+	}
+}

@@ -1,0 +1,296 @@
+// Package chase implements the chase procedure of Section 2 — the main
+// algorithmic tool for query answering under TGDs — together with the
+// termination control of Section 7(1).
+//
+// A chase step: a TGD σ = φ(x̄,ȳ) → ∃z̄ ψ(x̄,z̄) is applicable to instance I
+// with homomorphism h when h(φ) ⊆ I; applying it adds h'(ψ) where h'
+// extends h|x̄ with fresh labeled nulls for z̄. The chase of a database D
+// under Σ satisfies cert(q, D, Σ) = q(chase(D, Σ)) (Proposition 2.1).
+//
+// For warded programs the chase can be infinite. The engine offers:
+//
+//   - the RESTRICTED variant (skip a trigger whose head is already
+//     satisfied), the textbook mitigation;
+//   - guide-structure termination control (Options.TriggerMemo): a TGD is
+//     fired at most once per isomorphism class of its trigger image, the
+//     abstraction at the core of the Vadalog forests (§7(1)). On warded
+//     programs this prunes the null-propagation cascades while preserving
+//     certain answers for CQs over the constants of the database (we
+//     cross-validate against the proof-tree engine in the tests);
+//   - hard budgets (MaxRounds, MaxFacts, MaxDepth) as a backstop, with the
+//     truncation surfaced in the result.
+package chase
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/atom"
+	"repro/internal/guide"
+	"repro/internal/logic"
+	"repro/internal/storage"
+	"repro/internal/term"
+)
+
+// Options configures a chase run.
+type Options struct {
+	// Restricted skips triggers whose head is already satisfied in the
+	// current instance (restricted/standard chase). When false the chase is
+	// semi-oblivious: each TGD fires once per body image.
+	Restricted bool
+	// TriggerMemo enables guide-structure termination control: triggers
+	// isomorphic to an already-fired trigger of the same TGD are suppressed.
+	TriggerMemo bool
+	// FactIso additionally suppresses creation of facts isomorphic to an
+	// existing fact of the same predicate (linear-forest summary). More
+	// aggressive; only sound for atomic-query workloads, so off by default.
+	FactIso bool
+	// MaxRounds, MaxFacts, MaxDepth are hard budgets (0 = unlimited).
+	// MaxDepth bounds the birth depth of nulls.
+	MaxRounds int
+	MaxFacts  int
+	MaxDepth  int
+	// Provenance records, for each derived fact, the TGD and the trigger
+	// that produced it (the chase graph of §4.2).
+	Provenance bool
+	// stratumSafe is set by RunStratified to mark that negated atoms range
+	// over already-closed strata, making negation-as-failure sound. Run
+	// rejects programs with negation unless it is set.
+	stratumSafe bool
+}
+
+// Default returns the options used by the engines: restricted chase with
+// guide-structure termination control and a generous fact budget.
+func Default() Options {
+	return Options{Restricted: true, TriggerMemo: true, MaxFacts: 1_000_000, MaxRounds: 10_000}
+}
+
+// Derivation records how a fact was derived (one edge bundle of the chase
+// graph GD,Σ).
+type Derivation struct {
+	TGD     int         // index into the program
+	Trigger []atom.Atom // h(body(σ))
+}
+
+// Result is the outcome of a chase run.
+type Result struct {
+	DB *storage.DB
+	// Rounds is the number of semi-naive rounds executed.
+	Rounds int
+	// Applications counts the chase steps actually applied.
+	Applications int
+	// SuppressedByMemo / SuppressedRestricted / SuppressedDepth count
+	// triggers skipped by each control.
+	SuppressedByMemo     int
+	SuppressedRestricted int
+	SuppressedDepth      int
+	// Truncated reports that a hard budget was hit; the instance is then a
+	// prefix of the chase, not a model.
+	Truncated bool
+	// MaxNullDepth is the deepest null birth depth observed.
+	MaxNullDepth int
+	// MemoPatterns is the number of stored trigger patterns (guide
+	// structure size; the E7 memory proxy).
+	MemoPatterns int
+	// Prov maps DB row index -> derivation, when Options.Provenance.
+	Prov map[int]Derivation
+	// BaseFacts is the number of input database facts (rows below this
+	// index are D; rows at or above it were derived by the chase).
+	BaseFacts int
+}
+
+// Run chases the database under the program. The input DB is not mutated.
+// Programs with negation must be chased through RunStratified, which
+// schedules strata so that negated predicates are closed before any rule
+// negating them fires.
+func Run(prog *logic.Program, db *storage.DB, opt Options) (*Result, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, fmt.Errorf("chase: %w", err)
+	}
+	if prog.HasNegation() && !opt.stratumSafe {
+		return nil, fmt.Errorf("chase: program uses negation; use RunStratified")
+	}
+	work := db.Clone()
+	res := &Result{DB: work, BaseFacts: work.Len()}
+	if opt.Provenance {
+		res.Prov = make(map[int]Derivation)
+	}
+	memo := guide.NewTriggerMemo()
+	factIso := guide.NewFactPatterns()
+	if opt.FactIso {
+		// Seed with the database facts so derived isomorphs of EDB facts
+		// are still admitted (they carry nulls and thus differ).
+		for _, a := range work.All() {
+			factIso.Admit(a)
+		}
+	}
+	// Trigger-level dedup for existential TGDs (semi-oblivious firing):
+	// re-firing a full TGD is harmless (insert dedups), but re-firing an
+	// existential TGD would invent spurious fresh nulls.
+	fired := make(map[string]bool)
+	nullDepth := make(map[uint32]int)
+
+	mark := storage.Mark(0)
+	for round := 1; ; round++ {
+		if opt.MaxRounds > 0 && round > opt.MaxRounds {
+			res.Truncated = true
+			break
+		}
+		res.Rounds = round
+		next := work.Mark()
+		progress := false
+		for ti, tgd := range prog.TGDs {
+			hasExist := len(tgd.Existentials()) > 0
+			for di := range tgd.Body {
+				// Round 1 runs with mark 0, so restricting any single atom
+				// to the delta already enumerates every homomorphism;
+				// scanning further positions would only repeat them.
+				if round == 1 && di > 0 {
+					break
+				}
+				stop := false
+				work.HomomorphismsEach(tgd.Body, nil, di, mark, func(h atom.Subst) bool {
+					// Negation-as-failure guard: sound because RunStratified
+					// only admits rules whose negated predicates are closed.
+					for _, na := range tgd.NegBody {
+						if work.Contains(h.ApplyAtom(na)) {
+							return true
+						}
+					}
+					img := h.ApplyAtoms(tgd.Body)
+					// Trigger-level dedup and pattern control only matter
+					// for TGDs that invent nulls: re-firing a full TGD is
+					// absorbed by fact dedup, and keying every full-TGD
+					// trigger would dominate large Datalog fixpoints.
+					if hasExist {
+						key := triggerKey(ti, img)
+						if fired[key] {
+							return true
+						}
+						fired[key] = true
+						if opt.TriggerMemo && !memo.Admit(ti, img) {
+							res.SuppressedByMemo++
+							return true
+						}
+					}
+					if opt.Restricted && headSatisfied(work, tgd, h) {
+						res.SuppressedRestricted++
+						return true
+					}
+					depth := triggerDepth(img, nullDepth)
+					if opt.MaxDepth > 0 && hasExist && depth+1 > opt.MaxDepth {
+						res.SuppressedDepth++
+						return true
+					}
+					// Apply the step: extend h with fresh nulls.
+					h2 := h.Clone()
+					for z := range tgd.Existentials() {
+						n := prog.Store.FreshNull()
+						h2[z] = n
+						nullDepth[n.ID] = depth + 1
+						if depth+1 > res.MaxNullDepth {
+							res.MaxNullDepth = depth + 1
+						}
+					}
+					for _, ha := range tgd.Head {
+						f := h2.ApplyAtom(ha)
+						if opt.FactIso && f.HasNull() && !factIso.Admit(f) {
+							continue
+						}
+						rowIdx := work.Len()
+						if work.Insert(f) {
+							progress = true
+							if res.Prov != nil {
+								res.Prov[rowIdx] = Derivation{TGD: ti, Trigger: img}
+							}
+						}
+					}
+					res.Applications++
+					if opt.MaxFacts > 0 && work.Len() > opt.MaxFacts {
+						res.Truncated = true
+						stop = true
+						return false
+					}
+					return true
+				})
+				if stop {
+					break
+				}
+			}
+			if res.Truncated {
+				break
+			}
+		}
+		mark = next
+		if !progress || res.Truncated {
+			break
+		}
+	}
+	res.MemoPatterns = memo.Size()
+	return res, nil
+}
+
+// headSatisfied reports whether the head of the TGD is already satisfied
+// under the frontier bindings of h (the restricted-chase test: I |= σ for
+// this trigger).
+func headSatisfied(db *storage.DB, tgd *logic.TGD, h atom.Subst) bool {
+	// Fast path: a single-atom head whose image is ground (every full TGD)
+	// reduces to a hash lookup.
+	if len(tgd.Head) == 1 {
+		img := h.ApplyAtom(tgd.Head[0])
+		if img.IsGround() {
+			return db.Contains(img)
+		}
+	}
+	base := atom.NewSubst()
+	for x := range tgd.Frontier() {
+		base[x] = h.Apply(x)
+	}
+	_, ok := db.Homomorphism(tgd.Head, base)
+	return ok
+}
+
+// triggerDepth is the maximum birth depth among nulls in the trigger image.
+func triggerDepth(img []atom.Atom, nullDepth map[uint32]int) int {
+	d := 0
+	for _, a := range img {
+		for _, t := range a.Args {
+			if t.IsNull() {
+				if nd := nullDepth[t.ID]; nd > d {
+					d = nd
+				}
+			}
+		}
+	}
+	return d
+}
+
+// triggerKey renders a trigger identity (TGD + exact body image).
+func triggerKey(tgd int, img []atom.Atom) string {
+	var b strings.Builder
+	b.WriteString(fmt.Sprintf("%d;", tgd))
+	for _, a := range img {
+		b.WriteString(fmt.Sprintf("%d(", a.Pred))
+		for _, t := range a.Args {
+			b.WriteString(fmt.Sprintf("%d:%d,", t.Kind, t.ID))
+		}
+		b.WriteByte(')')
+	}
+	return b.String()
+}
+
+// CertainAnswers chases the database and evaluates the CQ over the result,
+// returning the certain answers (Proposition 2.1). If the chase truncated,
+// the answers are a sound under-approximation and Truncated is reported.
+// Programs with negation are chased stratum by stratum (RunStratified).
+func CertainAnswers(prog *logic.Program, db *storage.DB, q *logic.CQ, opt Options) ([][]term.Term, *Result, error) {
+	run := Run
+	if prog.HasNegation() {
+		run = RunStratified
+	}
+	res, err := run(prog, db, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.DB.EvalCQ(q), res, nil
+}

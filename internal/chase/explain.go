@@ -1,0 +1,98 @@
+package chase
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/atom"
+	"repro/internal/logic"
+)
+
+// Explanation is a derivation tree for one fact: the fact, the TGD that
+// produced it (-1 for database facts), and the explanations of the trigger
+// facts it was derived from. It is a finite fragment of the chase graph
+// GD,Σ of §4.2 read backwards from the fact.
+type Explanation struct {
+	Fact atom.Atom
+	// TGD is the index of the producing TGD in the program, or -1 when the
+	// fact is part of the input database.
+	TGD int
+	// Premises explains each atom of the trigger h(body(σ)).
+	Premises []*Explanation
+}
+
+// Explain builds the derivation tree of a fact from the provenance of a
+// chase run (Options.Provenance must have been set). Shared premises are
+// expanded once per occurrence; the tree is finite because chase-graph
+// edges always point from earlier to later rows.
+func (r *Result) Explain(f atom.Atom) (*Explanation, error) {
+	if r.Prov == nil {
+		return nil, fmt.Errorf("chase: run without Options.Provenance; cannot explain")
+	}
+	idx, ok := r.DB.IndexOf(f)
+	if !ok {
+		return nil, fmt.Errorf("chase: fact not in the chase result")
+	}
+	return r.explainRow(idx)
+}
+
+func (r *Result) explainRow(idx int) (*Explanation, error) {
+	f := r.DB.All()[idx]
+	if idx < r.BaseFacts {
+		return &Explanation{Fact: f, TGD: -1}, nil
+	}
+	d, ok := r.Prov[idx]
+	if !ok {
+		// Derived rows always carry provenance when recording is on.
+		return nil, fmt.Errorf("chase: missing provenance for row %d", idx)
+	}
+	out := &Explanation{Fact: f, TGD: d.TGD}
+	for _, p := range d.Trigger {
+		pi, ok := r.DB.IndexOf(p)
+		if !ok {
+			return nil, fmt.Errorf("chase: trigger fact missing from instance")
+		}
+		sub, err := r.explainRow(pi)
+		if err != nil {
+			return nil, err
+		}
+		out.Premises = append(out.Premises, sub)
+	}
+	return out, nil
+}
+
+// Depth is the height of the derivation tree (0 for a database fact).
+func (e *Explanation) Depth() int {
+	d := 0
+	for _, p := range e.Premises {
+		if pd := p.Depth() + 1; pd > d {
+			d = pd
+		}
+	}
+	return d
+}
+
+// Format renders the tree with indentation, labeling each step with the
+// producing rule.
+func (e *Explanation) Format(prog *logic.Program) string {
+	var b strings.Builder
+	e.format(prog, &b, 0)
+	return b.String()
+}
+
+func (e *Explanation) format(prog *logic.Program, b *strings.Builder, depth int) {
+	b.WriteString(strings.Repeat("  ", depth))
+	b.WriteString(e.Fact.String(prog.Store, prog.Reg))
+	if e.TGD < 0 {
+		b.WriteString("   [database]\n")
+		return
+	}
+	label := fmt.Sprintf("rule %d", e.TGD)
+	if e.TGD < len(prog.TGDs) && prog.TGDs[e.TGD].Label != "" {
+		label = prog.TGDs[e.TGD].Label
+	}
+	fmt.Fprintf(b, "   [by %s]\n", label)
+	for _, p := range e.Premises {
+		p.format(prog, b, depth+1)
+	}
+}

@@ -1,0 +1,241 @@
+package chase
+
+import (
+	"fmt"
+
+	"repro/internal/atom"
+	"repro/internal/term"
+)
+
+// This file implements the chase-tree machinery of Section 4.2: the chase
+// graph G^{D,Σ} (available through Result.Prov), its unravelling around a
+// goal set Θ, and chase trees (Definition 4.10) — trees over subsets of
+// unravelled chase atoms where
+//
+//	(1) the root is the goal set Γ,
+//	(2) a single child is an unfolding of its parent (one derived atom —
+//	    or the group of head atoms sharing one trigger — is replaced by
+//	    the trigger image that produced it),
+//	(3) multiple children form a decomposition (null-disjoint split), and
+//	(4) leaves lie in the database D.
+//
+// Lemma 4.11 promises, for (piece-wise linear) warded programs, (linear)
+// chase trees of node-width bounded by f_WARD∩PWL / f_WARD; BuildChaseTree
+// constructs a tree greedily (unfold newest derivation first, decompose
+// eagerly) and reports the achieved node-width and linearity, which the
+// tests compare against the paper's bounds.
+
+// TreeNode is one node of a chase tree; Label is λ(v).
+type TreeNode struct {
+	Label    []atom.Atom
+	Children []*TreeNode
+}
+
+// ChaseTree is the result of BuildChaseTree.
+type ChaseTree struct {
+	Root *TreeNode
+	// NodeWidth is nwd(C) = max_v |λ(v)|.
+	NodeWidth int
+	// Linear reports that every node has at most one non-leaf child.
+	Linear bool
+	// Nodes is the total node count.
+	Nodes int
+}
+
+// BuildChaseTree constructs a chase tree for the goal atoms (which must
+// belong to the chased instance) from a provenance-enabled chase result.
+// maxNodes bounds the construction (0 = 100000).
+func (r *Result) BuildChaseTree(goal []atom.Atom, maxNodes int) (*ChaseTree, error) {
+	if r.Prov == nil {
+		return nil, fmt.Errorf("chase: BuildChaseTree needs Options.Provenance")
+	}
+	if maxNodes <= 0 {
+		maxNodes = 100000
+	}
+	for _, g := range goal {
+		if !r.DB.Contains(g) {
+			return nil, fmt.Errorf("chase: goal atom not in the chased instance")
+		}
+	}
+	b := &treeBuilder{res: r, maxNodes: maxNodes}
+	root, err := b.build(dedupAtoms(goal))
+	if err != nil {
+		return nil, err
+	}
+	ct := &ChaseTree{Root: root, Linear: true}
+	measure(root, ct)
+	return ct, nil
+}
+
+type treeBuilder struct {
+	res      *Result
+	maxNodes int
+	nodes    int
+}
+
+func (b *treeBuilder) build(gamma []atom.Atom) (*TreeNode, error) {
+	b.nodes++
+	if b.nodes > b.maxNodes {
+		return nil, fmt.Errorf("chase: chase-tree node budget %d exhausted", b.maxNodes)
+	}
+	node := &TreeNode{Label: gamma}
+	// Leaf: every atom lies in D.
+	if b.allBase(gamma) {
+		return node, nil
+	}
+	// Decomposition: split into null-disjoint components (Definition of
+	// decomposition in §4.2: parts must not share labeled nulls).
+	comps := nullComponents(gamma)
+	if len(comps) > 1 {
+		for _, comp := range comps {
+			child, err := b.build(comp)
+			if err != nil {
+				return nil, err
+			}
+			node.Children = append(node.Children, child)
+		}
+		return node, nil
+	}
+	// Unfolding: replace the newest derived atom group (all goal atoms
+	// produced by the same trigger, so head atoms sharing a fresh null
+	// leave together) by the trigger image.
+	best := -1
+	bestRow := -1
+	for i, a := range gamma {
+		row, ok := b.res.DB.IndexOf(a)
+		if !ok {
+			return nil, fmt.Errorf("chase: atom missing from instance")
+		}
+		if row >= b.res.BaseFacts && row > bestRow {
+			best, bestRow = i, row
+		}
+	}
+	if best < 0 {
+		return nil, fmt.Errorf("chase: connected non-leaf component with no derived atom")
+	}
+	d := b.res.Prov[bestRow]
+	group := b.sameTrigger(gamma, d)
+	next := make([]atom.Atom, 0, len(gamma)+len(d.Trigger))
+	for i, a := range gamma {
+		if !group[i] {
+			next = append(next, a)
+		}
+	}
+	next = append(next, d.Trigger...)
+	child, err := b.build(dedupAtoms(next))
+	if err != nil {
+		return nil, err
+	}
+	node.Children = append(node.Children, child)
+	return node, nil
+}
+
+// sameTrigger marks the indices of gamma whose derivation is the same
+// (TGD, trigger) application as d.
+func (b *treeBuilder) sameTrigger(gamma []atom.Atom, d Derivation) map[int]bool {
+	key := triggerKey(d.TGD, d.Trigger)
+	out := make(map[int]bool)
+	for i, a := range gamma {
+		row, ok := b.res.DB.IndexOf(a)
+		if !ok || row < b.res.BaseFacts {
+			continue
+		}
+		di := b.res.Prov[row]
+		if triggerKey(di.TGD, di.Trigger) == key {
+			out[i] = true
+		}
+	}
+	return out
+}
+
+func (b *treeBuilder) allBase(gamma []atom.Atom) bool {
+	for _, a := range gamma {
+		row, ok := b.res.DB.IndexOf(a)
+		if !ok || row >= b.res.BaseFacts {
+			return false
+		}
+	}
+	return true
+}
+
+// nullComponents splits atoms into connected components w.r.t. shared
+// labeled nulls; atoms without nulls are singletons.
+func nullComponents(atoms []atom.Atom) [][]atom.Atom {
+	n := len(atoms)
+	if n <= 1 {
+		return [][]atom.Atom{atoms}
+	}
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	byNull := make(map[term.Term]int)
+	for i, a := range atoms {
+		for _, t := range a.Args {
+			if t.IsNull() {
+				if j, ok := byNull[t]; ok {
+					parent[find(i)] = find(j)
+				} else {
+					byNull[t] = i
+				}
+			}
+		}
+	}
+	groups := make(map[int][]atom.Atom)
+	var order []int
+	for i, a := range atoms {
+		r := find(i)
+		if _, ok := groups[r]; !ok {
+			order = append(order, r)
+		}
+		groups[r] = append(groups[r], a)
+	}
+	out := make([][]atom.Atom, 0, len(order))
+	for _, r := range order {
+		out = append(out, groups[r])
+	}
+	return out
+}
+
+func dedupAtoms(atoms []atom.Atom) []atom.Atom {
+	var out []atom.Atom
+	for _, a := range atoms {
+		dup := false
+		for _, b := range out {
+			if a.Equal(b) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// measure computes node-width, node count and linearity.
+func measure(n *TreeNode, ct *ChaseTree) {
+	ct.Nodes++
+	if len(n.Label) > ct.NodeWidth {
+		ct.NodeWidth = len(n.Label)
+	}
+	nonLeaf := 0
+	for _, c := range n.Children {
+		if len(c.Children) > 0 {
+			nonLeaf++
+		}
+		measure(c, ct)
+	}
+	if nonLeaf > 1 {
+		ct.Linear = false
+	}
+}

@@ -1,0 +1,227 @@
+package chase
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/atom"
+	"repro/internal/parser"
+	"repro/internal/prooftree"
+	"repro/internal/storage"
+	"repro/internal/term"
+)
+
+func chaseWithProv(t *testing.T, src string) (*parser.Result, *Result) {
+	t.Helper()
+	r, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := storage.NewDB()
+	db.InsertAll(r.Facts)
+	opt := Default()
+	opt.Provenance = true
+	res, err := Run(r.Program, db, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, res
+}
+
+func TestChaseTreeLeafForBaseFact(t *testing.T) {
+	r, res := chaseWithProv(t, `
+t(X,Y) :- e(X,Y).
+e(a,b).
+`)
+	ct, err := res.BuildChaseTree([]atom.Atom{r.Facts[0]}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct.Nodes != 1 || ct.NodeWidth != 1 || !ct.Linear {
+		t.Fatalf("base-fact tree wrong: %+v", ct)
+	}
+	if len(ct.Root.Children) != 0 {
+		t.Fatalf("leaf has children")
+	}
+}
+
+func TestChaseTreeLinearTC(t *testing.T) {
+	r, res := chaseWithProv(t, `
+t(X,Y) :- e(X,Y).
+t(X,Z) :- e(X,Y), t(Y,Z).
+e(a,b). e(b,c). e(c,d).
+`)
+	// Goal: the derived fact t(a,d).
+	tt, _ := r.Program.Reg.Lookup("t")
+	goal := atom.New(tt, r.Program.Store.Const("a"), r.Program.Store.Const("d"))
+	if !res.DB.Contains(goal) {
+		t.Fatalf("t(a,d) not derived")
+	}
+	ct, err := res.BuildChaseTree([]atom.Atom{goal}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ct.Linear {
+		t.Fatalf("PWL chase tree should be linear")
+	}
+	// Lemma 4.11(1): nwd ≤ f_WARD∩PWL(Γ, Σ) = (|Γ|+1)·maxLevel·maxBody.
+	an := analysis.Analyze(r.Program)
+	bound := (1 + 1) * an.MaxLevel() * r.Program.MaxBodySize()
+	if ct.NodeWidth > bound {
+		t.Fatalf("node width %d exceeds f_WARD∩PWL bound %d", ct.NodeWidth, bound)
+	}
+	// The deepest unfolding chain reaches the database.
+	if ct.Nodes < 4 {
+		t.Fatalf("tree suspiciously small: %+v", ct)
+	}
+}
+
+func TestChaseTreeExistentialSharedNull(t *testing.T) {
+	// Multi-head TGD invents one null shared by two atoms; the unfolding
+	// must replace the whole group at once.
+	r, res := chaseWithProv(t, `
+r(X,W), s(W) :- p(X).
+p(a).
+`)
+	rr, _ := r.Program.Reg.Lookup("r")
+	ss, _ := r.Program.Reg.Lookup("s")
+	var rAtom, sAtom atom.Atom
+	for _, f := range res.DB.Facts(rr) {
+		rAtom = f
+	}
+	for _, f := range res.DB.Facts(ss) {
+		sAtom = f
+	}
+	ct, err := res.BuildChaseTree([]atom.Atom{rAtom, sAtom}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Root {r(a,n), s(n)} shares a null: no decomposition; one unfolding
+	// replaces BOTH atoms with the trigger {p(a)}, which is a leaf.
+	if !ct.Linear {
+		t.Fatalf("expected a linear tree")
+	}
+	if ct.NodeWidth != 2 {
+		t.Fatalf("node width = %d, want 2", ct.NodeWidth)
+	}
+	if len(ct.Root.Children) != 1 {
+		t.Fatalf("expected one unfolding child")
+	}
+	child := ct.Root.Children[0]
+	if len(child.Label) != 1 {
+		t.Fatalf("group unfolding failed: child label %v", child.Label)
+	}
+}
+
+func TestChaseTreeDecomposition(t *testing.T) {
+	// Two independent derived facts with disjoint nulls decompose.
+	r, res := chaseWithProv(t, `
+r(X,W) :- p(X).
+p(a). p(b).
+`)
+	rr, _ := r.Program.Reg.Lookup("r")
+	facts := res.DB.Facts(rr)
+	if len(facts) != 2 {
+		t.Fatalf("expected 2 r-facts, got %d", len(facts))
+	}
+	ct, err := res.BuildChaseTree(facts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ct.Root.Children) != 2 {
+		t.Fatalf("expected a 2-way decomposition, got %d children", len(ct.Root.Children))
+	}
+}
+
+func TestChaseTreeNeedsProvenance(t *testing.T) {
+	r, err := parser.Parse(`
+t(X,Y) :- e(X,Y).
+e(a,b).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := storage.NewDB()
+	db.InsertAll(r.Facts)
+	res, err := Run(r.Program, db, Default()) // no provenance
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.BuildChaseTree(res.DB.All()[:1], 0); err == nil {
+		t.Fatalf("expected provenance error")
+	}
+}
+
+func TestChaseTreeGoalNotInInstance(t *testing.T) {
+	r, res := chaseWithProv(t, `
+t(X,Y) :- e(X,Y).
+e(a,b).
+`)
+	tt, _ := r.Program.Reg.Lookup("t")
+	bogus := atom.New(tt, r.Program.Store.Const("zz"), r.Program.Store.Const("zz"))
+	if _, err := res.BuildChaseTree([]atom.Atom{bogus}, 0); err == nil {
+		t.Fatalf("expected error for missing goal atom")
+	}
+}
+
+func TestChaseTreeNodeBudget(t *testing.T) {
+	r, res := chaseWithProv(t, `
+t(X,Y) :- e(X,Y).
+t(X,Z) :- e(X,Y), t(Y,Z).
+e(a,b). e(b,c). e(c,d). e(d,e1).
+`)
+	tt, _ := r.Program.Reg.Lookup("t")
+	goal := atom.New(tt, r.Program.Store.Const("a"), r.Program.Store.Const("e1"))
+	if _, err := res.BuildChaseTree([]atom.Atom{goal}, 2); err == nil {
+		t.Fatalf("expected node-budget error")
+	}
+}
+
+// TestChaseTreeMatchesProofSearch ties Lemma 4.11 to Lemma 4.12
+// empirically: whenever the proof-tree engine certifies an answer, a
+// (linear, width-bounded) chase tree for its chase image exists.
+func TestChaseTreeMatchesProofSearch(t *testing.T) {
+	src := `
+subclassS(X,Y) :- subclass(X,Y).
+subclassS(X,Z) :- subclassS(X,Y), subclass(Y,Z).
+type(X,Z) :- type(X,Y), subclassS(Y,Z).
+subclass(person, agent).
+subclass(agent, entity).
+type(alice, person).
+?(X) :- type(alice, X).
+`
+	r, res := chaseWithProv(t, src)
+	// Proof search certifies type(alice, entity).
+	qres, err := parser.ParseInto(r.Program, `?(X) :- type(alice, X).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := storage.NewDB()
+	db.InsertAll(r.Facts)
+	entity := r.Program.Store.Const("entity")
+	ok, _, err := prooftree.Decide(r.Program, db, qres.Queries[0],
+		[]term.Term{entity}, prooftree.Options{Mode: prooftree.Linear})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("proof search must certify type(alice,entity)")
+	}
+	typ, _ := r.Program.Reg.Lookup("type")
+	goal := atom.New(typ, r.Program.Store.Const("alice"), entity)
+	if !res.DB.Contains(goal) {
+		t.Fatalf("chase missed type(alice,entity)")
+	}
+	ct, err := res.BuildChaseTree([]atom.Atom{goal}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ct.Linear {
+		t.Fatalf("PWL program: chase tree must be linear")
+	}
+	an := analysis.Analyze(r.Program)
+	bound := 2 * an.MaxLevel() * r.Program.MaxBodySize()
+	if ct.NodeWidth > bound {
+		t.Fatalf("nwd %d > bound %d", ct.NodeWidth, bound)
+	}
+}

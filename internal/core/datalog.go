@@ -1,0 +1,15 @@
+package core
+
+import (
+	"repro/internal/datalog"
+	"repro/internal/rewrite"
+	"repro/internal/storage"
+	"repro/internal/term"
+)
+
+// datalogAnswers evaluates a translated query with the stratified,
+// recursive-atom-biased Datalog engine (§7(2)-(3) defaults).
+func datalogAnswers(tr *rewrite.Result, db *storage.DB) ([][]term.Term, *datalog.Stats, error) {
+	return datalog.Answers(tr.Program, db, tr.Query,
+		datalog.Options{Stratify: true, BiasRecursiveAtom: true})
+}

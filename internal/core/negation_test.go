@@ -1,0 +1,95 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/term"
+)
+
+// TestNegationEndToEnd drives a mild stratified-negation program through
+// the public facade: Auto must route to the stratified chase and produce
+// the perfect model's answers.
+func TestNegationEndToEnd(t *testing.T) {
+	r, db, qs, err := FromSource(`
+% Knowledge-graph flavored: companies, ownership, and the complement
+% "independent" relation (no controlling shareholder).
+controls(X,Y) :- owns(X,Y).
+controls(X,Z) :- owns(X,Y), controls(Y,Z).
+controlled(Y) :- controls(X,Y).
+independent(X) :- company(X), not controlled(X).
+
+company(acme). company(beta). company(gamma).
+owns(acme,beta). owns(beta,gamma).
+
+?(X) :- independent(X).
+`)
+	if err != nil {
+		t.Fatalf("FromSource: %v", err)
+	}
+	if !r.Class().HasNegation || !r.Class().StratifiedNegation || !r.Class().MildNegation {
+		t.Fatalf("class = %+v", r.Class())
+	}
+	ans, info, err := r.CertainAnswers(db, qs[0], Auto)
+	if err != nil {
+		t.Fatalf("answers: %v", err)
+	}
+	if info.Strategy != ChaseEngine {
+		t.Fatalf("Auto picked %v for a negation program, want chase", info.Strategy)
+	}
+	if info.Incomplete {
+		t.Fatalf("warded negation program reported incomplete")
+	}
+	if len(ans) != 1 || r.Program().Store.Name(ans[0][0]) != "acme" {
+		t.Fatalf("independent = %v, want {acme}", ans)
+	}
+}
+
+func TestNegationRejectsResolutionStrategies(t *testing.T) {
+	r, db, qs, err := FromSource(`
+p(X) :- a(X), not b(X).
+a(1).
+?(X) :- p(X).
+`)
+	if err != nil {
+		t.Fatalf("FromSource: %v", err)
+	}
+	for _, s := range []Strategy{ProofTreeLinear, ProofTreeAlternating, Translated} {
+		if _, _, err := r.CertainAnswers(db, qs[0], s); err == nil {
+			t.Fatalf("strategy %v accepted a negation program", s)
+		} else if !strings.Contains(err.Error(), "negation") {
+			t.Fatalf("strategy %v: error %q does not mention negation", s, err)
+		}
+	}
+}
+
+func TestNegationIsCertain(t *testing.T) {
+	r, db, qs, err := FromSource(`
+t(X,Y) :- e(X,Y).
+t(X,Z) :- e(X,Y), t(Y,Z).
+sink(X) :- node(X), not out(X).
+out(X) :- e(X,Y).
+node(a). node(b). node(c).
+e(a,b). e(b,c).
+?(X) :- sink(X).
+`)
+	if err != nil {
+		t.Fatalf("FromSource: %v", err)
+	}
+	c := r.Program().Store.Const("c")
+	a := r.Program().Store.Const("a")
+	ok, _, err := r.IsCertain(db, qs[0], []term.Term{c}, Auto)
+	if err != nil {
+		t.Fatalf("IsCertain(c): %v", err)
+	}
+	if !ok {
+		t.Fatalf("sink(c) should hold: c has no outgoing edge")
+	}
+	ok, _, err = r.IsCertain(db, qs[0], []term.Term{a}, Auto)
+	if err != nil {
+		t.Fatalf("IsCertain(a): %v", err)
+	}
+	if ok {
+		t.Fatalf("sink(a) should not hold: a has an outgoing edge")
+	}
+}

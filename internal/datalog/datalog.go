@@ -1,0 +1,303 @@
+// Package datalog implements bottom-up evaluation of Datalog programs
+// (full single-head TGDs, the class FULL1 of §6.1): naive and semi-naive
+// fixpoints, stratification by predicate level (the strata induced by
+// piece-wise linearity, §7(3)), and the join-ordering bias of §7(2) that
+// puts the unique mutually-recursive body atom first.
+//
+// The engine is both the substrate for the Theorem 6.3 translation targets
+// and the baseline for the optimization experiments E8/E9.
+package datalog
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/atom"
+	"repro/internal/logic"
+	"repro/internal/schema"
+	"repro/internal/storage"
+	"repro/internal/term"
+)
+
+// Options configures evaluation.
+type Options struct {
+	// Stratify evaluates the program stratum by stratum in predicate-level
+	// order, materializing each stratum before the next starts (§7(3)).
+	// Within a stratum, semi-naive deltas are restricted to the stratum's
+	// own recursive predicates — an optimization piece-wise linearity makes
+	// effective.
+	Stratify bool
+	// BiasRecursiveAtom places the mutually-recursive (delta) body atom
+	// first in every join (§7(2)). When false, the remaining atoms are
+	// joined in written order after the delta atom, without connectivity
+	// reordering.
+	BiasRecursiveAtom bool
+}
+
+// Stats reports evaluation effort.
+type Stats struct {
+	// Rounds is the total number of fixpoint rounds across strata.
+	Rounds int
+	// Derived is the number of new facts derived (beyond the input).
+	Derived int
+	// Probes counts index probe extensions during joins — the work metric
+	// for the join-ordering experiment E8.
+	Probes int
+	// PeakDelta is the largest number of facts derived in a single round —
+	// the transient-memory metric for the materialization experiment E9.
+	PeakDelta int
+	// Strata is the number of strata evaluated (1 when not stratified).
+	Strata int
+}
+
+type evaluator struct {
+	prog  *logic.Program
+	an    *analysis.Analysis
+	db    *storage.DB
+	opt   Options
+	stats Stats
+}
+
+// Eval computes the least fixpoint of the program over the database,
+// returning a new instance containing the input facts plus all derived
+// facts. The program must consist of full single-head TGDs.
+//
+// Programs with negated body atoms are evaluated under stratified semantics
+// (the perfect model): evaluation is forced into stratified mode and the
+// program must be stratified — a predicate negated inside its own recursive
+// component is rejected. Negation must be safe (Program.Validate).
+func Eval(prog *logic.Program, db *storage.DB, opt Options) (*storage.DB, *Stats, error) {
+	an := analysis.Analyze(prog)
+	if !an.IsFullSingleHead() {
+		return nil, nil, fmt.Errorf("datalog: program is not full single-head (Datalog)")
+	}
+	if prog.HasNegation() {
+		if err := prog.Validate(); err != nil {
+			return nil, nil, fmt.Errorf("datalog: %w", err)
+		}
+		if ok, vs := an.IsStratifiedNegation(); !ok {
+			return nil, nil, fmt.Errorf("datalog: %s", vs[0].Reason)
+		}
+		opt.Stratify = true
+	}
+	e := &evaluator{prog: prog, an: an, db: db.Clone(), opt: opt}
+	if opt.Stratify {
+		e.evalStratified()
+	} else {
+		e.fixpoint(ruleIndices(prog), nil)
+	}
+	stats := e.stats
+	return e.db, &stats, nil
+}
+
+func ruleIndices(p *logic.Program) []int {
+	out := make([]int, len(p.TGDs))
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// evalStratified groups rules by the level of their head predicate and runs
+// one fixpoint per level, lowest first. Facts of lower strata are fully
+// materialized when a stratum starts, so only the stratum's own predicates
+// can grow during its fixpoint.
+func (e *evaluator) evalStratified() {
+	byLevel := make(map[int][]int)
+	var levels []int
+	for i, t := range e.prog.TGDs {
+		l := e.an.Level(t.Head[0].Pred)
+		if _, ok := byLevel[l]; !ok {
+			levels = append(levels, l)
+		}
+		byLevel[l] = append(byLevel[l], i)
+	}
+	sort.Ints(levels)
+	for _, l := range levels {
+		rules := byLevel[l]
+		// Predicates that can grow during this stratum's fixpoint.
+		growing := make(map[schema.PredID]bool)
+		for _, ri := range rules {
+			growing[e.prog.TGDs[ri].Head[0].Pred] = true
+		}
+		e.fixpoint(rules, growing)
+		e.stats.Strata++
+	}
+}
+
+// fixpoint runs semi-naive evaluation of the given rules to saturation.
+// growing, when non-nil, restricts delta positions to body atoms whose
+// predicate is in the set (stratified mode); nil means any body atom can be
+// a delta position.
+func (e *evaluator) fixpoint(rules []int, growing map[schema.PredID]bool) {
+	mark := storage.Mark(0)
+	for round := 1; ; round++ {
+		e.stats.Rounds++
+		next := e.db.Mark()
+		before := e.db.Len()
+		for _, ri := range rules {
+			t := e.prog.TGDs[ri]
+			deltas := e.deltaPositions(t, growing, round)
+			for _, di := range deltas {
+				e.joinRule(t, di, mark)
+			}
+		}
+		added := e.db.Len() - before
+		e.stats.Derived += added
+		if added > e.stats.PeakDelta {
+			e.stats.PeakDelta = added
+		}
+		mark = next
+		if added == 0 {
+			return
+		}
+	}
+}
+
+// deltaPositions selects which body atoms act as the semi-naive delta for
+// this round. Round 1 uses a single unrestricted position (-1 handled by
+// mark 0). In stratified mode only atoms over growing predicates qualify;
+// rules without such atoms fire in round 1 only.
+func (e *evaluator) deltaPositions(t *logic.TGD, growing map[schema.PredID]bool, round int) []int {
+	if round == 1 {
+		return []int{0} // mark 0: everything is delta; one scan suffices
+	}
+	var out []int
+	for i, b := range t.Body {
+		if growing == nil || growing[b.Pred] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// joinRule enumerates homomorphisms of the rule body with body atom di
+// restricted to the delta (facts at/after mark), inserting head images.
+// Negated atoms are checked once the positive body is fully matched; they
+// are ground then (safe negation) and range over strictly lower strata, so
+// the check is stable for the whole stratum fixpoint.
+func (e *evaluator) joinRule(t *logic.TGD, di int, mark storage.Mark) {
+	order := e.joinOrder(t, di)
+	head := t.Head[0]
+	var rec func(k int, s atom.Subst)
+	rec = func(k int, s atom.Subst) {
+		if k == len(order) {
+			for _, na := range t.NegBody {
+				if e.db.Contains(s.ApplyAtom(na)) {
+					return
+				}
+			}
+			e.db.Insert(s.ApplyAtom(head))
+			return
+		}
+		pa := t.Body[order[k]]
+		if order[k] == di {
+			e.db.MatchEachSince(pa, s, mark, func(s2 atom.Subst) bool {
+				e.stats.Probes++
+				rec(k+1, s2)
+				return true
+			})
+		} else {
+			e.db.MatchEach(pa, s, func(s2 atom.Subst) bool {
+				e.stats.Probes++
+				rec(k+1, s2)
+				return true
+			})
+		}
+	}
+	rec(0, atom.NewSubst())
+}
+
+// joinOrder places the delta atom first when BiasRecursiveAtom is set
+// (§7(2): "the optimizer is biased towards selecting this special atom as
+// the first operand of the join"); otherwise the body is joined in written
+// order, with the delta restriction applied in place.
+func (e *evaluator) joinOrder(t *logic.TGD, di int) []int {
+	n := len(t.Body)
+	out := make([]int, 0, n)
+	if e.opt.BiasRecursiveAtom {
+		out = append(out, di)
+		for i := 0; i < n; i++ {
+			if i != di {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// Naive computes the fixpoint by re-evaluating every rule against the full
+// instance each round — the reference implementation used to property-test
+// the semi-naive engine. Programs with negation are evaluated stratum by
+// stratum (perfect-model semantics), naively within each stratum.
+func Naive(prog *logic.Program, db *storage.DB) (*storage.DB, error) {
+	an := analysis.Analyze(prog)
+	if !an.IsFullSingleHead() {
+		return nil, fmt.Errorf("datalog: program is not full single-head (Datalog)")
+	}
+	groups := [][]int{ruleIndices(prog)}
+	if prog.HasNegation() {
+		if err := prog.Validate(); err != nil {
+			return nil, fmt.Errorf("datalog: %w", err)
+		}
+		strata, err := an.NegationStrata()
+		if err != nil {
+			return nil, fmt.Errorf("datalog: %w", err)
+		}
+		byLevel := make(map[int][]int)
+		var levels []int
+		for i, l := range strata {
+			if _, ok := byLevel[l]; !ok {
+				levels = append(levels, l)
+			}
+			byLevel[l] = append(byLevel[l], i)
+		}
+		sort.Ints(levels)
+		groups = groups[:0]
+		for _, l := range levels {
+			groups = append(groups, byLevel[l])
+		}
+	}
+	work := db.Clone()
+	for _, rules := range groups {
+		for {
+			before := work.Len()
+			for _, ri := range rules {
+				t := prog.TGDs[ri]
+				var all []atom.Subst
+				work.HomomorphismsEach(t.Body, nil, -1, 0, func(s atom.Subst) bool {
+					all = append(all, s.Clone())
+					return true
+				})
+			matches:
+				for _, s := range all {
+					for _, na := range t.NegBody {
+						if work.Contains(s.ApplyAtom(na)) {
+							continue matches
+						}
+					}
+					work.Insert(s.ApplyAtom(t.Head[0]))
+				}
+			}
+			if work.Len() == before {
+				break
+			}
+		}
+	}
+	return work, nil
+}
+
+// Answers evaluates the program and then the query, returning the answer
+// tuples (the evaluation Q(D) of the Datalog query (Σ,q), §6).
+func Answers(prog *logic.Program, db *storage.DB, q *logic.CQ, opt Options) ([][]term.Term, *Stats, error) {
+	out, stats, err := Eval(prog, db, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out.EvalCQ(q), stats, nil
+}

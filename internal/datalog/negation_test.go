@@ -1,0 +1,174 @@
+package datalog
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/term"
+)
+
+// TestNegationUnreachablePairs checks the classic complement-of-TC program:
+// unreach(x,y) holds for node pairs with no directed path from x to y.
+func TestNegationUnreachablePairs(t *testing.T) {
+	r, db := load(t, `
+t(X,Y) :- e(X,Y).
+t(X,Z) :- e(X,Y), t(Y,Z).
+unreach(X,Y) :- node(X), node(Y), not t(X,Y).
+node(a). node(b). node(c). node(d).
+e(a,b). e(b,c).
+?(X,Y) :- unreach(X,Y).
+`)
+	ans, _, err := Answers(r.Program, db, r.Queries[0], Options{})
+	if err != nil {
+		t.Fatalf("eval: %v", err)
+	}
+	// Reachable pairs: (a,b),(a,c),(b,c). All 16 ordered pairs minus 3.
+	if len(ans) != 13 {
+		t.Fatalf("unreachable pairs = %d, want 13", len(ans))
+	}
+	name := func(x term.Term) string { return r.Program.Store.Name(x) }
+	for _, a := range ans {
+		p := name(a[0]) + name(a[1])
+		if p == "ab" || p == "ac" || p == "bc" {
+			t.Fatalf("reachable pair %s reported unreachable", p)
+		}
+	}
+}
+
+// TestNegationSetDifference checks a one-stratum-over-EDB difference.
+func TestNegationSetDifference(t *testing.T) {
+	r, db := load(t, `
+onlyA(X) :- a(X), not b(X).
+a(1). a(2). a(3). b(2).
+?(X) :- onlyA(X).
+`)
+	ans, _, err := Answers(r.Program, db, r.Queries[0], Options{})
+	if err != nil {
+		t.Fatalf("eval: %v", err)
+	}
+	if len(ans) != 2 {
+		t.Fatalf("answers = %d, want 2", len(ans))
+	}
+}
+
+// TestNegationThreeStrata chains negation through three strata.
+func TestNegationThreeStrata(t *testing.T) {
+	r, db := load(t, `
+p(X) :- base(X), not skip(X).
+q(X) :- base(X), not p(X).
+skip(X) :- flagged(X).
+base(1). base(2). base(3). flagged(2).
+?(X) :- q(X).
+`)
+	ans, _, err := Answers(r.Program, db, r.Queries[0], Options{})
+	if err != nil {
+		t.Fatalf("eval: %v", err)
+	}
+	// p = {1,3}; q = base \ p = {2}.
+	if len(ans) != 1 || r.Program.Store.Name(ans[0][0]) != "2" {
+		t.Fatalf("q = %v, want exactly {2}", ans)
+	}
+}
+
+func TestNegationUnstratifiedRejected(t *testing.T) {
+	r, db := load(t, `win(X) :- move(X,Y), not win(Y). move(a,b).`)
+	if _, _, err := Eval(r.Program, db, Options{}); err == nil {
+		t.Fatalf("win-move accepted")
+	}
+	if _, err := Naive(r.Program, db); err == nil {
+		t.Fatalf("win-move accepted by Naive")
+	}
+}
+
+// TestNegationForcesStratification: even with Stratify unset the engine must
+// evaluate negation stratum-by-stratum and produce the perfect model.
+func TestNegationForcesStratification(t *testing.T) {
+	r, db := load(t, `
+t(X,Y) :- e(X,Y).
+t(X,Z) :- e(X,Y), t(Y,Z).
+dead(X) :- node(X), not t(X,X).
+e(a,b). e(b,a). e(c,c2). node(a). node(b). node(c).
+?(X) :- dead(X).
+`)
+	for _, opt := range []Options{{}, {Stratify: true}, {BiasRecursiveAtom: true}} {
+		ans, stats, err := Answers(r.Program, db, r.Queries[0], opt)
+		if err != nil {
+			t.Fatalf("opt %+v: %v", opt, err)
+		}
+		if len(ans) != 1 || r.Program.Store.Name(ans[0][0]) != "c" {
+			t.Fatalf("opt %+v: dead = %v, want {c}", opt, ans)
+		}
+		if stats.Strata < 2 {
+			t.Fatalf("opt %+v: strata = %d; negation must stratify", opt, stats.Strata)
+		}
+	}
+}
+
+// TestNegationSemiNaiveAgreesWithNaive cross-checks the optimized engine
+// against the reference on random stratified programs over random graphs.
+func TestNegationSemiNaiveAgreesWithNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		nodes := 3 + rng.Intn(5)
+		edges := rng.Intn(nodes * 2)
+		var b strings.Builder
+		b.WriteString(`
+t(X,Y) :- e(X,Y).
+t(X,Z) :- e(X,Y), t(Y,Z).
+sym(X,Y) :- t(X,Y), t(Y,X).
+asym(X,Y) :- t(X,Y), not t(Y,X).
+iso(X) :- node(X), not touched(X).
+touched(X) :- e(X,Y).
+touched(Y) :- e(X,Y).
+`)
+		for i := 0; i < nodes; i++ {
+			fmt.Fprintf(&b, "node(n%d).\n", i)
+		}
+		for i := 0; i < edges; i++ {
+			fmt.Fprintf(&b, "e(n%d,n%d).\n", rng.Intn(nodes), rng.Intn(nodes))
+		}
+		r, db := load(t, b.String())
+		want, err := Naive(r.Program, db)
+		if err != nil {
+			t.Fatalf("trial %d: naive: %v", trial, err)
+		}
+		got, _, err := Eval(r.Program, db, Options{BiasRecursiveAtom: true})
+		if err != nil {
+			t.Fatalf("trial %d: eval: %v", trial, err)
+		}
+		if want.Len() != got.Len() {
+			t.Fatalf("trial %d: naive %d facts, semi-naive %d", trial, want.Len(), got.Len())
+		}
+		for _, f := range want.All() {
+			if !got.Contains(f) {
+				t.Fatalf("trial %d: missing fact", trial)
+			}
+		}
+	}
+}
+
+// TestNegationNoFalsePositivesOnEmptyNegated: a negated predicate with no
+// facts behaves as always-true negation.
+func TestNegationNoFalsePositivesOnEmptyNegated(t *testing.T) {
+	r, db := load(t, `
+keep(X) :- a(X), not banned(X).
+a(1). a(2).
+?(X) :- keep(X).
+`)
+	ans, _, err := Answers(r.Program, db, r.Queries[0], Options{})
+	if err != nil {
+		t.Fatalf("eval: %v", err)
+	}
+	if len(ans) != 2 {
+		t.Fatalf("answers = %d, want 2", len(ans))
+	}
+	sort.Slice(ans, func(i, j int) bool {
+		return r.Program.Store.Name(ans[i][0]) < r.Program.Store.Name(ans[j][0])
+	})
+	if r.Program.Store.Name(ans[0][0]) != "1" || r.Program.Store.Name(ans[1][0]) != "2" {
+		t.Fatalf("answers = %v", ans)
+	}
+}

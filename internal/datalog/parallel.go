@@ -1,0 +1,175 @@
+package datalog
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/analysis"
+	"repro/internal/atom"
+	"repro/internal/logic"
+	"repro/internal/schema"
+	"repro/internal/storage"
+)
+
+// EvalParallel computes the same fixpoint as Eval using a worker pool
+// inside each semi-naive round — the multi-core direction of Section 7
+// (future work 1). Rounds are barriers: all workers read one immutable
+// snapshot of the instance (facts derived in a round become visible in the
+// next), so the engine is race-free without locking the fact store. The
+// schedule differs from the sequential engine only in that within-round
+// insertions are deferred, which can add rounds but never changes the
+// fixpoint.
+//
+// Programs with negation are handled exactly as in Eval: evaluation is
+// forced into stratified mode, and negated atoms — closed in strictly
+// lower strata — are checked against the snapshot.
+func EvalParallel(prog *logic.Program, db *storage.DB, opt Options, workers int) (*storage.DB, *Stats, error) {
+	if workers < 1 {
+		return nil, nil, fmt.Errorf("datalog: workers = %d, want >= 1", workers)
+	}
+	an := analysis.Analyze(prog)
+	if !an.IsFullSingleHead() {
+		return nil, nil, fmt.Errorf("datalog: program is not full single-head (Datalog)")
+	}
+	if prog.HasNegation() {
+		if err := prog.Validate(); err != nil {
+			return nil, nil, fmt.Errorf("datalog: %w", err)
+		}
+		if ok, vs := an.IsStratifiedNegation(); !ok {
+			return nil, nil, fmt.Errorf("datalog: %s", vs[0].Reason)
+		}
+		opt.Stratify = true
+	}
+	e := &parEvaluator{
+		evaluator: evaluator{prog: prog, an: an, db: db.Clone(), opt: opt},
+		workers:   workers,
+	}
+	if opt.Stratify {
+		byLevel := make(map[int][]int)
+		var levels []int
+		for i, t := range prog.TGDs {
+			l := an.Level(t.Head[0].Pred)
+			if _, ok := byLevel[l]; !ok {
+				levels = append(levels, l)
+			}
+			byLevel[l] = append(byLevel[l], i)
+		}
+		sort.Ints(levels)
+		for _, l := range levels {
+			rules := byLevel[l]
+			growing := make(map[schema.PredID]bool)
+			for _, ri := range rules {
+				growing[prog.TGDs[ri].Head[0].Pred] = true
+			}
+			e.fixpointParallel(rules, growing)
+			e.stats.Strata++
+		}
+	} else {
+		e.fixpointParallel(ruleIndices(prog), nil)
+	}
+	stats := e.stats
+	return e.db, &stats, nil
+}
+
+type parEvaluator struct {
+	evaluator
+	workers int
+}
+
+// job is one (rule, delta position, delta shard) unit of a round: the
+// rule's join with the delta scan restricted to one residue class of row
+// indexes. Sharding the delta rather than the rule list keeps all workers
+// busy even when a single recursive rule dominates the round.
+type job struct {
+	rule  int
+	delta int
+	shard int
+}
+
+// fixpointParallel runs rounds to saturation, fanning the round's jobs
+// over the worker pool. Workers only read the snapshot; the coordinator
+// merges their derived-fact buffers between rounds.
+func (e *parEvaluator) fixpointParallel(rules []int, growing map[schema.PredID]bool) {
+	mark := storage.Mark(0)
+	for round := 1; ; round++ {
+		e.stats.Rounds++
+		next := e.db.Mark()
+		var jobs []job
+		for _, ri := range rules {
+			t := e.prog.TGDs[ri]
+			for _, di := range e.deltaPositions(t, growing, round) {
+				for sh := 0; sh < e.workers; sh++ {
+					jobs = append(jobs, job{rule: ri, delta: di, shard: sh})
+				}
+			}
+		}
+		buffers := make([][]atom.Atom, e.workers)
+		probes := make([]int, e.workers)
+		var wg sync.WaitGroup
+		for w := 0; w < e.workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for ji := w; ji < len(jobs); ji += e.workers {
+					j := jobs[ji]
+					buffers[w] = e.runJob(j, mark, buffers[w], &probes[w])
+				}
+			}(w)
+		}
+		wg.Wait()
+		before := e.db.Len()
+		for w, buf := range buffers {
+			e.stats.Probes += probes[w]
+			for _, f := range buf {
+				e.db.Insert(f)
+			}
+		}
+		added := e.db.Len() - before
+		e.stats.Derived += added
+		if added > e.stats.PeakDelta {
+			e.stats.PeakDelta = added
+		}
+		mark = next
+		if added == 0 {
+			return
+		}
+	}
+}
+
+// runJob enumerates the rule's homomorphisms with the delta restriction and
+// appends head images to the worker's buffer. It mirrors joinRule but is
+// strictly read-only on the shared instance.
+func (e *parEvaluator) runJob(j job, mark storage.Mark, buf []atom.Atom, probes *int) []atom.Atom {
+	t := e.prog.TGDs[j.rule]
+	order := e.joinOrder(t, j.delta)
+	head := t.Head[0]
+	var rec func(k int, s atom.Subst)
+	rec = func(k int, s atom.Subst) {
+		if k == len(order) {
+			for _, na := range t.NegBody {
+				if e.db.Contains(s.ApplyAtom(na)) {
+					return
+				}
+			}
+			buf = append(buf, s.ApplyAtom(head))
+			return
+		}
+		pa := t.Body[order[k]]
+		if order[k] == j.delta {
+			e.db.MatchEachSinceSharded(pa, s, mark, j.shard, e.workers, func(s2 atom.Subst) bool {
+				*probes++
+				rec(k+1, s2)
+				return true
+			})
+		} else {
+			e.db.MatchEach(pa, s, func(s2 atom.Subst) bool {
+				*probes++
+				rec(k+1, s2)
+				return true
+			})
+		}
+	}
+	rec(0, atom.NewSubst())
+	return buf
+}

@@ -1,0 +1,123 @@
+package datalog
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestParallelMatchesSequentialTC(t *testing.T) {
+	var b strings.Builder
+	b.WriteString(tcLinear)
+	for i := 0; i < 30; i++ {
+		fmt.Fprintf(&b, "e(n%d,n%d).\n", i, (i+1)%30)
+	}
+	r, db := load(t, b.String())
+	want, _, err := Eval(r.Program, db, Options{})
+	if err != nil {
+		t.Fatalf("sequential: %v", err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		got, stats, err := EvalParallel(r.Program, db, Options{}, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got.Len() != want.Len() {
+			t.Fatalf("workers=%d: %d facts, want %d", workers, got.Len(), want.Len())
+		}
+		for _, f := range want.All() {
+			if !got.Contains(f) {
+				t.Fatalf("workers=%d: missing fact", workers)
+			}
+		}
+		if stats.Derived != 30*30 { // t over a 30-cycle: every ordered pair
+			t.Fatalf("workers=%d: derived = %d, want 900", workers, stats.Derived)
+		}
+	}
+}
+
+func TestParallelRejectsBadInput(t *testing.T) {
+	r, db := load(t, tcLinear)
+	if _, _, err := EvalParallel(r.Program, db, Options{}, 0); err == nil {
+		t.Fatalf("workers=0 accepted")
+	}
+	r2, db2 := load(t, `r(X,Z) :- p(X).`)
+	if _, _, err := EvalParallel(r2.Program, db2, Options{}, 2); err == nil {
+		t.Fatalf("existential program accepted")
+	}
+	r3, db3 := load(t, `win(X) :- move(X,Y), not win(Y).`)
+	if _, _, err := EvalParallel(r3.Program, db3, Options{}, 2); err == nil {
+		t.Fatalf("unstratified negation accepted")
+	}
+}
+
+// TestParallelRandomPrograms cross-checks parallel against sequential on
+// random multi-rule programs with joins, strata, and negation.
+func TestParallelRandomPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 25; trial++ {
+		nodes := 4 + rng.Intn(6)
+		edges := 2 + rng.Intn(2*nodes)
+		var b strings.Builder
+		b.WriteString(`
+t(X,Y) :- e(X,Y).
+t(X,Z) :- e(X,Y), t(Y,Z).
+both(X,Y) :- t(X,Y), t(Y,X).
+tri(X,Z) :- e(X,Y), e(Y,Z).
+src(X) :- e(X,Y).
+snk(Y) :- e(X,Y).
+inner(X) :- src(X), snk(X).
+pureSrc(X) :- src(X), not snk(X).
+`)
+		for i := 0; i < edges; i++ {
+			fmt.Fprintf(&b, "e(n%d,n%d).\n", rng.Intn(nodes), rng.Intn(nodes))
+		}
+		r, db := load(t, b.String())
+		want, _, err := Eval(r.Program, db, Options{BiasRecursiveAtom: true})
+		if err != nil {
+			t.Fatalf("trial %d: sequential: %v", trial, err)
+		}
+		workers := 1 + rng.Intn(7)
+		got, _, err := EvalParallel(r.Program, db, Options{BiasRecursiveAtom: true}, workers)
+		if err != nil {
+			t.Fatalf("trial %d: parallel: %v", trial, err)
+		}
+		if got.Len() != want.Len() {
+			t.Fatalf("trial %d (workers=%d): %d facts, want %d", trial, workers, got.Len(), want.Len())
+		}
+		for _, f := range want.All() {
+			if !got.Contains(f) {
+				t.Fatalf("trial %d: missing fact", trial)
+			}
+		}
+	}
+}
+
+// TestParallelStratifiedNegation: the three-strata scenario must agree
+// with Naive under all worker counts.
+func TestParallelStratifiedNegation(t *testing.T) {
+	src := `
+p(X) :- base(X), not skip(X).
+q(X) :- base(X), not p(X).
+skip(X) :- flagged(X).
+base(1). base(2). base(3). base(4). flagged(2). flagged(4).
+`
+	r, db := load(t, src)
+	want, err := Naive(r.Program, db)
+	if err != nil {
+		t.Fatalf("naive: %v", err)
+	}
+	for workers := 1; workers <= 6; workers++ {
+		got, stats, err := EvalParallel(r.Program, db, Options{}, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got.Len() != want.Len() {
+			t.Fatalf("workers=%d: %d facts, want %d", workers, got.Len(), want.Len())
+		}
+		if stats.Strata < 2 {
+			t.Fatalf("workers=%d: strata = %d", workers, stats.Strata)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package dynreach
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// reference computes reachability pairs by BFS from every node.
+func reference(n int, edges [][2]int) map[[2]int]bool {
+	adj := make([][]int, n)
+	for _, e := range edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+	}
+	out := make(map[[2]int]bool)
+	for s := 0; s < n; s++ {
+		seen := make([]bool, n)
+		stack := append([]int(nil), adj[s]...)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			out[[2]int{s, v}] = true
+			stack = append(stack, adj[v]...)
+		}
+	}
+	return out
+}
+
+func TestInsertChain(t *testing.T) {
+	tc := New(5)
+	for i := 0; i < 4; i++ {
+		if ok, err := tc.Insert(i, i+1); err != nil || !ok {
+			t.Fatalf("insert %d: %v %v", i, ok, err)
+		}
+	}
+	if !tc.Reach(0, 4) || tc.Reach(4, 0) {
+		t.Fatalf("chain reachability wrong")
+	}
+	if tc.Pairs() != 10 {
+		t.Fatalf("pairs = %d, want 10", tc.Pairs())
+	}
+	// Closing the cycle makes everything reach everything (incl. self).
+	if ok, _ := tc.Insert(4, 0); !ok {
+		t.Fatalf("cycle insert failed")
+	}
+	if tc.Pairs() != 25 {
+		t.Fatalf("cycle pairs = %d, want 25", tc.Pairs())
+	}
+	if !tc.Reach(2, 2) {
+		t.Fatalf("cycle member must reach itself")
+	}
+}
+
+func TestInsertDuplicateAndSelfLoop(t *testing.T) {
+	tc := New(3)
+	if ok, _ := tc.Insert(0, 1); !ok {
+		t.Fatal("first insert")
+	}
+	if ok, _ := tc.Insert(0, 1); ok {
+		t.Fatal("duplicate insert reported new")
+	}
+	if ok, _ := tc.Insert(1, 1); ok {
+		t.Fatal("self-loop should be ignored")
+	}
+	if _, err := tc.Insert(0, 9); err == nil {
+		t.Fatal("out of range accepted")
+	}
+}
+
+func TestIncrementalMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + rng.Intn(8)
+		g := workload.RandomDigraph(n, n*2, rng.Int63())
+		tc := New(n)
+		for _, e := range g.Edges {
+			if _, err := tc.Insert(e[0], e[1]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want := reference(n, g.Edges)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if tc.Reach(u, v) != want[[2]int{u, v}] {
+					t.Fatalf("trial %d: reach(%d,%d) = %v, want %v",
+						trial, u, v, tc.Reach(u, v), want[[2]int{u, v}])
+				}
+			}
+		}
+		if tc.Updates != tc.EdgeCount() {
+			t.Fatalf("updates %d != edges %d", tc.Updates, tc.EdgeCount())
+		}
+	}
+}
+
+func TestDeleteRecomputes(t *testing.T) {
+	tc := New(4)
+	edges := [][2]int{{0, 1}, {1, 2}, {2, 3}}
+	for _, e := range edges {
+		tc.Insert(e[0], e[1])
+	}
+	if ok, err := tc.Delete(1, 2); err != nil || !ok {
+		t.Fatalf("delete: %v %v", ok, err)
+	}
+	if tc.Reach(0, 3) || tc.Reach(0, 2) {
+		t.Fatalf("deletion did not cut paths")
+	}
+	if !tc.Reach(0, 1) || !tc.Reach(2, 3) {
+		t.Fatalf("deletion cut too much")
+	}
+	if tc.Recomputes != 1 {
+		t.Fatalf("recompute count = %d", tc.Recomputes)
+	}
+	if ok, _ := tc.Delete(1, 2); ok {
+		t.Fatalf("deleting a missing edge reported success")
+	}
+}
+
+func TestMixedWorkloadMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 8
+	tc := New(n)
+	var edges [][2]int
+	for step := 0; step < 120; step++ {
+		if len(edges) > 0 && rng.Intn(4) == 0 {
+			i := rng.Intn(len(edges))
+			e := edges[i]
+			edges = append(edges[:i], edges[i+1:]...)
+			tc.Delete(e[0], e[1])
+		} else {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			dup := false
+			for _, e := range edges {
+				if e == [2]int{u, v} {
+					dup = true
+				}
+			}
+			if dup {
+				continue
+			}
+			edges = append(edges, [2]int{u, v})
+			tc.Insert(u, v)
+		}
+		want := reference(n, edges)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if tc.Reach(u, v) != want[[2]int{u, v}] {
+					t.Fatalf("step %d: reach(%d,%d) mismatch", step, u, v)
+				}
+			}
+		}
+	}
+}
+
+func TestZeroAndNegativeSize(t *testing.T) {
+	tc := New(0)
+	if tc.Reach(0, 0) {
+		t.Fatal("empty graph reach")
+	}
+	tc2 := New(-5)
+	if tc2.N() != 0 {
+		t.Fatal("negative size not clamped")
+	}
+}

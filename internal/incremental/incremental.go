@@ -1,0 +1,276 @@
+// Package incremental maintains the materialization of a Datalog program
+// under base-fact insertions and deletions — the Section 7 (future work 3)
+// direction taken past plain reachability: dynreach maintains directed
+// reachability with the Dyn-FO update formula, while this package
+// maintains arbitrary (piece-wise linear) Datalog materializations with
+// the classical delete-and-rederive (DRed) algorithm:
+//
+//   - Insert: semi-naive delta evaluation seeded with the new facts —
+//     only consequences of the insertion are recomputed.
+//   - Delete: (1) overestimate — transitively delete every derived fact
+//     with a derivation through a deleted fact; (2) rederive — put back
+//     overdeleted facts that still have a derivation from the surviving
+//     instance.
+//
+// The engine supports full single-head TGDs without negation (negation
+// under updates requires maintaining strata fronts; callers can rebuild
+// per stratum instead). Updates apply to base (extensional) facts;
+// intensional facts are always maintained, never edited directly.
+package incremental
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/atom"
+	"repro/internal/datalog"
+	"repro/internal/logic"
+	"repro/internal/schema"
+	"repro/internal/storage"
+)
+
+// Engine holds a program and its maintained materialization.
+type Engine struct {
+	prog *logic.Program
+	an   *analysis.Analysis
+	// base holds the extensional facts currently asserted.
+	base *storage.DB
+	// db is the maintained materialization: base plus every derivable
+	// intensional fact.
+	db *storage.DB
+	// intensional marks maintained predicates.
+	intensional map[schema.PredID]bool
+
+	stats Stats
+}
+
+// Stats accumulates maintenance effort across updates.
+type Stats struct {
+	// Inserted / Deleted count base-fact changes applied.
+	Inserted, Deleted int
+	// DerivedNew counts facts added by insertion deltas.
+	DerivedNew int
+	// Overdeleted counts facts removed by the DRed overestimate.
+	Overdeleted int
+	// Rederived counts overdeleted facts the rederivation step restored.
+	Rederived int
+}
+
+// New materializes the program over the initial base facts.
+func New(prog *logic.Program, base *storage.DB) (*Engine, error) {
+	an := analysis.Analyze(prog)
+	if !an.IsFullSingleHead() {
+		return nil, fmt.Errorf("incremental: program is not full single-head (Datalog)")
+	}
+	if prog.HasNegation() {
+		return nil, fmt.Errorf("incremental: negation is not supported under updates; rebuild per stratum")
+	}
+	db, _, err := datalog.Eval(prog, base, datalog.Options{Stratify: true, BiasRecursiveAtom: true})
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		prog:        prog,
+		an:          an,
+		base:        base.Clone(),
+		db:          db,
+		intensional: make(map[schema.PredID]bool),
+	}
+	for p := range prog.HeadPreds() {
+		e.intensional[p] = true
+	}
+	return e, nil
+}
+
+// DB exposes the maintained materialization (read-only by convention).
+func (e *Engine) DB() *storage.DB { return e.db }
+
+// Stats returns the accumulated maintenance counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Insert asserts base facts and propagates their consequences with a
+// semi-naive delta fixpoint seeded at the insertion point.
+func (e *Engine) Insert(facts ...atom.Atom) error {
+	for _, f := range facts {
+		if !f.IsGround() {
+			return fmt.Errorf("incremental: inserting non-ground atom")
+		}
+		if e.intensional[f.Pred] {
+			return fmt.Errorf("incremental: %s is intensional; only base facts can be inserted", e.prog.Reg.Name(f.Pred))
+		}
+	}
+	mark := e.db.Mark()
+	added := 0
+	for _, f := range facts {
+		e.base.Insert(f)
+		if e.db.Insert(f) {
+			added++
+		}
+	}
+	e.stats.Inserted += added
+	if added == 0 {
+		return nil
+	}
+	e.stats.DerivedNew += e.deltaFixpoint(mark)
+	return nil
+}
+
+// deltaFixpoint runs semi-naive rounds starting from the facts inserted at
+// or after mark, returning the number of facts derived.
+func (e *Engine) deltaFixpoint(mark storage.Mark) int {
+	derived := 0
+	for {
+		next := e.db.Mark()
+		before := e.db.Len()
+		for _, t := range e.prog.TGDs {
+			for di := range t.Body {
+				head := t.Head[0]
+				e.db.HomomorphismsEach(t.Body, nil, di, mark, func(s atom.Subst) bool {
+					e.db.Insert(s.ApplyAtom(head))
+					return true
+				})
+			}
+		}
+		added := e.db.Len() - before
+		derived += added
+		mark = next
+		if added == 0 {
+			return derived
+		}
+	}
+}
+
+// Delete retracts base facts and maintains the materialization with DRed.
+func (e *Engine) Delete(facts ...atom.Atom) error {
+	for _, f := range facts {
+		if e.intensional[f.Pred] {
+			return fmt.Errorf("incremental: %s is intensional; only base facts can be deleted", e.prog.Reg.Name(f.Pred))
+		}
+	}
+	// Seed the overestimate with the actually present base facts.
+	deleted := make(map[string]atom.Atom)
+	var worklist []atom.Atom
+	for _, f := range facts {
+		if !e.base.Contains(f) {
+			continue
+		}
+		k := atom.SortKey(f)
+		if _, ok := deleted[k]; !ok {
+			deleted[k] = f
+			worklist = append(worklist, f)
+		}
+	}
+	if len(worklist) == 0 {
+		return nil
+	}
+	e.stats.Deleted += len(worklist)
+
+	// Phase 1 — overestimate: anything with a derivation through a deleted
+	// fact gets deleted too (computed to a fixpoint over the OLD instance,
+	// which is still intact; derivations through other deleted facts are
+	// fine, this phase may only over-approximate).
+	seedCount := len(worklist)
+	for len(worklist) > 0 {
+		g := worklist[len(worklist)-1]
+		worklist = worklist[:len(worklist)-1]
+		for _, t := range e.prog.TGDs {
+			head := t.Head[0]
+			for di, b := range t.Body {
+				if b.Pred != g.Pred {
+					continue
+				}
+				s := atom.NewSubst()
+				if !atom.MatchAtom(s, b, g) {
+					continue
+				}
+				rest := make([]atom.Atom, 0, len(t.Body)-1)
+				rest = append(rest, t.Body[:di]...)
+				rest = append(rest, t.Body[di+1:]...)
+				e.matchAll(rest, s, func(s2 atom.Subst) {
+					h := s2.ApplyAtom(head)
+					k := atom.SortKey(h)
+					if _, ok := deleted[k]; !ok && e.db.Contains(h) {
+						deleted[k] = h
+						worklist = append(worklist, h)
+					}
+				})
+			}
+		}
+	}
+	e.stats.Overdeleted += len(deleted) - seedCount
+
+	// Apply: rebuild the store without the deleted facts (the fact store is
+	// append-only by design; a batch rebuild keeps its invariants simple).
+	oldRows := e.db.All()
+	e.db = storage.NewDB()
+	for _, f := range oldRows {
+		if _, gone := deleted[atom.SortKey(f)]; !gone {
+			e.db.Insert(f)
+		}
+	}
+	newBase := storage.NewDB()
+	for _, f := range e.base.All() {
+		if _, gone := deleted[atom.SortKey(f)]; !gone {
+			newBase.Insert(f)
+		}
+	}
+	e.base = newBase
+
+	// Phase 2 — rederive: an overdeleted intensional fact returns if some
+	// rule still derives it from the surviving instance; each readmission
+	// can unlock others, so iterate to fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for k, f := range deleted {
+			if !e.intensional[f.Pred] {
+				continue // explicitly deleted base facts stay deleted
+			}
+			if e.rederivable(f) {
+				e.db.Insert(f)
+				delete(deleted, k)
+				e.stats.Rederived++
+				changed = true
+			}
+		}
+	}
+	return nil
+}
+
+// rederivable reports whether some rule instance derives f from the
+// current (post-deletion) instance.
+func (e *Engine) rederivable(f atom.Atom) bool {
+	for _, t := range e.prog.TGDs {
+		head := t.Head[0]
+		if head.Pred != f.Pred {
+			continue
+		}
+		s := atom.NewSubst()
+		if !atom.MatchAtom(s, head, f) {
+			continue
+		}
+		if _, ok := e.db.Homomorphism(t.Body, s); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// matchAll enumerates homomorphisms of the pattern extending s.
+func (e *Engine) matchAll(pattern []atom.Atom, s atom.Subst, fn func(atom.Subst)) {
+	if len(pattern) == 0 {
+		fn(s)
+		return
+	}
+	var rec func(i int, cur atom.Subst)
+	rec = func(i int, cur atom.Subst) {
+		if i == len(pattern) {
+			fn(cur)
+			return
+		}
+		e.db.MatchEach(pattern[i], cur, func(s2 atom.Subst) bool {
+			rec(i+1, s2)
+			return true
+		})
+	}
+	rec(0, s)
+}

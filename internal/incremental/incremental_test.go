@@ -1,0 +1,216 @@
+package incremental
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/atom"
+	"repro/internal/datalog"
+	"repro/internal/parser"
+	"repro/internal/storage"
+)
+
+func load(t *testing.T, src string) (*parser.Result, *storage.DB) {
+	t.Helper()
+	r, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	db := storage.NewDB()
+	db.InsertAll(r.Facts)
+	return r, db
+}
+
+const tcSrc = `
+t(X,Y) :- e(X,Y).
+t(X,Z) :- e(X,Y), t(Y,Z).
+`
+
+func edge(r *parser.Result, a, b string) atom.Atom {
+	p := r.Program.Reg.Intern("e", 2)
+	return atom.New(p, r.Program.Store.Const(a), r.Program.Store.Const(b))
+}
+
+func tFact(r *parser.Result, a, b string) atom.Atom {
+	p := r.Program.Reg.Intern("t", 2)
+	return atom.New(p, r.Program.Store.Const(a), r.Program.Store.Const(b))
+}
+
+func TestInsertPropagates(t *testing.T) {
+	r, db := load(t, tcSrc+`e(a,b).`)
+	e, err := New(r.Program, db)
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	if !e.DB().Contains(tFact(r, "a", "b")) {
+		t.Fatalf("initial materialization missing t(a,b)")
+	}
+	if err := e.Insert(edge(r, "b", "c")); err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	for _, want := range [][2]string{{"b", "c"}, {"a", "c"}} {
+		if !e.DB().Contains(tFact(r, want[0], want[1])) {
+			t.Fatalf("missing t(%s,%s) after insert", want[0], want[1])
+		}
+	}
+	if e.Stats().DerivedNew < 2 {
+		t.Fatalf("stats = %+v", e.Stats())
+	}
+}
+
+func TestDeleteWithRederivation(t *testing.T) {
+	// Two parallel paths a→b→d and a→c→d; deleting one edge must keep
+	// t(a,d) alive through the other (the rederive step).
+	r, db := load(t, tcSrc+`e(a,b). e(b,d). e(a,c). e(c,d).`)
+	e, err := New(r.Program, db)
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	if err := e.Delete(edge(r, "a", "b")); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if e.DB().Contains(edge(r, "a", "b")) || e.DB().Contains(tFact(r, "a", "b")) {
+		t.Fatalf("deleted edge still present")
+	}
+	if !e.DB().Contains(tFact(r, "a", "d")) {
+		t.Fatalf("t(a,d) lost despite surviving path a->c->d")
+	}
+	if e.Stats().Rederived == 0 {
+		t.Fatalf("expected rederivations, stats = %+v", e.Stats())
+	}
+}
+
+func TestDeleteCascades(t *testing.T) {
+	r, db := load(t, tcSrc+`e(a,b). e(b,c). e(c,d).`)
+	e, err := New(r.Program, db)
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	if err := e.Delete(edge(r, "b", "c")); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	for _, gone := range [][2]string{{"a", "c"}, {"a", "d"}, {"b", "c"}, {"b", "d"}} {
+		if e.DB().Contains(tFact(r, gone[0], gone[1])) {
+			t.Fatalf("t(%s,%s) survived a cut", gone[0], gone[1])
+		}
+	}
+	for _, kept := range [][2]string{{"a", "b"}, {"c", "d"}} {
+		if !e.DB().Contains(tFact(r, kept[0], kept[1])) {
+			t.Fatalf("t(%s,%s) wrongly deleted", kept[0], kept[1])
+		}
+	}
+}
+
+func TestRejections(t *testing.T) {
+	r, db := load(t, tcSrc)
+	e, err := New(r.Program, db)
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	if err := e.Insert(tFact(r, "a", "b")); err == nil {
+		t.Fatalf("inserting an intensional fact accepted")
+	}
+	if err := e.Delete(tFact(r, "a", "b")); err == nil {
+		t.Fatalf("deleting an intensional fact accepted")
+	}
+	rx, dbx := load(t, `r(X,Y) :- p(X).`)
+	if _, err := New(rx.Program, dbx); err == nil {
+		t.Fatalf("existential program accepted")
+	}
+	rn, dbn := load(t, `p(X) :- a(X), not b(X).`)
+	if _, err := New(rn.Program, dbn); err == nil {
+		t.Fatalf("negation accepted")
+	}
+}
+
+func TestDeleteAbsentFactIsNoop(t *testing.T) {
+	r, db := load(t, tcSrc+`e(a,b).`)
+	e, err := New(r.Program, db)
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	before := e.DB().Len()
+	if err := e.Delete(edge(r, "x", "y")); err != nil {
+		t.Fatalf("delete absent: %v", err)
+	}
+	if e.DB().Len() != before {
+		t.Fatalf("no-op delete changed the instance")
+	}
+}
+
+// TestRandomUpdateStreamMatchesRecompute is the main property: after every
+// update in a random insert/delete stream over random programs, the
+// maintained instance equals a from-scratch recomputation.
+func TestRandomUpdateStreamMatchesRecompute(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	progs := []string{
+		tcSrc,
+		tcSrc + `
+back(X,Y) :- t(Y,X).
+meet(X) :- t(X,Y), back(X,Y).
+`,
+		`
+tri(X,Z) :- e(X,Y), g(Y,Z).
+hop(X,W) :- tri(X,Z), g(Z,W).
+`,
+	}
+	for trial := 0; trial < 12; trial++ {
+		src := progs[trial%len(progs)]
+		r, db := load(t, src)
+		eng, err := New(r.Program, db)
+		if err != nil {
+			t.Fatalf("trial %d: new: %v", trial, err)
+		}
+		nodes := 5
+		var live []atom.Atom
+		inLive := make(map[string]bool) // set semantics: base facts dedupe
+		mk := func() atom.Atom {
+			preds := []string{"e", "g"}
+			p := preds[rng.Intn(len(preds))]
+			pid := r.Program.Reg.Intern(p, 2)
+			return atom.New(pid,
+				r.Program.Store.Const(fmt.Sprintf("n%d", rng.Intn(nodes))),
+				r.Program.Store.Const(fmt.Sprintf("n%d", rng.Intn(nodes))))
+		}
+		for step := 0; step < 30; step++ {
+			if len(live) == 0 || rng.Intn(3) > 0 {
+				f := mk()
+				if err := eng.Insert(f); err != nil {
+					t.Fatalf("trial %d step %d: insert: %v", trial, step, err)
+				}
+				if k := atom.SortKey(f); !inLive[k] {
+					inLive[k] = true
+					live = append(live, f)
+				}
+			} else {
+				i := rng.Intn(len(live))
+				f := live[i]
+				live = append(live[:i], live[i+1:]...)
+				delete(inLive, atom.SortKey(f))
+				if err := eng.Delete(f); err != nil {
+					t.Fatalf("trial %d step %d: delete: %v", trial, step, err)
+				}
+			}
+			// Oracle: full recomputation over the current base facts.
+			base := storage.NewDB()
+			for _, f := range live {
+				base.Insert(f)
+			}
+			want, _, err := datalog.Eval(r.Program, base, datalog.Options{Stratify: true})
+			if err != nil {
+				t.Fatalf("trial %d step %d: oracle: %v", trial, step, err)
+			}
+			got := eng.DB()
+			if got.Len() != want.Len() {
+				t.Fatalf("trial %d step %d: maintained %d facts, recompute %d",
+					trial, step, got.Len(), want.Len())
+			}
+			for _, f := range want.All() {
+				if !got.Contains(f) {
+					t.Fatalf("trial %d step %d: maintained instance missing a fact", trial, step)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package logic
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/atom"
+)
+
+// buildNegTGD constructs p(x) :- a(x), not b(x) by hand.
+func buildNegTGD(p *Program) *TGD {
+	x := p.Store.Var("x")
+	pa := p.Reg.Intern("a", 1)
+	pb := p.Reg.Intern("b", 1)
+	pp := p.Reg.Intern("p", 1)
+	return &TGD{
+		Body:    []atom.Atom{atom.New(pa, x)},
+		NegBody: []atom.Atom{atom.New(pb, x)},
+		Head:    []atom.Atom{atom.New(pp, x)},
+		Label:   "neg",
+	}
+}
+
+func TestNegBodyCloneIndependent(t *testing.T) {
+	p := NewProgram()
+	tg := buildNegTGD(p)
+	cl := tg.Clone()
+	if len(cl.NegBody) != 1 || !cl.NegBody[0].Equal(tg.NegBody[0]) {
+		t.Fatalf("clone lost NegBody")
+	}
+	cl.NegBody[0].Args[0] = p.Store.Const("mut")
+	if tg.NegBody[0].Args[0].IsConst() {
+		t.Fatalf("clone shares NegBody storage with the original")
+	}
+}
+
+func TestNegBodyRename(t *testing.T) {
+	p := NewProgram()
+	tg := buildNegTGD(p)
+	rn := tg.Rename(p.Store, "7")
+	if len(rn.NegBody) != 1 {
+		t.Fatalf("rename lost NegBody")
+	}
+	// The body and neg-body occurrences of x must rename to the SAME var.
+	if rn.Body[0].Args[0] != rn.NegBody[0].Args[0] {
+		t.Fatalf("rename split a shared variable")
+	}
+	if rn.Body[0].Args[0] == tg.Body[0].Args[0] {
+		t.Fatalf("rename did not freshen the variable")
+	}
+}
+
+func TestNegBodyString(t *testing.T) {
+	p := NewProgram()
+	tg := buildNegTGD(p)
+	s := tg.String(p.Store, p.Reg)
+	if !strings.Contains(s, "not b(") {
+		t.Fatalf("String() lost negation: %s", s)
+	}
+}
+
+func TestValidateUnsafeNegation(t *testing.T) {
+	p := NewProgram()
+	x := p.Store.Var("x")
+	y := p.Store.Var("y")
+	pa := p.Reg.Intern("a", 1)
+	pb := p.Reg.Intern("b", 1)
+	pp := p.Reg.Intern("p", 1)
+	p.Add(&TGD{
+		Body:    []atom.Atom{atom.New(pa, x)},
+		NegBody: []atom.Atom{atom.New(pb, y)}, // y not in positive body
+		Head:    []atom.Atom{atom.New(pp, x)},
+		Label:   "unsafe",
+	})
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "unsafe negation") {
+		t.Fatalf("Validate = %v, want unsafe-negation error", err)
+	}
+}
+
+func TestSchemaIncludesNegatedPredicates(t *testing.T) {
+	p := NewProgram()
+	p.Add(buildNegTGD(p))
+	pb, _ := p.Reg.Lookup("b")
+	if !p.Schema()[pb] {
+		t.Fatalf("schema misses negated-only predicate")
+	}
+	// b never occurs in a head, so it is extensional.
+	if !p.EDB()[pb] {
+		t.Fatalf("negated-only predicate should be EDB")
+	}
+	if !p.HasNegation() {
+		t.Fatalf("HasNegation = false")
+	}
+}

@@ -1,0 +1,244 @@
+// Package parser implements the surface syntax of the reproduction: a
+// Vadalog-style rule language for TGDs, facts, and conjunctive queries.
+//
+// Grammar (head-first rules, as in Vadalog):
+//
+//	program   := { statement }
+//	statement := rule | fact | query
+//	rule      := head ":-" body "."
+//	head      := atom { "," atom }
+//	body      := literal { "," literal }
+//	literal   := atom | ("not" | "!") atom
+//	query     := "?" "(" terms? ")" ":-" body "."
+//	fact      := atom "."
+//	atom      := predicate "(" terms? ")"
+//	terms     := term { "," term }
+//	term      := VARIABLE | "_" | constant
+//	constant  := IDENT | STRING | INT
+//
+// Variables start with an upper-case letter; "_" is a don't-care variable
+// (fresh at each occurrence, as used by the paper's tiling reduction rules).
+// Negated literals ("not R(X)" or "!R(X)") are admitted in rule bodies only
+// — the mild stratified negation of §1.1 — and "not" is a reserved word
+// there. Comments run from '%' or '#' to end of line.
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokVariable
+	tokUnderscore
+	tokString
+	tokInt
+	tokLParen
+	tokRParen
+	tokComma
+	tokDot
+	tokImplies // ":-"
+	tokQuery   // "?"
+	tokBang    // "!"
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokVariable:
+		return "variable"
+	case tokUnderscore:
+		return "_"
+	case tokString:
+		return "string"
+	case tokInt:
+		return "integer"
+	case tokLParen:
+		return "("
+	case tokRParen:
+		return ")"
+	case tokComma:
+		return ","
+	case tokDot:
+		return "."
+	case tokImplies:
+		return ":-"
+	case tokQuery:
+		return "?"
+	case tokBang:
+		return "!"
+	default:
+		return "token"
+	}
+}
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1, col: 1}
+}
+
+func (l *lexer) errorf(line, col int, format string, args ...any) error {
+	return fmt.Errorf("%d:%d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) advance() rune {
+	r := l.src[l.pos]
+	l.pos++
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		r := l.peek()
+		switch {
+		case unicode.IsSpace(r):
+			l.advance()
+		case r == '%' || r == '#':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+// next produces the next token.
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	line, col := l.line, l.col
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: line, col: col}, nil
+	}
+	r := l.peek()
+	switch {
+	case r == '(':
+		l.advance()
+		return token{tokLParen, "(", line, col}, nil
+	case r == ')':
+		l.advance()
+		return token{tokRParen, ")", line, col}, nil
+	case r == ',':
+		l.advance()
+		return token{tokComma, ",", line, col}, nil
+	case r == '.':
+		l.advance()
+		return token{tokDot, ".", line, col}, nil
+	case r == '?':
+		l.advance()
+		return token{tokQuery, "?", line, col}, nil
+	case r == '!':
+		l.advance()
+		return token{tokBang, "!", line, col}, nil
+	case r == ':':
+		l.advance()
+		if l.peek() != '-' {
+			return token{}, l.errorf(line, col, "expected ':-', found ':%c'", l.peek())
+		}
+		l.advance()
+		return token{tokImplies, ":-", line, col}, nil
+	case r == '"':
+		l.advance()
+		var b strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, l.errorf(line, col, "unterminated string")
+			}
+			c := l.advance()
+			if c == '"' {
+				break
+			}
+			if c == '\\' && l.pos < len(l.src) {
+				c = l.advance()
+			}
+			b.WriteRune(c)
+		}
+		return token{tokString, b.String(), line, col}, nil
+	case r == '_' && !isIdentRune(peekAt(l, 1)):
+		l.advance()
+		return token{tokUnderscore, "_", line, col}, nil
+	case unicode.IsDigit(r) || (r == '-' && unicode.IsDigit(peekAt(l, 1))):
+		var b strings.Builder
+		b.WriteRune(l.advance())
+		for l.pos < len(l.src) && unicode.IsDigit(l.peek()) {
+			b.WriteRune(l.advance())
+		}
+		return token{tokInt, b.String(), line, col}, nil
+	case isIdentStart(r):
+		var b strings.Builder
+		for l.pos < len(l.src) && isIdentRune(l.peek()) {
+			b.WriteRune(l.advance())
+		}
+		text := b.String()
+		if isVariableName(text) {
+			return token{tokVariable, text, line, col}, nil
+		}
+		return token{tokIdent, text, line, col}, nil
+	default:
+		return token{}, l.errorf(line, col, "unexpected character %q", string(r))
+	}
+}
+
+func peekAt(l *lexer, k int) rune {
+	if l.pos+k >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+k]
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentRune(r rune) bool {
+	// '@' appears in the scoped variable names the renderer emits
+	// ("X@3"), so identifiers admit it to make rendering round-trip.
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '\'' || r == '@'
+}
+
+// isVariableName reports whether an identifier denotes a variable: it starts
+// with an upper-case letter, or with '_' followed by more characters.
+func isVariableName(s string) bool {
+	if s == "" {
+		return false
+	}
+	r := []rune(s)[0]
+	if r == '_' {
+		return true
+	}
+	return unicode.IsUpper(r)
+}

@@ -1,0 +1,84 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseNegatedLiterals(t *testing.T) {
+	r, err := Parse(`
+unrel(X,Y) :- node(X), node(Y), not t(X,Y).
+only(X) :- a(X), !b(X), not c(X).
+`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(r.Program.TGDs) != 2 {
+		t.Fatalf("tgds = %d, want 2", len(r.Program.TGDs))
+	}
+	t0 := r.Program.TGDs[0]
+	if len(t0.Body) != 2 || len(t0.NegBody) != 1 {
+		t.Fatalf("rule 0: body %d / neg %d, want 2 / 1", len(t0.Body), len(t0.NegBody))
+	}
+	if got := r.Program.Reg.Name(t0.NegBody[0].Pred); got != "t" {
+		t.Fatalf("negated predicate = %q, want t", got)
+	}
+	t1 := r.Program.TGDs[1]
+	if len(t1.Body) != 1 || len(t1.NegBody) != 2 {
+		t.Fatalf("rule 1: body %d / neg %d, want 1 / 2", len(t1.Body), len(t1.NegBody))
+	}
+	if !r.Program.HasNegation() {
+		t.Fatalf("HasNegation = false")
+	}
+}
+
+func TestNegatedRuleRendersAndReparses(t *testing.T) {
+	r, err := Parse(`only(X) :- a(X), not b(X).`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	s := r.Program.String()
+	if !strings.Contains(s, "not b(") {
+		t.Fatalf("rendered rule lost negation: %s", s)
+	}
+	r2, err := Parse(s)
+	if err != nil {
+		t.Fatalf("reparse %q: %v", s, err)
+	}
+	if len(r2.Program.TGDs[0].NegBody) != 1 {
+		t.Fatalf("reparse lost NegBody: %s", r2.Program.String())
+	}
+}
+
+func TestNegationParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"unsafe variable", `p(X,Y) :- a(X), not b(X,Y).`, "unsafe negation"},
+		{"not as predicate", `p(X) :- not(X).`, "reserved word"},
+		{"not at end", `p(X) :- a(X), not .`, "expected an atom"},
+		{"negation in query", `?(X) :- a(X), not b(X).`, "not supported in queries"},
+		{"bang in query", `?(X) :- a(X), !b(X).`, "not supported in queries"},
+		{"all-negative body", `p(X) :- not b(X).`, "positive atom"},
+		{"negated head", `not p(X) :- b(X).`, ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.src)
+			if err == nil {
+				t.Fatalf("no error for %q", c.src)
+			}
+			if c.want != "" && !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestFactsCannotBeNegated(t *testing.T) {
+	// A fact statement has no ':-'; "not a(1)." parses "not" as the start
+	// of an atom list and must fail cleanly rather than record a fact.
+	if _, err := Parse(`not a(1).`); err == nil {
+		t.Fatalf("negated fact accepted")
+	}
+}

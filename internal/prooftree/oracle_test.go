@@ -1,0 +1,91 @@
+package prooftree
+
+import (
+	"testing"
+
+	"repro/internal/atom"
+	"repro/internal/chase"
+	"repro/internal/parser"
+	"repro/internal/term"
+	"repro/internal/workload"
+)
+
+// TestOracleHybridOnDenseOntology exercises the chase-oracle hybrid on a
+// generated Example 3.3 ontology dense enough (restrictions + inverses)
+// that the pure top-down search would wander through a polynomially dense
+// state space. With the oracle, positives and negatives decide in a
+// handful of states, and the verdicts match the chase.
+func TestOracleHybridOnDenseOntology(t *testing.T) {
+	o, err := workload.GenOWL(workload.OWLParams{
+		Classes: 8, Chains: 2, Restrictions: 4, Individuals: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cres, err := chase.Run(o.Program, o.DB, chase.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cres.Truncated {
+		t.Fatal("oracle chase truncated")
+	}
+	qres, err := parser.ParseInto(o.Program, `?(X) :- type(ind_0, X).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	typ, _ := o.Program.Reg.Lookup("type")
+	ind0 := o.Program.Store.Const("ind_0")
+
+	// Candidates: every class constant; ground truth from the chase.
+	for i := 0; i < 8; i++ {
+		for _, chain := range []int{0, 1} {
+			cls := o.Program.Store.Const(
+				"cls_" + string(rune('0'+chain)) + "_" + string(rune('0'+i)))
+			want := cres.DB.Contains(atom.New(typ, ind0, cls))
+			got, st, err := Decide(o.Program, o.DB, qres.Queries[0],
+				[]term.Term{cls},
+				Options{Mode: Linear, MaxVisited: 500_000, Oracle: cres.DB})
+			if err != nil {
+				t.Fatalf("cls_%d_%d: %v", chain, i, err)
+			}
+			if got != want {
+				t.Fatalf("cls_%d_%d: decide=%v chase=%v", chain, i, got, want)
+			}
+			if st.Visited > 5000 {
+				t.Fatalf("cls_%d_%d: oracle pruning ineffective (%d states)", chain, i, st.Visited)
+			}
+		}
+	}
+}
+
+// TestOracleNeverFlipsAnswers: on a workload the plain search handles, the
+// oracle must not change any verdict (it is a pruning, not a semantics).
+func TestOracleNeverFlipsAnswers(t *testing.T) {
+	r, db := setup(t, `
+t(X,Y) :- e(X,Y).
+t(X,Z) :- e(X,Y), t(Y,Z).
+e(a,b). e(b,c). e(c,d).
+?(X,Y) :- t(X,Y).
+`)
+	cres, err := chase.Run(r.Program, db, chase.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	consts := []string{"a", "b", "c", "d"}
+	for _, x := range consts {
+		for _, y := range consts {
+			tuple := []term.Term{r.Program.Store.Const(x), r.Program.Store.Const(y)}
+			plain, _, err := Decide(r.Program, db, r.Queries[0], tuple, Options{Mode: Linear})
+			if err != nil {
+				t.Fatal(err)
+			}
+			withOracle, _, err := Decide(r.Program, db, r.Queries[0], tuple,
+				Options{Mode: Linear, Oracle: cres.DB})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if plain != withOracle {
+				t.Fatalf("oracle flipped t(%s,%s): %v vs %v", x, y, plain, withOracle)
+			}
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package prooftree
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/atom"
+	"repro/internal/workload"
+)
+
+func TestParallelMatchesSequential(t *testing.T) {
+	r, db := setup(t, `
+t(X,Y) :- e(X,Y).
+t(X,Z) :- e(X,Y), t(Y,Z).
+?(X,Y) :- t(X,Y).
+`)
+	ep, _ := r.Program.Reg.Lookup("e")
+	g := workload.RandomDigraph(9, 18, 4)
+	for _, e := range g.Edges {
+		db.Insert(atom.New(ep,
+			r.Program.Store.Const(fmt.Sprintf("n%d", e[0])),
+			r.Program.Store.Const(fmt.Sprintf("n%d", e[1]))))
+	}
+	seq, _, err := Answers(r.Program, db, r.Queries[0], Options{Mode: Linear})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		par, stats, err := AnswersParallel(r.Program, db, r.Queries[0], Options{Mode: Linear}, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(par) != len(seq) {
+			t.Fatalf("workers=%d: %d answers, sequential %d", workers, len(par), len(seq))
+		}
+		for i := range par {
+			for j := range par[i] {
+				if par[i][j] != seq[i][j] {
+					t.Fatalf("workers=%d: answer order/content differs at %d", workers, i)
+				}
+			}
+		}
+		if stats.Visited == 0 {
+			t.Fatalf("stats not aggregated")
+		}
+	}
+}
+
+func TestParallelBooleanFallsBack(t *testing.T) {
+	r, db := setup(t, `
+t(X,Y) :- e(X,Y).
+e(a,b).
+? :- t(X,Y).
+`)
+	ans, _, err := AnswersParallel(r.Program, db, r.Queries[0], Options{Mode: Linear}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans) != 1 {
+		t.Fatalf("boolean parallel answers = %d", len(ans))
+	}
+}
+
+func TestParallelEmptyDomain(t *testing.T) {
+	r, db := setup(t, `
+t(X,Y) :- e(X,Y).
+?(X) :- t(X,X).
+`)
+	ans, _, err := AnswersParallel(r.Program, db, r.Queries[0], Options{Mode: Linear}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans) != 0 {
+		t.Fatalf("expected no answers")
+	}
+}

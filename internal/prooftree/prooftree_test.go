@@ -1,0 +1,320 @@
+package prooftree
+
+import (
+	"testing"
+
+	"repro/internal/chase"
+	"repro/internal/parser"
+	"repro/internal/storage"
+	"repro/internal/term"
+)
+
+func setup(t *testing.T, src string) (*parser.Result, *storage.DB) {
+	t.Helper()
+	r, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	db := storage.NewDB()
+	db.InsertAll(r.Facts)
+	return r, db
+}
+
+func decide(t *testing.T, r *parser.Result, db *storage.DB, qi int, mode Mode, consts ...string) (bool, *Stats) {
+	t.Helper()
+	c := make([]term.Term, len(consts))
+	for i, name := range consts {
+		c[i] = r.Program.Store.Const(name)
+	}
+	ok, st, err := Decide(r.Program, db, r.Queries[qi], c, Options{Mode: mode, MaxVisited: 2_000_000})
+	if err != nil {
+		t.Fatalf("Decide: %v", err)
+	}
+	return ok, st
+}
+
+func TestLinearTCDecide(t *testing.T) {
+	r, db := setup(t, `
+t(X,Y) :- e(X,Y).
+t(X,Z) :- e(X,Y), t(Y,Z).
+e(a,b). e(b,c). e(c,d).
+?(X,Y) :- t(X,Y).
+`)
+	if ok, _ := decide(t, r, db, 0, Linear, "a", "d"); !ok {
+		t.Fatalf("t(a,d) must be a certain answer")
+	}
+	if ok, _ := decide(t, r, db, 0, Linear, "d", "a"); ok {
+		t.Fatalf("t(d,a) must NOT be a certain answer")
+	}
+	if ok, _ := decide(t, r, db, 0, Linear, "a", "a"); ok {
+		t.Fatalf("t(a,a) must NOT be a certain answer")
+	}
+}
+
+func TestExistentialRecursionBoolean(t *testing.T) {
+	// p(x) → ∃z r(x,z); r(x,y) → p(y): the chase is infinite, the proof
+	// search must still decide.
+	r, db := setup(t, `
+r(X,Z) :- p(X).
+p(Y) :- r(X,Y).
+p(a).
+? :- r(X,Y).
+? :- r(X,Y), p(Y).
+?(X) :- p(X).
+`)
+	if ok, _ := decide(t, r, db, 0, Linear); !ok {
+		t.Fatalf("∃ r(x,y) holds in every model")
+	}
+	// r(x,y) ∧ p(y): needs resolution through p plus an atom merge.
+	if ok, _ := decide(t, r, db, 1, Linear); !ok {
+		t.Fatalf("∃ r(x,y) ∧ p(y) holds: chase derives p on the invented null")
+	}
+	if ok, _ := decide(t, r, db, 2, Linear, "a"); !ok {
+		t.Fatalf("p(a) is a certain answer")
+	}
+}
+
+// The Lemma 6.7 value-invention witness: Σ = {P(x) → ∃y R(x,y)},
+// D = {P(c)}: Q1 = ∃x,y R(x,y) holds but Q2 = ∃x,y R(x,y) ∧ P(y) does not.
+func TestValueInventionWitness(t *testing.T) {
+	r, db := setup(t, `
+r(X,Y) :- p(X).
+p(c).
+? :- r(X,Y).
+? :- r(X,Y), p(Y).
+`)
+	for _, mode := range []Mode{Linear, Alternating} {
+		if ok, _ := decide(t, r, db, 0, mode); !ok {
+			t.Fatalf("mode %v: Q1 must hold", mode)
+		}
+		if ok, _ := decide(t, r, db, 1, mode); ok {
+			t.Fatalf("mode %v: Q2 must NOT hold (null is not p)", mode)
+		}
+	}
+}
+
+func TestOWLExampleProofSearch(t *testing.T) {
+	r, db := setup(t, `
+subclassS(X,Y) :- subclass(X,Y).
+subclassS(X,Z) :- subclassS(X,Y), subclass(Y,Z).
+type(X,Z) :- type(X,Y), subclassS(Y,Z).
+triple(X,Z,W) :- type(X,Y), restriction(Y,Z).
+triple(Z,W,X) :- triple(X,Y,Z), inverse(Y,W).
+type(X,W) :- triple(X,Y,Z), restriction(W,Y).
+
+subclass(person, agent).
+subclass(agent, entity).
+type(alice, person).
+restriction(person, hasId).
+restriction(idcarrier, hasId).
+inverse(hasId, idOf).
+
+?(X) :- type(alice, X).
+`)
+	for _, want := range []struct {
+		c  string
+		ok bool
+	}{
+		{"person", true},
+		{"agent", true},
+		{"entity", true},
+		{"idcarrier", true}, // via the existential triple
+		{"alice", false},
+		{"hasId", false},
+	} {
+		got, _ := decide(t, r, db, 0, Linear, want.c)
+		if got != want.ok {
+			t.Errorf("type(alice,%s) = %v, want %v", want.c, got, want.ok)
+		}
+	}
+}
+
+func TestAlternatingOnNonPWL(t *testing.T) {
+	// Associative TC is warded but not PWL; the alternating search must
+	// handle it (Theorem 4.9).
+	r, db := setup(t, `
+t(X,Y) :- e(X,Y).
+t(X,Z) :- t(X,Y), t(Y,Z).
+e(a,b). e(b,c). e(c,d). e(d,e1).
+?(X,Y) :- t(X,Y).
+`)
+	if ok, _ := decide(t, r, db, 0, Alternating, "a", "e1"); !ok {
+		t.Fatalf("t(a,e1) must hold under associative TC")
+	}
+	if ok, _ := decide(t, r, db, 0, Alternating, "e1", "a"); ok {
+		t.Fatalf("t(e1,a) must not hold")
+	}
+}
+
+func TestNodeWidthBoundRespected(t *testing.T) {
+	r, db := setup(t, `
+t(X,Y) :- e(X,Y).
+t(X,Z) :- e(X,Y), t(Y,Z).
+e(a,b). e(b,c).
+?(X,Y) :- t(X,Y).
+`)
+	ok, st := decide(t, r, db, 0, Linear, "a", "c")
+	if !ok {
+		t.Fatalf("t(a,c) must hold")
+	}
+	if st.MaxStateAtoms > st.Bound {
+		t.Fatalf("state size %d exceeded bound %d", st.MaxStateAtoms, st.Bound)
+	}
+	if st.Bound <= 0 || st.Visited == 0 {
+		t.Fatalf("stats not populated: %+v", st)
+	}
+}
+
+func TestBoundedSearchFailsGracefully(t *testing.T) {
+	r, db := setup(t, `
+t(X,Y) :- e(X,Y).
+t(X,Z) :- e(X,Y), t(Y,Z).
+e(a,b). e(b,c). e(c,d).
+?(X,Y) :- t(X,Y).
+`)
+	c := []term.Term{r.Program.Store.Const("a"), r.Program.Store.Const("d")}
+	// A forced bound of 1 cannot even hold the 2-atom resolvent; the search
+	// must terminate with false (not hang).
+	ok, _, err := Decide(r.Program, db, r.Queries[0], c, Options{Mode: Linear, Bound: 1})
+	if err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if ok {
+		t.Fatalf("bound 1 should make the long path unprovable")
+	}
+}
+
+func TestStateBudgetAborts(t *testing.T) {
+	r, db := setup(t, `
+t(X,Y) :- e(X,Y).
+t(X,Z) :- e(X,Y), t(Y,Z).
+e(a,b). e(b,c). e(c,d). e(d,e1). e(e1,f). e(f,g).
+?(X,Y) :- t(X,Y).
+`)
+	c := []term.Term{r.Program.Store.Const("a"), r.Program.Store.Const("g")}
+	_, _, err := Decide(r.Program, db, r.Queries[0], c, Options{Mode: Linear, MaxVisited: 2})
+	if err == nil {
+		t.Fatalf("expected state-budget error")
+	}
+}
+
+func TestAnswersEnumeration(t *testing.T) {
+	r, db := setup(t, `
+t(X,Y) :- e(X,Y).
+t(X,Z) :- e(X,Y), t(Y,Z).
+e(a,b). e(b,c).
+?(X) :- t(a,X).
+`)
+	ans, stats, err := Answers(r.Program, db, r.Queries[0], Options{Mode: Linear})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans) != 2 {
+		t.Fatalf("answers = %d, want 2 (b and c)", len(ans))
+	}
+	if stats.Visited == 0 {
+		t.Fatalf("aggregate stats empty")
+	}
+}
+
+func TestAnswersEmptyDomain(t *testing.T) {
+	r, db := setup(t, `
+t(X,Y) :- e(X,Y).
+?(X) :- t(X,X).
+`)
+	ans, _, err := Answers(r.Program, db, r.Queries[0], Options{Mode: Linear})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans) != 0 {
+		t.Fatalf("no answers expected over empty DB")
+	}
+}
+
+func TestDecideArityMismatch(t *testing.T) {
+	r, db := setup(t, `
+t(X,Y) :- e(X,Y).
+?(X) :- t(X,X).
+`)
+	_, _, err := Decide(r.Program, db, r.Queries[0], nil, Options{Mode: Linear})
+	if err == nil {
+		t.Fatalf("arity mismatch must error")
+	}
+}
+
+func TestRepeatedOutputVariable(t *testing.T) {
+	r, db := setup(t, `
+t(X,Y) :- e(X,Y).
+e(a,a). e(a,b).
+?(X,X) :- t(X,X).
+`)
+	if ok, _ := decide(t, r, db, 0, Linear, "a", "a"); !ok {
+		t.Fatalf("t(a,a) holds")
+	}
+	// Conflicting instantiation of the repeated variable.
+	if ok, _ := decide(t, r, db, 0, Linear, "a", "b"); ok {
+		t.Fatalf("repeated output variable cannot take two values")
+	}
+}
+
+func TestMultiHeadProgramNormalized(t *testing.T) {
+	// Multi-atom heads are normalized internally (§4.2 w.l.o.g.).
+	r, db := setup(t, `
+r(X,W), s(W) :- p(X).
+p(a).
+? :- r(X,Y), s(Y).
+`)
+	if ok, _ := decide(t, r, db, 0, Linear); !ok {
+		t.Fatalf("shared existential across head atoms must be provable")
+	}
+}
+
+// Agreement between the proof-tree engine and the chase on a warded PWL
+// program with existentials and joins.
+func TestAgreementWithChase(t *testing.T) {
+	src := `
+subclassS(X,Y) :- subclass(X,Y).
+subclassS(X,Z) :- subclassS(X,Y), subclass(Y,Z).
+type(X,Z) :- type(X,Y), subclassS(Y,Z).
+triple(X,Z,W) :- type(X,Y), restriction(Y,Z).
+type(X,W) :- triple(X,Y,Z), restriction(W,Y).
+
+subclass(person, agent).
+type(alice, person).
+type(bob, robot).
+restriction(person, hasId).
+restriction(idcarrier, hasId).
+
+?(X,Y) :- type(X,Y).
+`
+	r, db := setup(t, src)
+	chaseAns, _, err := chase.CertainAnswers(r.Program, db, r.Queries[0], chase.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ptAns, _, err := Answers(r.Program, db, r.Queries[0], Options{Mode: Linear, MaxVisited: 2_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := func(tt []term.Term) string {
+		return r.Program.Store.Name(tt[0]) + "|" + r.Program.Store.Name(tt[1])
+	}
+	cm := map[string]bool{}
+	for _, a := range chaseAns {
+		cm[key(a)] = true
+	}
+	pm := map[string]bool{}
+	for _, a := range ptAns {
+		pm[key(a)] = true
+	}
+	for k := range cm {
+		if !pm[k] {
+			t.Errorf("proof tree missed chase answer %s", k)
+		}
+	}
+	for k := range pm {
+		if !cm[k] {
+			t.Errorf("proof tree invented answer %s", k)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package prooftree
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/term"
+)
+
+// TestProofTreeNonLinear extracts a witness from the alternating search on
+// a warded non-PWL program (associative transitive closure) where the
+// proof genuinely branches: both body atoms of the recursive rule are
+// mutually recursive with the head, so a decomposition splits the work.
+func TestProofTreeNonLinear(t *testing.T) {
+	r, db := setup(t, `
+t(X,Y) :- e(X,Y).
+t(X,Z) :- t(X,Y), t(Y,Z).
+e(a,b). e(b,c). e(c,d). e(d,e2).
+?(X,Y) :- t(X,Y).
+`)
+	a := r.Program.Store.Const("a")
+	e2 := r.Program.Store.Const("e2")
+	ok, tree, stats, err := DecideWithProofTree(r.Program, db, r.Queries[0],
+		[]term.Term{a, e2}, Options{Mode: Alternating, MaxVisited: 3_000_000})
+	if err != nil {
+		t.Fatalf("proof tree: %v", err)
+	}
+	if !ok || tree == nil {
+		t.Fatalf("t(a,e2) must be certain with a witness")
+	}
+	if tree.Width() > stats.Bound {
+		t.Fatalf("witness width %d exceeds f_WARD bound %d", tree.Width(), stats.Bound)
+	}
+	if tree.Depth() < 3 {
+		t.Fatalf("witness depth %d too shallow for a 4-hop chain:\n%s", tree.Depth(), tree.Format())
+	}
+	s := tree.Format()
+	for _, want := range []string{"t(a,e2)", "resolve", "[embeds into D]"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("witness missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestProofTreeDecomposition forces an AND-branch: a query with two
+// variable-disjoint conjuncts decomposes into independent components.
+func TestProofTreeDecomposition(t *testing.T) {
+	r, db := setup(t, `
+p(X) :- base1(X).
+q(X) :- base2(X).
+base1(a). base2(b).
+? :- p(X), q(Y).
+`)
+	ok, tree, _, err := DecideWithProofTree(r.Program, db, r.Queries[0],
+		nil, Options{Mode: Alternating, MaxVisited: 1_000_000})
+	if err != nil {
+		t.Fatalf("proof tree: %v", err)
+	}
+	if !ok {
+		t.Fatalf("query must hold")
+	}
+	if !strings.Contains(tree.Format(), "[decompose]") {
+		t.Fatalf("witness has no decomposition:\n%s", tree.Format())
+	}
+	if len(tree.Children) != 2 {
+		t.Fatalf("decomposition arity = %d, want 2:\n%s", len(tree.Children), tree.Format())
+	}
+}
+
+func TestProofTreeNegativeAndModeErrors(t *testing.T) {
+	r, db := setup(t, `
+t(X,Y) :- e(X,Y).
+e(a,b).
+?(X,Y) :- t(X,Y).
+`)
+	b := r.Program.Store.Const("b")
+	a := r.Program.Store.Const("a")
+	ok, tree, _, err := DecideWithProofTree(r.Program, db, r.Queries[0],
+		[]term.Term{b, a}, Options{Mode: Alternating})
+	if err != nil {
+		t.Fatalf("negative: %v", err)
+	}
+	if ok || tree != nil {
+		t.Fatalf("t(b,a) must be rejected without a witness")
+	}
+	if _, _, _, err := DecideWithProofTree(r.Program, db, r.Queries[0],
+		[]term.Term{a, b}, Options{Mode: Linear}); err == nil {
+		t.Fatalf("linear mode accepted by DecideWithProofTree")
+	}
+}
+
+// TestProofTreeWellFounded: extraction must terminate on programs whose
+// AND-OR graph has cycles (mutual recursion) — the provedAt ranks forbid
+// cyclic justifications.
+func TestProofTreeWellFounded(t *testing.T) {
+	r, db := setup(t, `
+p(X) :- q(X).
+q(X) :- p(X).
+p(X) :- base(X).
+base(a).
+?(X) :- q(X).
+`)
+	a := r.Program.Store.Const("a")
+	ok, tree, _, err := DecideWithProofTree(r.Program, db, r.Queries[0],
+		[]term.Term{a}, Options{Mode: Alternating})
+	if err != nil {
+		t.Fatalf("proof tree: %v", err)
+	}
+	if !ok || tree == nil {
+		t.Fatalf("q(a) must be certain")
+	}
+	if tree.Depth() > 10 {
+		t.Fatalf("suspiciously deep witness (%d) for a 2-step proof:\n%s", tree.Depth(), tree.Format())
+	}
+}

@@ -1,0 +1,107 @@
+package prooftree
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/term"
+)
+
+func TestTraceLinearTC(t *testing.T) {
+	r, db := setup(t, `
+t(X,Y) :- e(X,Y).
+t(X,Z) :- e(X,Y), t(Y,Z).
+e(a,b). e(b,c). e(c,d).
+?(X,Y) :- t(X,Y).
+`)
+	a := r.Program.Store.Const("a")
+	d := r.Program.Store.Const("d")
+	ok, tr, stats, err := DecideWithTrace(r.Program, db, r.Queries[0],
+		[]term.Term{a, d}, Options{Mode: Linear})
+	if err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+	if !ok || tr == nil {
+		t.Fatalf("t(a,d) must be certain with a trace")
+	}
+	if len(tr.Steps) < 3 {
+		t.Fatalf("trace too short (%d steps) for a 3-hop derivation:\n%s", len(tr.Steps), tr.Format())
+	}
+	if tr.Steps[0].Op != "" {
+		t.Fatalf("first step must be the initial state, got op %q", tr.Steps[0].Op)
+	}
+	if tr.MaxWidth() > stats.Bound {
+		t.Fatalf("trace width %d exceeds bound %d", tr.MaxWidth(), stats.Bound)
+	}
+	s := tr.Format()
+	for _, want := range []string{"t(a,d)", "resolve", "embed into D"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("formatted trace missing %q:\n%s", want, s)
+		}
+	}
+	// Consecutive steps after the first must each carry an operation.
+	for i, step := range tr.Steps[1:] {
+		if step.Op == "" {
+			t.Fatalf("step %d has no operation:\n%s", i+1, s)
+		}
+	}
+}
+
+func TestTraceNegativeInstance(t *testing.T) {
+	r, db := setup(t, `
+t(X,Y) :- e(X,Y).
+t(X,Z) :- e(X,Y), t(Y,Z).
+e(a,b).
+?(X,Y) :- t(X,Y).
+`)
+	b := r.Program.Store.Const("b")
+	a := r.Program.Store.Const("a")
+	ok, tr, _, err := DecideWithTrace(r.Program, db, r.Queries[0],
+		[]term.Term{b, a}, Options{Mode: Linear})
+	if err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+	if ok || tr != nil {
+		t.Fatalf("t(b,a) must be rejected without a trace")
+	}
+}
+
+func TestTraceRejectsAlternating(t *testing.T) {
+	r, db := setup(t, `t(X,Y) :- e(X,Y). e(a,b). ?(X,Y) :- t(X,Y).`)
+	a := r.Program.Store.Const("a")
+	b := r.Program.Store.Const("b")
+	if _, _, _, err := DecideWithTrace(r.Program, db, r.Queries[0],
+		[]term.Term{a, b}, Options{Mode: Alternating}); err == nil {
+		t.Fatalf("alternating trace accepted")
+	}
+}
+
+func TestTraceThroughExistential(t *testing.T) {
+	// The value-invention witness: the proof of ∃y r(x,y) must resolve
+	// through the existential TGD down to p(c).
+	r, db := setup(t, `
+r(X,Y) :- p(X).
+q(X) :- r(X,Y).
+p(c).
+?(X) :- q(X).
+`)
+	c := r.Program.Store.Const("c")
+	ok, tr, _, err := DecideWithTrace(r.Program, db, r.Queries[0],
+		[]term.Term{c}, Options{Mode: Linear})
+	if err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+	if !ok {
+		t.Fatalf("q(c) must be certain")
+	}
+	s := tr.Format()
+	// The run resolves q(c) → r(c,v0) through the existential TGD; the
+	// final resolvent's p(c) is a ground database fact and simplifies
+	// away, leaving the empty (trivially accepting) state.
+	if !strings.Contains(s, "r(c,") {
+		t.Fatalf("trace skipped the existential resolution step:\n%s", s)
+	}
+	if !strings.Contains(s, "empty state") {
+		t.Fatalf("trace should end in the simplified empty state:\n%s", s)
+	}
+}

@@ -1,0 +1,99 @@
+package reachindex
+
+// condensation is the SCC condensation of a digraph: a DAG over component
+// ids, with the per-vertex component assignment and a per-component cyclic
+// flag (component has >1 vertex or a self-loop). Both the GRAIL-style
+// interval index and the 2-hop label index reduce reachability to this DAG:
+// u reaches v via a non-empty path iff they share a cyclic component, or
+// their components differ and are connected in the condensation.
+type condensation struct {
+	sccOf  []int
+	sccN   int
+	cyclic []bool
+	cAdj   [][]int
+}
+
+// condense computes SCCs with iterative Tarjan and the deduplicated
+// condensation adjacency.
+func condense(n int, adj [][]int, selfLoop []bool) condensation {
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	c := condensation{sccOf: make([]int, n)}
+	var stack []int
+	next := 0
+	type frame struct{ node, ei int }
+	var sizes []int
+	for start := 0; start < n; start++ {
+		if index[start] != -1 {
+			continue
+		}
+		call := []frame{{node: start}}
+		index[start], low[start] = next, next
+		next++
+		stack = append(stack, start)
+		onStack[start] = true
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			if f.ei < len(adj[f.node]) {
+				w := adj[f.node][f.ei]
+				f.ei++
+				if index[w] == -1 {
+					index[w], low[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					call = append(call, frame{node: w})
+				} else if onStack[w] && index[w] < low[f.node] {
+					low[f.node] = index[w]
+				}
+				continue
+			}
+			v := f.node
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				p := call[len(call)-1].node
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				id := len(sizes)
+				size := 0
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					c.sccOf[w] = id
+					size++
+					if w == v {
+						break
+					}
+				}
+				sizes = append(sizes, size)
+			}
+		}
+	}
+	c.sccN = len(sizes)
+	c.cyclic = make([]bool, c.sccN)
+	for v := 0; v < n; v++ {
+		if sizes[c.sccOf[v]] > 1 || (selfLoop != nil && selfLoop[v]) {
+			c.cyclic[c.sccOf[v]] = true
+		}
+	}
+	seen := make(map[[2]int]bool)
+	c.cAdj = make([][]int, c.sccN)
+	for u := 0; u < n; u++ {
+		for _, v := range adj[u] {
+			a, b := c.sccOf[u], c.sccOf[v]
+			if a != b && !seen[[2]int{a, b}] {
+				seen[[2]int{a, b}] = true
+				c.cAdj[a] = append(c.cAdj[a], b)
+			}
+		}
+	}
+	return c
+}

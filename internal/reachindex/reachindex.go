@@ -1,0 +1,164 @@
+// Package reachindex implements the reachability-index direction of
+// Section 7 (future work 2): since reasoning under piece-wise linear
+// warded TGDs is LogSpace-equivalent to directed reachability, the
+// practical algorithms from the reachability literature (GRAIL [29],
+// 2-hop labels [12], ...) apply. This package provides a GRAIL-style
+// index: the graph is condensed to its DAG of strongly connected
+// components, k randomized post-order interval labelings are computed,
+// and a query first tries the negative cut (some labeling's interval not
+// containing the target ⇒ unreachable) before falling back to a pruned
+// DFS. Experiment E14 compares indexed queries against per-query BFS.
+package reachindex
+
+import (
+	"math/rand"
+)
+
+// Index answers reachability queries over a fixed digraph.
+type Index struct {
+	n      int
+	adj    [][]int
+	sccOf  []int
+	sccN   int
+	cyclic []bool  // scc has >1 node or a self-loop
+	cAdj   [][]int // condensation adjacency (deduped)
+	// labels[t][s] = [begin, post] interval of scc s in traversal t.
+	labels [][][2]int
+	// stats
+	NegativeCuts int
+	DFSFallbacks int
+}
+
+// Build constructs an index with k randomized labelings (k ≥ 1).
+func Build(n int, edges [][2]int, k int, seed int64) *Index {
+	if k < 1 {
+		k = 1
+	}
+	ix := &Index{n: n, adj: make([][]int, n)}
+	selfLoop := make([]bool, n)
+	for _, e := range edges {
+		if e[0] < 0 || e[1] < 0 || e[0] >= n || e[1] >= n {
+			continue
+		}
+		if e[0] == e[1] {
+			selfLoop[e[0]] = true
+			continue
+		}
+		ix.adj[e[0]] = append(ix.adj[e[0]], e[1])
+	}
+	ix.condense(selfLoop)
+	rng := rand.New(rand.NewSource(seed))
+	ix.labels = make([][][2]int, k)
+	for t := 0; t < k; t++ {
+		ix.labels[t] = ix.label(rng)
+	}
+	return ix
+}
+
+// condense computes SCCs (iterative Tarjan) and the condensation DAG.
+func (ix *Index) condense(selfLoop []bool) {
+	c := condense(ix.n, ix.adj, selfLoop)
+	ix.sccOf, ix.sccN, ix.cyclic, ix.cAdj = c.sccOf, c.sccN, c.cyclic, c.cAdj
+}
+
+// label runs one randomized DFS over the condensation, assigning each SCC
+// the interval [min begin over subtree, own post-order rank].
+func (ix *Index) label(rng *rand.Rand) [][2]int {
+	lab := make([][2]int, ix.sccN)
+	visited := make([]bool, ix.sccN)
+	post := 0
+	order := rng.Perm(ix.sccN)
+	type frame struct {
+		node int
+		ei   int
+		kids []int
+	}
+	for _, root := range order {
+		if visited[root] {
+			continue
+		}
+		visited[root] = true
+		call := []frame{{node: root, kids: shuffled(rng, ix.cAdj[root])}}
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			if f.ei < len(f.kids) {
+				w := f.kids[f.ei]
+				f.ei++
+				if !visited[w] {
+					visited[w] = true
+					call = append(call, frame{node: w, kids: shuffled(rng, ix.cAdj[w])})
+				}
+				continue
+			}
+			v := f.node
+			call = call[:len(call)-1]
+			begin := post
+			for _, w := range ix.cAdj[v] {
+				if lab[w][0] < begin {
+					begin = lab[w][0]
+				}
+			}
+			lab[v] = [2]int{begin, post}
+			post++
+		}
+	}
+	return lab
+}
+
+func shuffled(rng *rand.Rand, in []int) []int {
+	out := append([]int(nil), in...)
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// contained reports whether the interval of b is inside the interval of a
+// in every labeling — a necessary condition for a reaching b.
+func (ix *Index) contained(a, b int) bool {
+	for _, lab := range ix.labels {
+		if lab[b][0] < lab[a][0] || lab[b][1] > lab[a][1] {
+			return false
+		}
+	}
+	return true
+}
+
+// Reach reports whether v is reachable from u via a non-empty path.
+func (ix *Index) Reach(u, v int) bool {
+	if u < 0 || v < 0 || u >= ix.n || v >= ix.n {
+		return false
+	}
+	a, b := ix.sccOf[u], ix.sccOf[v]
+	if a == b {
+		return ix.cyclic[a]
+	}
+	return ix.reachSCC(a, b)
+}
+
+func (ix *Index) reachSCC(a, b int) bool {
+	if !ix.contained(a, b) {
+		ix.NegativeCuts++
+		return false
+	}
+	// Pruned DFS over the condensation.
+	ix.DFSFallbacks++
+	visited := make([]bool, ix.sccN)
+	stack := []int{a}
+	visited[a] = true
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, y := range ix.cAdj[x] {
+			if y == b {
+				return true
+			}
+			if !visited[y] && ix.contained(y, b) {
+				visited[y] = true
+				stack = append(stack, y)
+			}
+		}
+	}
+	return false
+}
+
+// SCCCount reports the number of strongly connected components.
+func (ix *Index) SCCCount() int { return ix.sccN }

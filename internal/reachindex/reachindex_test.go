@@ -1,0 +1,136 @@
+package reachindex
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func reference(n int, edges [][2]int) map[[2]int]bool {
+	adj := make([][]int, n)
+	for _, e := range edges {
+		if e[0] >= 0 && e[1] >= 0 && e[0] < n && e[1] < n {
+			adj[e[0]] = append(adj[e[0]], e[1])
+		}
+	}
+	out := make(map[[2]int]bool)
+	for s := 0; s < n; s++ {
+		seen := make([]bool, n)
+		stack := append([]int(nil), adj[s]...)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			out[[2]int{s, v}] = true
+			stack = append(stack, adj[v]...)
+		}
+	}
+	return out
+}
+
+func checkAll(t *testing.T, n int, edges [][2]int, k int, seed int64) *Index {
+	t.Helper()
+	ix := Build(n, edges, k, seed)
+	want := reference(n, edges)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if got := ix.Reach(u, v); got != want[[2]int{u, v}] {
+				t.Fatalf("reach(%d,%d) = %v, want %v", u, v, got, want[[2]int{u, v}])
+			}
+		}
+	}
+	return ix
+}
+
+func TestChain(t *testing.T) {
+	g := workload.Chain(12)
+	ix := checkAll(t, g.N, g.Edges, 2, 1)
+	if ix.SCCCount() != 12 {
+		t.Fatalf("chain SCCs = %d", ix.SCCCount())
+	}
+}
+
+func TestCycle(t *testing.T) {
+	g := workload.Cycle(6)
+	ix := checkAll(t, g.N, g.Edges, 2, 1)
+	if ix.SCCCount() != 1 {
+		t.Fatalf("cycle SCCs = %d", ix.SCCCount())
+	}
+	if !ix.Reach(3, 3) {
+		t.Fatalf("cycle member must reach itself")
+	}
+}
+
+func TestSelfLoopOnly(t *testing.T) {
+	ix := Build(3, [][2]int{{1, 1}}, 2, 1)
+	if !ix.Reach(1, 1) {
+		t.Fatalf("self-loop reach(1,1) = false")
+	}
+	if ix.Reach(0, 0) || ix.Reach(0, 1) {
+		t.Fatalf("isolated nodes must not reach")
+	}
+}
+
+func TestGridAndTree(t *testing.T) {
+	g := workload.Grid(4, 4)
+	checkAll(t, g.N, g.Edges, 3, 7)
+	tr := workload.BinaryTree(4)
+	checkAll(t, tr.N, tr.Edges, 3, 7)
+}
+
+func TestRandomGraphsMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 15; trial++ {
+		n := 5 + rng.Intn(15)
+		g := workload.RandomDigraph(n, n*2, rng.Int63())
+		checkAll(t, n, g.Edges, 1+rng.Intn(3), rng.Int63())
+	}
+}
+
+func TestNegativeCutsFire(t *testing.T) {
+	// Two disjoint chains: queries across them must mostly be cut without
+	// DFS.
+	var edges [][2]int
+	for i := 0; i < 20; i++ {
+		edges = append(edges, [2]int{i, i + 1})       // chain A: 0..20
+		edges = append(edges, [2]int{30 + i, 31 + i}) // chain B: 30..50
+	}
+	ix := Build(60, edges, 3, 11)
+	for i := 0; i < 20; i++ {
+		if ix.Reach(i, 35) {
+			t.Fatalf("cross-chain reach")
+		}
+	}
+	if ix.NegativeCuts == 0 {
+		t.Fatalf("interval labels never cut a negative query")
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	ix := Build(3, [][2]int{{0, 1}}, 1, 1)
+	if ix.Reach(-1, 2) || ix.Reach(0, 5) {
+		t.Fatalf("out-of-range must be false")
+	}
+	// Build must ignore malformed edges.
+	ix2 := Build(2, [][2]int{{0, 9}, {-1, 1}, {0, 1}}, 1, 1)
+	if !ix2.Reach(0, 1) {
+		t.Fatalf("valid edge lost")
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	g := workload.RandomDigraph(20, 40, 3)
+	a := Build(g.N, g.Edges, 3, 42)
+	b := Build(g.N, g.Edges, 3, 42)
+	for u := 0; u < g.N; u++ {
+		for v := 0; v < g.N; v++ {
+			if a.Reach(u, v) != b.Reach(u, v) {
+				t.Fatalf("nondeterministic result")
+			}
+		}
+	}
+}

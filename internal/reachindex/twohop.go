@@ -1,0 +1,172 @@
+package reachindex
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// TwoHop is a 2-hop reachability labeling (Cohen, Halperin, Kaplan, Zwick
+// [12] in the paper's Section 7 reading list): every vertex u carries an
+// out-label Lout(u) (hops u reaches) and an in-label Lin(u) (hops reaching
+// u), and u reaches v iff the labels intersect. The cover is built greedily
+// in the pruned-landmark style — vertices are processed in descending
+// degree order, and each landmark's forward/backward BFS is pruned at
+// vertices whose reachability to/from the landmark is already witnessed by
+// earlier labels — which yields a correct (if not minimum, which is
+// NP-hard) 2-hop cover over the SCC condensation.
+//
+// Unlike the GRAIL index, a 2-hop query does no graph traversal at all:
+// it is one sorted-list intersection, O(|Lout(u)| + |Lin(v)|).
+type TwoHop struct {
+	n    int
+	cond condensation
+	lout [][]int32 // per SCC, sorted landmark ids
+	lin  [][]int32
+}
+
+// BuildTwoHop constructs the labeling. Edges out of range are ignored;
+// self-loops only mark their vertex's component cyclic.
+func BuildTwoHop(n int, edges [][2]int) *TwoHop {
+	adj := make([][]int, n)
+	selfLoop := make([]bool, n)
+	for _, e := range edges {
+		if e[0] < 0 || e[1] < 0 || e[0] >= n || e[1] >= n {
+			continue
+		}
+		if e[0] == e[1] {
+			selfLoop[e[0]] = true
+			continue
+		}
+		adj[e[0]] = append(adj[e[0]], e[1])
+	}
+	th := &TwoHop{n: n, cond: condense(n, adj, selfLoop)}
+	th.build()
+	return th
+}
+
+func (th *TwoHop) build() {
+	nc := th.cond.sccN
+	th.lout = make([][]int32, nc)
+	th.lin = make([][]int32, nc)
+	radj := make([][]int, nc)
+	deg := make([]int, nc)
+	for u, outs := range th.cond.cAdj {
+		deg[u] += len(outs)
+		for _, v := range outs {
+			radj[v] = append(radj[v], u)
+			deg[v]++
+		}
+	}
+	// Landmark order: descending condensation degree with randomized tie
+	// breaking. Hubs early prune the most; the randomization matters on
+	// low-variance graphs — on a path, processing landmarks in topological
+	// order degenerates the cover to the full transitive closure (Θ(n²)
+	// entries), while random ranks make each vertex's label the set of
+	// prefix-maxima of a random sequence, Θ(log n) expected.
+	order := make([]int, nc)
+	for i := range order {
+		order[i] = i
+	}
+	rng := rand.New(rand.NewSource(0x2b0b))
+	rng.Shuffle(nc, func(i, j int) { order[i], order[j] = order[j], order[i] })
+	sort.SliceStable(order, func(i, j int) bool {
+		return deg[order[i]] > deg[order[j]]
+	})
+
+	visited := make([]bool, nc)
+	var queue []int
+	// Label entries hold landmark RANKS, not vertex ids: entries are
+	// appended in processing order, so rank-valued lists are sorted by
+	// construction and the merge intersection used for pruning works on
+	// the partially built labels too.
+	for rank, h := range order {
+		hh := int32(rank)
+		// Forward BFS: h reaches w ⇒ h ∈ Lin(w), pruned where already known.
+		queue = queue[:0]
+		queue = append(queue, h)
+		visited[h] = true
+		var touched []int
+		touched = append(touched, h)
+		for qi := 0; qi < len(queue); qi++ {
+			w := queue[qi]
+			if w != h && th.intersects(th.lout[h], th.lin[w]) {
+				continue // already answerable; prune the subtree
+			}
+			th.lin[w] = append(th.lin[w], hh)
+			for _, x := range th.cond.cAdj[w] {
+				if !visited[x] {
+					visited[x] = true
+					touched = append(touched, x)
+					queue = append(queue, x)
+				}
+			}
+		}
+		for _, w := range touched {
+			visited[w] = false
+		}
+		// Backward BFS: w reaches h ⇒ h ∈ Lout(w), symmetric pruning.
+		queue = queue[:0]
+		queue = append(queue, h)
+		visited[h] = true
+		touched = touched[:0]
+		touched = append(touched, h)
+		for qi := 0; qi < len(queue); qi++ {
+			w := queue[qi]
+			if w != h && th.intersects(th.lout[w], th.lin[h]) {
+				continue
+			}
+			th.lout[w] = append(th.lout[w], hh)
+			for _, x := range radj[w] {
+				if !visited[x] {
+					visited[x] = true
+					touched = append(touched, x)
+					queue = append(queue, x)
+				}
+			}
+		}
+		for _, w := range touched {
+			visited[w] = false
+		}
+	}
+}
+
+// intersects merge-intersects two sorted label lists.
+func (th *TwoHop) intersects(a, b []int32) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			return true
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
+
+// Reach reports whether v is reachable from u via a non-empty path.
+func (th *TwoHop) Reach(u, v int) bool {
+	if u < 0 || v < 0 || u >= th.n || v >= th.n {
+		return false
+	}
+	a, b := th.cond.sccOf[u], th.cond.sccOf[v]
+	if a == b {
+		return th.cond.cyclic[a]
+	}
+	return th.intersects(th.lout[a], th.lin[b])
+}
+
+// LabelEntries is the total number of label entries — the index-size
+// metric reported by experiment E14.
+func (th *TwoHop) LabelEntries() int {
+	total := 0
+	for i := range th.lout {
+		total += len(th.lout[i]) + len(th.lin[i])
+	}
+	return total
+}
+
+// SCCCount reports the number of strongly connected components.
+func (th *TwoHop) SCCCount() int { return th.cond.sccN }

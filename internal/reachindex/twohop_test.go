@@ -1,0 +1,121 @@
+package reachindex
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func checkTwoHop(t *testing.T, n int, edges [][2]int) *TwoHop {
+	t.Helper()
+	th := BuildTwoHop(n, edges)
+	want := reference(n, edges)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if got := th.Reach(u, v); got != want[[2]int{u, v}] {
+				t.Fatalf("2hop reach(%d,%d) = %v, want %v", u, v, got, want[[2]int{u, v}])
+			}
+		}
+	}
+	return th
+}
+
+func TestTwoHopChain(t *testing.T) {
+	g := workload.Chain(12)
+	th := checkTwoHop(t, g.N, g.Edges)
+	if th.SCCCount() != 12 {
+		t.Fatalf("chain SCCs = %d", th.SCCCount())
+	}
+}
+
+func TestTwoHopCycle(t *testing.T) {
+	g := workload.Cycle(6)
+	th := checkTwoHop(t, g.N, g.Edges)
+	if th.SCCCount() != 1 {
+		t.Fatalf("cycle SCCs = %d", th.SCCCount())
+	}
+}
+
+func TestTwoHopSelfLoopOnly(t *testing.T) {
+	th := BuildTwoHop(3, [][2]int{{1, 1}})
+	if !th.Reach(1, 1) {
+		t.Fatalf("self-loop not reachable to itself")
+	}
+	if th.Reach(0, 0) || th.Reach(0, 1) || th.Reach(2, 2) {
+		t.Fatalf("phantom reachability")
+	}
+}
+
+func TestTwoHopEmptyAndOutOfRange(t *testing.T) {
+	th := BuildTwoHop(0, nil)
+	if th.Reach(0, 0) || th.Reach(-1, 2) {
+		t.Fatalf("reach on empty graph")
+	}
+	th2 := BuildTwoHop(2, [][2]int{{0, 1}, {5, 1}, {0, -1}})
+	if !th2.Reach(0, 1) || th2.Reach(1, 0) {
+		t.Fatalf("edge filtering broken")
+	}
+}
+
+// TestTwoHopRandomAgainstBFS is the main property test: exact agreement
+// with a BFS oracle over many random graph shapes and densities.
+func TestTwoHopRandomAgainstBFS(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(24)
+		m := rng.Intn(3 * n)
+		edges := make([][2]int, m)
+		for i := range edges {
+			edges[i] = [2]int{rng.Intn(n), rng.Intn(n)}
+		}
+		checkTwoHop(t, n, edges)
+	}
+}
+
+// TestTwoHopAgreesWithGRAIL: the two indexes must answer identically on
+// the same graph (both are exact; this guards against divergent edge-case
+// conventions like self-loops and unreachable vertices).
+func TestTwoHopAgreesWithGRAIL(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(30)
+		m := rng.Intn(2 * n)
+		edges := make([][2]int, m)
+		for i := range edges {
+			edges[i] = [2]int{rng.Intn(n), rng.Intn(n)}
+		}
+		grail := Build(n, edges, 2, int64(trial))
+		th := BuildTwoHop(n, edges)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if grail.Reach(u, v) != th.Reach(u, v) {
+					t.Fatalf("trial %d: disagree on (%d,%d)", trial, u, v)
+				}
+			}
+		}
+	}
+}
+
+// TestTwoHopLabelSizeReasonable: on a chain of n vertices the pruned cover
+// must stay near-linear, not quadratic (the whole point of the 2-hop/PLL
+// construction over storing the transitive closure).
+func TestTwoHopLabelSizeReasonable(t *testing.T) {
+	g := workload.Chain(256)
+	th := BuildTwoHop(g.N, g.Edges)
+	if n := th.LabelEntries(); n > 256*40 {
+		t.Fatalf("label entries = %d on a 256-chain; cover degenerated", n)
+	}
+	if th.LabelEntries() == 0 {
+		t.Fatalf("no labels built")
+	}
+}
+
+func TestTwoHopDAGDiamond(t *testing.T) {
+	// 0 -> 1,2 -> 3; plus isolated 4.
+	edges := [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}}
+	th := checkTwoHop(t, 5, edges)
+	if th.Reach(3, 0) || th.Reach(4, 0) || th.Reach(0, 4) {
+		t.Fatalf("phantom reachability in diamond")
+	}
+}

@@ -1,0 +1,121 @@
+package relio
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/atom"
+	"repro/internal/logic"
+	"repro/internal/storage"
+	"repro/internal/term"
+)
+
+// TestQuickDumpLoadRoundTrip: for random relations over randomly named
+// constants (including names with commas, quotes, spaces, and unicode),
+// dump → load reproduces exactly the same fact set.
+func TestQuickDumpLoadRoundTrip(t *testing.T) {
+	alphabet := []string{"a", "b,c", `d"e`, "f g", "héllo", "x\ny", "0", "-12", ""}
+	f := func(rows [][3]uint8, aritySel bool) bool {
+		prog := logic.NewProgram()
+		db := storage.NewDB()
+		arity := 2
+		if aritySel {
+			arity = 3
+		}
+		pid := prog.Reg.Intern("r", arity)
+		for _, row := range rows {
+			args := make([]term.Term, arity)
+			for i := 0; i < arity; i++ {
+				args[i] = prog.Store.Const(alphabet[int(row[i])%len(alphabet)])
+			}
+			db.Insert(atom.New(pid, args...))
+		}
+		var buf bytes.Buffer
+		if err := Dump(prog, db, "r", &buf); err != nil {
+			t.Logf("dump: %v", err)
+			return false
+		}
+		prog2 := logic.NewProgram()
+		db2 := storage.NewDB()
+		if db.Len() == 0 {
+			return true // nothing to round-trip
+		}
+		if _, err := Load(prog2, db2, &buf, "r"); err != nil {
+			t.Logf("load: %v", err)
+			return false
+		}
+		if db2.Len() != db.Len() {
+			t.Logf("round trip %d -> %d facts", db.Len(), db2.Len())
+			return false
+		}
+		pid2, _ := prog2.Reg.Lookup("r")
+		for _, f := range db.Facts(pid) {
+			args := make([]term.Term, len(f.Args))
+			for i, a := range f.Args {
+				args[i] = prog2.Store.Const(prog.Store.Name(a))
+			}
+			if !db2.Contains(atom.New(pid2, args...)) {
+				t.Logf("missing fact after round trip")
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(5))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickLoadNeverPanics: arbitrary byte soup must produce an error or a
+// well-formed relation, never a panic or a ragged insert.
+func TestQuickLoadNeverPanics(t *testing.T) {
+	f := func(data []byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on %q: %v", data, r)
+				ok = false
+			}
+		}()
+		prog := logic.NewProgram()
+		db := storage.NewDB()
+		n, err := Load(prog, db, bytes.NewReader(data), "p")
+		if err != nil {
+			return true
+		}
+		if n > db.Len() {
+			return false
+		}
+		// All loaded facts must share one arity.
+		if id, found := prog.Reg.Lookup("p"); found {
+			want := prog.Reg.Arity(id)
+			for _, fact := range db.Facts(id) {
+				if len(fact.Args) != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(6))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTrimBehaviour documents the whitespace convention: leading
+// space trimmed by the reader, surrounding space trimmed by Load.
+func TestQuickTrimBehaviour(t *testing.T) {
+	prog := logic.NewProgram()
+	db := storage.NewDB()
+	if _, err := Load(prog, db, bytes.NewReader([]byte(" a , b \n")), "e"); err != nil {
+		t.Fatal(err)
+	}
+	id, _ := prog.Reg.Lookup("e")
+	fact := db.Facts(id)[0]
+	if got := prog.Store.Name(fact.Args[0]) + "|" + prog.Store.Name(fact.Args[1]); got != "a|b" {
+		t.Fatalf("trim = %q", got)
+	}
+}

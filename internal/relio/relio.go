@@ -1,0 +1,164 @@
+// Package relio loads and dumps relations as CSV files — the bulk data
+// path of the reproduction. Each file <predicate>.csv holds one relation:
+// one row per fact, one column per argument position. This mirrors how the
+// ChaseBench/iBench scenario distributions ship their source instances,
+// and lets the CLI run the engines over externally produced data instead
+// of facts embedded in the program text.
+//
+// Values are constants. On export, labeled nulls (chase-invented) are
+// rendered as "_:n<id>" in the RDF blank-node style; importing such a
+// value re-creates a constant with that literal name, not a null — the
+// paper's semantics never requires parsing nulls back in, and keeping
+// imports null-free preserves the invariant that a database is a set of
+// facts over constants (§2).
+package relio
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/atom"
+	"repro/internal/logic"
+	"repro/internal/storage"
+	"repro/internal/term"
+)
+
+// LoadFile reads one CSV file into the database as facts of the named
+// predicate, interning names in the program's context. All rows must have
+// the same number of columns, which must match any previously known arity
+// for the predicate. It returns the number of new facts.
+func LoadFile(prog *logic.Program, db *storage.DB, path, pred string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	return Load(prog, db, f, pred)
+}
+
+// Load is LoadFile over an arbitrary reader.
+func Load(prog *logic.Program, db *storage.DB, r io.Reader, pred string) (int, error) {
+	cr := csv.NewReader(r)
+	cr.Comment = '#'
+	cr.TrimLeadingSpace = true
+	added := 0
+	arity := -1
+	for line := 1; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return added, fmt.Errorf("%s: %w", pred, err)
+		}
+		if arity == -1 {
+			arity = len(rec)
+			if arity == 0 {
+				return added, fmt.Errorf("%s: empty row", pred)
+			}
+			if !prog.Reg.CheckArity(pred, arity) {
+				id, _ := prog.Reg.Lookup(pred)
+				return added, fmt.Errorf("%s: csv has %d columns but predicate is already used with arity %d",
+					pred, arity, prog.Reg.Arity(id))
+			}
+		} else if len(rec) != arity {
+			return added, fmt.Errorf("%s: row %d has %d columns, want %d", pred, line, len(rec), arity)
+		}
+		pid := prog.Reg.Intern(pred, arity)
+		args := make([]term.Term, arity)
+		for i, v := range rec {
+			args[i] = prog.Store.Const(strings.TrimSpace(v))
+		}
+		if db.Insert(atom.New(pid, args...)) {
+			added++
+		}
+	}
+	return added, nil
+}
+
+// LoadDir loads every *.csv file of a directory; the file's base name is
+// the predicate name. Returns the total number of new facts.
+func LoadDir(prog *logic.Program, db *storage.DB, dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	// Deterministic load order.
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".csv") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pred := strings.TrimSuffix(name, ".csv")
+		n, err := LoadFile(prog, db, filepath.Join(dir, name), pred)
+		if err != nil {
+			return total, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// Dump writes the facts of one predicate as CSV rows in insertion order.
+func Dump(prog *logic.Program, db *storage.DB, pred string, w io.Writer) error {
+	id, ok := prog.Reg.Lookup(pred)
+	if !ok {
+		return fmt.Errorf("relio: unknown predicate %q", pred)
+	}
+	cw := csv.NewWriter(w)
+	for _, f := range db.Facts(id) {
+		rec := make([]string, len(f.Args))
+		for i, t := range f.Args {
+			if t.IsNull() {
+				rec[i] = fmt.Sprintf("_:n%d", t.ID)
+			} else {
+				rec[i] = prog.Store.Name(t)
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// DumpDir writes every predicate of the database to <dir>/<pred>.csv,
+// creating the directory if needed.
+func DumpDir(prog *logic.Program, db *storage.DB, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	preds := make(map[string]bool)
+	for _, f := range db.All() {
+		preds[prog.Reg.Name(f.Pred)] = true
+	}
+	names := make([]string, 0, len(preds))
+	for p := range preds {
+		names = append(names, p)
+	}
+	sort.Strings(names)
+	for _, p := range names {
+		f, err := os.Create(filepath.Join(dir, p+".csv"))
+		if err != nil {
+			return err
+		}
+		if err := Dump(prog, db, p, f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+package relio
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/chase"
+	"repro/internal/logic"
+	"repro/internal/parser"
+	"repro/internal/storage"
+)
+
+func TestLoadBasic(t *testing.T) {
+	prog := logic.NewProgram()
+	db := storage.NewDB()
+	n, err := Load(prog, db, strings.NewReader("a,b\nb,c\na,b\n# comment\nc,d\n"), "edge")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if n != 3 { // a,b duplicated
+		t.Fatalf("new facts = %d, want 3", n)
+	}
+	id, ok := prog.Reg.Lookup("edge")
+	if !ok || prog.Reg.Arity(id) != 2 {
+		t.Fatalf("edge not interned with arity 2")
+	}
+	if db.CountPred(id) != 3 {
+		t.Fatalf("stored = %d", db.CountPred(id))
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	prog := logic.NewProgram()
+	db := storage.NewDB()
+	// Ragged rows.
+	if _, err := Load(prog, db, strings.NewReader("a,b\nc\n"), "r"); err == nil {
+		t.Fatalf("ragged csv accepted")
+	}
+	// Arity conflict with an existing predicate.
+	res, err := parser.ParseInto(logic.NewProgram(), `p(a,b,c).`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	db2 := storage.NewDB()
+	db2.InsertAll(res.Facts)
+	if _, err := Load(res.Program, db2, strings.NewReader("x,y\n"), "p"); err == nil {
+		t.Fatalf("arity conflict accepted")
+	}
+}
+
+func TestLoadDirAndDumpDirRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "edge.csv"), []byte("a,b\nb,c\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "node.csv"), []byte("a\nb\nc\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "README.txt"), []byte("ignored"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	prog := logic.NewProgram()
+	db := storage.NewDB()
+	n, err := LoadDir(prog, db, dir)
+	if err != nil {
+		t.Fatalf("loaddir: %v", err)
+	}
+	if n != 5 {
+		t.Fatalf("loaded = %d, want 5", n)
+	}
+	out := t.TempDir()
+	if err := DumpDir(prog, db, out); err != nil {
+		t.Fatalf("dumpdir: %v", err)
+	}
+	prog2 := logic.NewProgram()
+	db2 := storage.NewDB()
+	n2, err := LoadDir(prog2, db2, out)
+	if err != nil {
+		t.Fatalf("reload: %v", err)
+	}
+	if n2 != 5 {
+		t.Fatalf("round trip = %d facts, want 5", n2)
+	}
+}
+
+func TestDumpRendersNullsAsBlankNodes(t *testing.T) {
+	res, err := parser.Parse(`
+hasDept(E,D) :- emp(E).
+emp(alice).
+`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	db := storage.NewDB()
+	db.InsertAll(res.Facts)
+	cres, err := chase.Run(res.Program, db, chase.Default())
+	if err != nil {
+		t.Fatalf("chase: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := Dump(res.Program, cres.DB, "hasDept", &buf); err != nil {
+		t.Fatalf("dump: %v", err)
+	}
+	line := strings.TrimSpace(buf.String())
+	if !strings.HasPrefix(line, "alice,_:n") {
+		t.Fatalf("dump = %q, want alice,_:n<id>", line)
+	}
+}
+
+func TestDumpUnknownPredicate(t *testing.T) {
+	prog := logic.NewProgram()
+	if err := Dump(prog, storage.NewDB(), "nope", &bytes.Buffer{}); err == nil {
+		t.Fatalf("unknown predicate accepted")
+	}
+}
+
+// TestLoadedDataDrivesReasoning: end-to-end — CSV data + rule file =
+// certain answers, the CLI's -data path.
+func TestLoadedDataDrivesReasoning(t *testing.T) {
+	res, err := parser.Parse(`
+t(X,Y) :- edge(X,Y).
+t(X,Z) :- edge(X,Y), t(Y,Z).
+?(X) :- t(a, X).
+`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	db := storage.NewDB()
+	if _, err := Load(res.Program, db, strings.NewReader("a,b\nb,c\n"), "edge"); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	cres, err := chase.Run(res.Program, db, chase.Default())
+	if err != nil {
+		t.Fatalf("chase: %v", err)
+	}
+	ans := cres.DB.EvalCQ(res.Queries[0])
+	if len(ans) != 2 {
+		t.Fatalf("answers = %d, want 2 (b and c)", len(ans))
+	}
+}

@@ -1,0 +1,128 @@
+package resolution
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/atom"
+	"repro/internal/schema"
+	"repro/internal/term"
+)
+
+// TestCanonicalRenamingInvariance is the key property of the memoization
+// layer: applying an arbitrary injective variable renaming to a state must
+// not change its canonical key, and non-injective changes (merging
+// variables) must change it.
+func TestCanonicalRenamingInvariance(t *testing.T) {
+	st := term.NewStore()
+	reg := schema.NewRegistry()
+	preds := []schema.PredID{
+		reg.Intern("p", 2),
+		reg.Intern("q", 3),
+		reg.Intern("r", 1),
+	}
+	consts := []term.Term{st.Const("c1"), st.Const("c2")}
+	rng := rand.New(rand.NewSource(23))
+
+	randState := func() State {
+		nAtoms := 1 + rng.Intn(4)
+		nVars := 1 + rng.Intn(5)
+		vars := make([]term.Term, nVars)
+		for i := range vars {
+			vars[i] = st.Var("A" + string(rune('a'+i)) + "_rand")
+		}
+		var atoms []atom.Atom
+		for i := 0; i < nAtoms; i++ {
+			p := preds[rng.Intn(len(preds))]
+			ar := reg.Arity(p)
+			args := make([]term.Term, ar)
+			for j := range args {
+				if rng.Intn(4) == 0 {
+					args[j] = consts[rng.Intn(len(consts))]
+				} else {
+					args[j] = vars[rng.Intn(len(vars))]
+				}
+			}
+			atoms = append(atoms, atom.New(p, args...))
+		}
+		return NewState(atoms)
+	}
+
+	for trial := 0; trial < 300; trial++ {
+		s := randState()
+		_, k1 := Canonical(s, st)
+
+		// Injective renaming: map each variable to a fresh unique one.
+		// Renaming alone never changes the key (the initial structural
+		// sort ignores variable identity and the greedy ranks follow it).
+		vs := atom.VarSet(s.Atoms)
+		ren := make(map[term.Term]term.Term)
+		i := 0
+		for v := range vs {
+			ren[v] = st.Var("Z" + string(rune('0'+i%10)) + "_" + string(rune('a'+trial%26)) + "fresh")
+			i++
+		}
+		s2 := State{Atoms: ApplyFlat(ren, s.Atoms)}
+		_, k2 := Canonical(s2, st)
+		if k1 != k2 {
+			t.Fatalf("trial %d: canonical key changed under injective renaming", trial)
+		}
+
+		// Atom-order shuffles are additionally guaranteed stable when no
+		// two atoms tie structurally (greedy tie-breaking is the one
+		// documented source of imperfection — it costs re-exploration in
+		// the memo, never soundness).
+		keys := map[string]bool{}
+		distinct := true
+		for _, a := range s.Atoms {
+			k := structuralKey(a)
+			if keys[k] {
+				distinct = false
+				break
+			}
+			keys[k] = true
+		}
+		if distinct {
+			s3 := State{Atoms: append([]atom.Atom(nil), s2.Atoms...)}
+			rng.Shuffle(len(s3.Atoms), func(a, b int) { s3.Atoms[a], s3.Atoms[b] = s3.Atoms[b], s3.Atoms[a] })
+			_, k3 := Canonical(s3, st)
+			if k1 != k3 {
+				t.Fatalf("trial %d: key changed under shuffle despite distinct structural keys", trial)
+			}
+		}
+	}
+}
+
+// TestCanonicalDistinguishesMerges checks that identifying two distinct
+// variables (when they both occur) changes the canonical key.
+func TestCanonicalDistinguishesMerges(t *testing.T) {
+	st := term.NewStore()
+	reg := schema.NewRegistry()
+	p := reg.Intern("mp", 2)
+	x, y := st.Var("MX"), st.Var("MY")
+	s := NewState([]atom.Atom{atom.New(p, x, y)})
+	_, k1 := Canonical(s, st)
+	merged := State{Atoms: ApplyFlat(map[term.Term]term.Term{y: x}, s.Atoms)}
+	_, k2 := Canonical(merged, st)
+	if k1 == k2 {
+		t.Fatalf("merging variables should change the canonical key")
+	}
+}
+
+// TestApplyFlatNoChains guards against the chain-following bug: a renaming
+// whose target names occur in the input must be applied in one step.
+func TestApplyFlatNoChains(t *testing.T) {
+	st := term.NewStore()
+	reg := schema.NewRegistry()
+	p := reg.Intern("fp", 2)
+	x, v0, v1 := st.Var("FX"), st.Var("v0"), st.Var("v1")
+	// x -> v0, v0 -> v1: x and v0 must stay DISTINCT after renaming.
+	in := []atom.Atom{atom.New(p, x, v0)}
+	out := ApplyFlat(map[term.Term]term.Term{x: v0, v0: v1}, in)
+	if out[0].Args[0] != v0 || out[0].Args[1] != v1 {
+		t.Fatalf("flat application broken: got %v,%v", out[0].Args[0], out[0].Args[1])
+	}
+	if out[0].Args[0] == out[0].Args[1] {
+		t.Fatalf("chain following conflated distinct variables")
+	}
+}

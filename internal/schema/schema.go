@@ -1,0 +1,130 @@
+// Package schema maintains the predicate vocabulary of a reasoning session:
+// predicate names with arities interned to compact IDs, and the position
+// space pos(S) used by the wardedness analysis (paper, Sections 2–3).
+package schema
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PredID identifies an interned predicate.
+type PredID uint32
+
+// Position identifies an argument position R[i] of a predicate (paper §2:
+// "A position R[i] in S identifies the i-th argument of R"). Index is
+// 0-based internally; the String form prints 1-based as in the paper.
+type Position struct {
+	Pred  PredID
+	Index int
+}
+
+// Registry interns predicates. All atoms of one session share one Registry.
+// Not safe for concurrent mutation.
+type Registry struct {
+	names   []string
+	arities []int
+	ids     map[string]PredID
+}
+
+// NewRegistry returns an empty predicate registry.
+func NewRegistry() *Registry {
+	return &Registry{ids: make(map[string]PredID)}
+}
+
+// Clone returns an independent copy; predicate IDs remain valid across
+// the copy (see term.Store.Clone for the rationale).
+func (r *Registry) Clone() *Registry {
+	out := &Registry{
+		names:   append([]string(nil), r.names...),
+		arities: append([]int(nil), r.arities...),
+		ids:     make(map[string]PredID, len(r.ids)),
+	}
+	for k, v := range r.ids {
+		out.ids[k] = v
+	}
+	return out
+}
+
+// Intern returns the ID of the predicate name/arity, creating it if needed.
+// Predicates are identified by name alone; re-interning a known name with a
+// different arity is an error surfaced via panic, because it indicates a
+// malformed program (the parser reports this condition gracefully first).
+func (r *Registry) Intern(name string, arity int) PredID {
+	if id, ok := r.ids[name]; ok {
+		if r.arities[id] != arity {
+			panic(fmt.Sprintf("schema: predicate %s used with arities %d and %d",
+				name, r.arities[id], arity))
+		}
+		return id
+	}
+	id := PredID(len(r.names))
+	r.names = append(r.names, name)
+	r.arities = append(r.arities, arity)
+	r.ids[name] = id
+	return id
+}
+
+// Lookup reports the ID of a predicate name, if interned.
+func (r *Registry) Lookup(name string) (PredID, bool) {
+	id, ok := r.ids[name]
+	return id, ok
+}
+
+// CheckArity reports whether name is either unknown or interned with arity.
+func (r *Registry) CheckArity(name string, arity int) bool {
+	id, ok := r.ids[name]
+	return !ok || r.arities[id] == arity
+}
+
+// Name returns the name of an interned predicate.
+func (r *Registry) Name(id PredID) string {
+	if int(id) < len(r.names) {
+		return r.names[id]
+	}
+	return fmt.Sprintf("pred#%d", id)
+}
+
+// Arity returns the arity of an interned predicate.
+func (r *Registry) Arity(id PredID) int {
+	if int(id) < len(r.arities) {
+		return r.arities[id]
+	}
+	return -1
+}
+
+// Len reports the number of interned predicates.
+func (r *Registry) Len() int { return len(r.names) }
+
+// Positions returns pos({P}) — all argument positions of predicate id.
+func (r *Registry) Positions(id PredID) []Position {
+	n := r.Arity(id)
+	out := make([]Position, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, Position{Pred: id, Index: i})
+	}
+	return out
+}
+
+// AllPositions returns pos(S) for the whole registry, in a deterministic
+// order (by predicate ID, then index).
+func (r *Registry) AllPositions() []Position {
+	var out []Position
+	for id := range r.names {
+		out = append(out, r.Positions(PredID(id))...)
+	}
+	return out
+}
+
+// PositionString renders a position in the paper's R[i] (1-based) notation.
+func (r *Registry) PositionString(p Position) string {
+	return fmt.Sprintf("%s[%d]", r.Name(p.Pred), p.Index+1)
+}
+
+// SortedNames returns all interned predicate names sorted alphabetically;
+// useful for deterministic reports.
+func (r *Registry) SortedNames() []string {
+	out := append([]string(nil), r.names...)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,323 @@
+// Package storage implements the finite-instance layer: a deduplicating
+// fact store with per-position hash indexes, pattern matching, and
+// conjunctive-query evaluation over instances that may contain labeled
+// nulls (as produced by the chase).
+//
+// The evaluation of a CQ q(x̄) over an instance I is the set of tuples h(x̄)
+// of CONSTANTS with h a homomorphism from atoms(q) to I (paper §2). Nulls
+// may be used by h internally but never appear in answer tuples.
+package storage
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/atom"
+	"repro/internal/logic"
+	"repro/internal/schema"
+	"repro/internal/term"
+)
+
+// DB is an instance over a schema: a deduplicated set of ground atoms
+// (constants and nulls). The zero value is not usable; call NewDB.
+type DB struct {
+	rows    []atom.Atom
+	byPred  map[schema.PredID][]int32
+	dedup   map[uint64][]int32
+	indexes map[idxKey][]int32
+}
+
+type idxKey struct {
+	pred schema.PredID
+	pos  int8
+	term uint64
+}
+
+// NewDB returns an empty instance.
+func NewDB() *DB {
+	return &DB{
+		byPred:  make(map[schema.PredID][]int32),
+		dedup:   make(map[uint64][]int32),
+		indexes: make(map[idxKey][]int32),
+	}
+}
+
+// Insert adds a ground atom, reporting whether it was new. Atoms with
+// variables are rejected by panic: inserting a non-ground atom is always a
+// programming error in the engine layers above.
+func (db *DB) Insert(a atom.Atom) bool {
+	if !a.IsGround() {
+		panic("storage: inserting non-ground atom")
+	}
+	h := a.Hash()
+	for _, ri := range db.dedup[h] {
+		if db.rows[ri].Equal(a) {
+			return false
+		}
+	}
+	ri := int32(len(db.rows))
+	db.rows = append(db.rows, a)
+	db.dedup[h] = append(db.dedup[h], ri)
+	db.byPred[a.Pred] = append(db.byPred[a.Pred], ri)
+	for i, t := range a.Args {
+		k := idxKey{pred: a.Pred, pos: int8(i), term: t.Key()}
+		db.indexes[k] = append(db.indexes[k], ri)
+	}
+	return true
+}
+
+// InsertAll inserts a batch of atoms, reporting how many were new.
+func (db *DB) InsertAll(atoms []atom.Atom) int {
+	n := 0
+	for _, a := range atoms {
+		if db.Insert(a) {
+			n++
+		}
+	}
+	return n
+}
+
+// Contains reports whether the ground atom is present.
+func (db *DB) Contains(a atom.Atom) bool {
+	h := a.Hash()
+	for _, ri := range db.dedup[h] {
+		if db.rows[ri].Equal(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// Len reports the number of stored atoms.
+func (db *DB) Len() int { return len(db.rows) }
+
+// CountPred reports the number of atoms with the given predicate.
+func (db *DB) CountPred(p schema.PredID) int { return len(db.byPred[p]) }
+
+// Facts returns the stored atoms with the given predicate. The returned
+// slice is shared; callers must not mutate it.
+func (db *DB) Facts(p schema.PredID) []atom.Atom {
+	rows := db.byPred[p]
+	out := make([]atom.Atom, len(rows))
+	for i, ri := range rows {
+		out[i] = db.rows[ri]
+	}
+	return out
+}
+
+// All returns every stored atom in insertion order (copy).
+func (db *DB) All() []atom.Atom {
+	return append([]atom.Atom(nil), db.rows...)
+}
+
+// Clone returns a deep-enough copy sharing immutable atoms.
+func (db *DB) Clone() *DB {
+	out := NewDB()
+	for _, a := range db.rows {
+		out.Insert(a)
+	}
+	return out
+}
+
+// ActiveDomain returns dom(I): all terms occurring in the instance, with
+// constants first, deterministically ordered.
+func (db *DB) ActiveDomain() []term.Term {
+	seen := make(map[term.Term]bool)
+	var out []term.Term
+	for _, a := range db.rows {
+		for _, t := range a.Args {
+			if !seen[t] {
+				seen[t] = true
+				out = append(out, t)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// Constants returns the constants of the active domain.
+func (db *DB) Constants() []term.Term {
+	var out []term.Term
+	for _, t := range db.ActiveDomain() {
+		if t.IsConst() {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// candidates returns the row ids matching the pattern atom under the
+// substitution s, using the most selective available index.
+func (db *DB) candidates(pa atom.Atom, s atom.Subst) []int32 {
+	best := db.byPred[pa.Pred]
+	for i, t := range pa.Args {
+		rt := s.Apply(t)
+		if rt.IsVar() {
+			continue
+		}
+		rows := db.indexes[idxKey{pred: pa.Pred, pos: int8(i), term: rt.Key()}]
+		if len(rows) < len(best) {
+			best = rows
+		}
+	}
+	return best
+}
+
+// MatchEach calls fn with an extended substitution for every stored atom
+// matching the pattern under base. Iteration stops early if fn returns
+// false. The substitution passed to fn is freshly cloned per match.
+func (db *DB) MatchEach(pa atom.Atom, base atom.Subst, fn func(atom.Subst) bool) {
+	for _, ri := range db.candidates(pa, base) {
+		s := base.Clone()
+		if atom.MatchAtom(s, pa, db.rows[ri]) {
+			if !fn(s) {
+				return
+			}
+		}
+	}
+}
+
+// Homomorphism searches for a homomorphism from the pattern atom set into
+// the instance extending base; nulls in the pattern are rigid.
+func (db *DB) Homomorphism(pattern []atom.Atom, base atom.Subst) (atom.Subst, bool) {
+	if base == nil {
+		base = atom.NewSubst()
+	}
+	var rec func(i int, s atom.Subst) (atom.Subst, bool)
+	order := orderForJoin(pattern)
+	rec = func(i int, s atom.Subst) (atom.Subst, bool) {
+		if i == len(order) {
+			return s, true
+		}
+		var out atom.Subst
+		found := false
+		db.MatchEach(order[i], s, func(s2 atom.Subst) bool {
+			if r, ok := rec(i+1, s2); ok {
+				out = r
+				found = true
+				return false
+			}
+			return true
+		})
+		return out, found
+	}
+	return rec(0, base)
+}
+
+// EvalCQ evaluates a conjunctive query over the instance, returning the set
+// of answer tuples (tuples of constants only), deduplicated, in a
+// deterministic order. Output positions already holding constants act as
+// selections.
+func (db *DB) EvalCQ(q *logic.CQ) [][]term.Term {
+	var answers [][]term.Term
+	seen := make(map[string]bool)
+	order := orderForJoin(q.Atoms)
+	var rec func(i int, s atom.Subst)
+	rec = func(i int, s atom.Subst) {
+		if i == len(order) {
+			tup := make([]term.Term, len(q.Output))
+			for j, t := range q.Output {
+				v := s.Apply(t)
+				if !v.IsConst() {
+					return // answers must be constant tuples
+				}
+				tup[j] = v
+			}
+			k := tupleKey(tup)
+			if !seen[k] {
+				seen[k] = true
+				answers = append(answers, tup)
+			}
+			return
+		}
+		db.MatchEach(order[i], s, func(s2 atom.Subst) bool {
+			rec(i+1, s2)
+			return true
+		})
+	}
+	rec(0, atom.NewSubst())
+	sort.Slice(answers, func(i, j int) bool {
+		return tupleKey(answers[i]) < tupleKey(answers[j])
+	})
+	return answers
+}
+
+// HasAnswer reports whether the given constant tuple is an answer of q
+// over the instance — the decision problem of §2 for a finite instance.
+func (db *DB) HasAnswer(q *logic.CQ, c []term.Term) bool {
+	if len(c) != len(q.Output) {
+		return false
+	}
+	base := atom.NewSubst()
+	for i, t := range q.Output {
+		if !base.Bind(t, c[i]) {
+			return false
+		}
+	}
+	_, ok := db.Homomorphism(q.Atoms, base)
+	return ok
+}
+
+// tupleKey renders a tuple for dedup/sorting.
+func tupleKey(ts []term.Term) string {
+	var b strings.Builder
+	for _, t := range ts {
+		b.WriteByte(byte(t.Kind))
+		b.WriteByte(byte(t.ID >> 24))
+		b.WriteByte(byte(t.ID >> 16))
+		b.WriteByte(byte(t.ID >> 8))
+		b.WriteByte(byte(t.ID))
+	}
+	return b.String()
+}
+
+// orderForJoin orders pattern atoms greedily: start with the atom with the
+// fewest variables, then repeatedly take an atom sharing variables with the
+// already-ordered prefix (most shared first). This is the standard
+// connected join order and keeps backtracking local.
+func orderForJoin(pattern []atom.Atom) []atom.Atom {
+	if len(pattern) <= 1 {
+		return pattern
+	}
+	n := len(pattern)
+	used := make([]bool, n)
+	bound := make(map[term.Term]bool)
+	out := make([]atom.Atom, 0, n)
+	countNew := func(a atom.Atom) (newVars, boundVars int) {
+		for _, t := range a.Args {
+			if t.IsVar() {
+				if bound[t] {
+					boundVars++
+				} else {
+					newVars++
+				}
+			}
+		}
+		return
+	}
+	for len(out) < n {
+		best, bestScore := -1, 1<<30
+		for i, a := range pattern {
+			if used[i] {
+				continue
+			}
+			nv, bv := countNew(a)
+			score := nv*4 - bv // prefer few new vars, many bound vars
+			if len(out) > 0 && bv == 0 {
+				score += 100 // heavily penalize cartesian products
+			}
+			if score < bestScore {
+				bestScore, best = score, i
+			}
+		}
+		used[best] = true
+		out = append(out, pattern[best])
+		for _, t := range pattern[best].Args {
+			if t.IsVar() {
+				bound[t] = true
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package storage
+
+import (
+	"repro/internal/atom"
+)
+
+// Mark is a position in the insertion order of a DB; facts inserted after a
+// mark form the "delta" used by semi-naive evaluation.
+type Mark int
+
+// Mark returns the current insertion position.
+func (db *DB) Mark() Mark { return Mark(len(db.rows)) }
+
+// IndexOf returns the insertion index of a ground atom, if present.
+// Insertion indexes order derivations: a chase trigger's atoms always have
+// smaller indexes than the facts it produced.
+func (db *DB) IndexOf(a atom.Atom) (int, bool) {
+	for _, ri := range db.dedup[a.Hash()] {
+		if db.rows[ri].Equal(a) {
+			return int(ri), true
+		}
+	}
+	return 0, false
+}
+
+// MatchEachSince is MatchEach restricted to facts inserted at or after the
+// mark — the delta-join primitive of semi-naive evaluation.
+func (db *DB) MatchEachSince(pa atom.Atom, base atom.Subst, since Mark, fn func(atom.Subst) bool) {
+	for _, ri := range db.candidates(pa, base) {
+		if ri < int32(since) {
+			continue
+		}
+		s := base.Clone()
+		if atom.MatchAtom(s, pa, db.rows[ri]) {
+			if !fn(s) {
+				return
+			}
+		}
+	}
+}
+
+// MatchEachSinceSharded is MatchEachSince restricted to the shard-th
+// residue class of row indexes modulo shards. Parallel semi-naive workers
+// use it to split one delta scan: the shards partition the delta facts, so
+// running every shard in [0, shards) enumerates exactly the matches of
+// MatchEachSince, with no match seen by two workers.
+func (db *DB) MatchEachSinceSharded(pa atom.Atom, base atom.Subst, since Mark, shard, shards int, fn func(atom.Subst) bool) {
+	for _, ri := range db.candidates(pa, base) {
+		if ri < int32(since) || int(ri)%shards != shard {
+			continue
+		}
+		s := base.Clone()
+		if atom.MatchAtom(s, pa, db.rows[ri]) {
+			if !fn(s) {
+				return
+			}
+		}
+	}
+}
+
+// HomomorphismsEach enumerates every homomorphism from the pattern into the
+// instance extending base, invoking fn for each; fn returning false stops
+// the enumeration. deltaAtom, when in [0, len(pattern)), restricts that
+// pattern atom to facts inserted at or after since (semi-naive: at least
+// one atom must match a new fact). Pass deltaAtom = -1 for unrestricted
+// enumeration.
+func (db *DB) HomomorphismsEach(pattern []atom.Atom, base atom.Subst, deltaAtom int, since Mark, fn func(atom.Subst) bool) {
+	if base == nil {
+		base = atom.NewSubst()
+	}
+	// Order atoms for the join but remember which one carries the delta
+	// restriction. The delta atom goes first: it is typically the most
+	// selective, and putting it first makes the restriction prune early.
+	idx := make([]int, len(pattern))
+	for i := range idx {
+		idx[i] = i
+	}
+	if deltaAtom >= 0 && deltaAtom < len(pattern) {
+		idx[0], idx[deltaAtom] = idx[deltaAtom], idx[0]
+	}
+	ordered := orderRest(pattern, idx)
+
+	var rec func(k int, s atom.Subst) bool
+	rec = func(k int, s atom.Subst) bool {
+		if k == len(ordered) {
+			return fn(s)
+		}
+		cont := true
+		pa := pattern[ordered[k]]
+		if ordered[k] == deltaAtom {
+			db.MatchEachSince(pa, s, since, func(s2 atom.Subst) bool {
+				cont = rec(k+1, s2)
+				return cont
+			})
+		} else {
+			db.MatchEach(pa, s, func(s2 atom.Subst) bool {
+				cont = rec(k+1, s2)
+				return cont
+			})
+		}
+		return cont
+	}
+	rec(0, base)
+}
+
+// orderRest orders the atom indices so that idx[0] stays first and each
+// following atom shares variables with the prefix when possible.
+func orderRest(pattern []atom.Atom, idx []int) []int {
+	if len(idx) <= 2 {
+		return idx
+	}
+	out := []int{idx[0]}
+	used := map[int]bool{idx[0]: true}
+	bound := make(map[uint64]bool)
+	note := func(i int) {
+		for _, t := range pattern[i].Args {
+			if t.IsVar() {
+				bound[t.Key()] = true
+			}
+		}
+	}
+	note(idx[0])
+	for len(out) < len(idx) {
+		best, bestScore := -1, -1
+		for _, i := range idx {
+			if used[i] {
+				continue
+			}
+			score := 0
+			for _, t := range pattern[i].Args {
+				if t.IsVar() && bound[t.Key()] {
+					score++
+				}
+			}
+			if score > bestScore {
+				bestScore, best = score, i
+			}
+		}
+		used[best] = true
+		out = append(out, best)
+		note(best)
+	}
+	return out
+}

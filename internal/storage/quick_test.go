@@ -1,0 +1,177 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/atom"
+	"repro/internal/logic"
+	"repro/internal/parser"
+	"repro/internal/term"
+)
+
+// TestInsertContainsConsistency: whatever is inserted is contained; Len
+// equals the number of distinct atoms inserted.
+func TestInsertContainsConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	prog := logic.NewProgram()
+	p := prog.Reg.Intern("p", 2)
+	q := prog.Reg.Intern("q", 1)
+	db := NewDB()
+	distinct := make(map[string]bool)
+	var all []atom.Atom
+	for i := 0; i < 500; i++ {
+		var a atom.Atom
+		if rng.Intn(2) == 0 {
+			a = atom.New(p,
+				prog.Store.Const(fmt.Sprintf("c%d", rng.Intn(10))),
+				prog.Store.Const(fmt.Sprintf("c%d", rng.Intn(10))))
+		} else {
+			a = atom.New(q, prog.Store.Const(fmt.Sprintf("c%d", rng.Intn(10))))
+		}
+		key := a.String(prog.Store, prog.Reg)
+		wasNew := db.Insert(a)
+		if wasNew == distinct[key] {
+			t.Fatalf("Insert new-ness wrong for %s (wasNew=%v)", key, wasNew)
+		}
+		distinct[key] = true
+		all = append(all, a)
+	}
+	if db.Len() != len(distinct) {
+		t.Fatalf("Len = %d, distinct = %d", db.Len(), len(distinct))
+	}
+	for _, a := range all {
+		if !db.Contains(a) {
+			t.Fatalf("lost atom %v", a.String(prog.Store, prog.Reg))
+		}
+	}
+}
+
+// TestEvalCQMonotone: adding facts never removes CQ answers.
+func TestEvalCQMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	r, err := parser.Parse(`?(X,Z) :- e(X,Y), e(Y,Z).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := r.Program.Reg.Lookup("e")
+	db := NewDB()
+	var prev [][]term.Term
+	for step := 0; step < 60; step++ {
+		db.Insert(atom.New(e,
+			r.Program.Store.Const(fmt.Sprintf("v%d", rng.Intn(8))),
+			r.Program.Store.Const(fmt.Sprintf("v%d", rng.Intn(8)))))
+		cur := db.EvalCQ(r.Queries[0])
+		if len(cur) < len(prev) {
+			t.Fatalf("step %d: answers shrank %d -> %d", step, len(prev), len(cur))
+		}
+		seen := map[string]bool{}
+		for _, tup := range cur {
+			seen[fmt.Sprint(tup)] = true
+		}
+		for _, tup := range prev {
+			if !seen[fmt.Sprint(tup)] {
+				t.Fatalf("step %d: lost answer %v", step, tup)
+			}
+		}
+		prev = cur
+	}
+}
+
+// TestEvalCQAgainstBruteForce: the indexed join agrees with a naive
+// enumeration of all substitutions on random instances.
+func TestEvalCQAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	r, err := parser.Parse(`?(X) :- e(X,Y), f(Y,X).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := r.Program.Reg.Lookup("e")
+	f, _ := r.Program.Reg.Lookup("f")
+	for trial := 0; trial < 20; trial++ {
+		db := NewDB()
+		n := 2 + rng.Intn(5)
+		cs := make([]term.Term, n)
+		for i := range cs {
+			cs[i] = r.Program.Store.Const(fmt.Sprintf("t%d_%d", trial, i))
+		}
+		for i := 0; i < n*2; i++ {
+			db.Insert(atom.New(e, cs[rng.Intn(n)], cs[rng.Intn(n)]))
+			db.Insert(atom.New(f, cs[rng.Intn(n)], cs[rng.Intn(n)]))
+		}
+		got := db.EvalCQ(r.Queries[0])
+		// Brute force: for every pair (a,b): e(a,b) ∧ f(b,a) → answer a.
+		want := map[term.Term]bool{}
+		for _, a := range cs {
+			for _, b := range cs {
+				if db.Contains(atom.New(e, a, b)) && db.Contains(atom.New(f, b, a)) {
+					want[a] = true
+				}
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d answers, want %d", trial, len(got), len(want))
+		}
+		for _, tup := range got {
+			if !want[tup[0]] {
+				t.Fatalf("trial %d: spurious answer %v", trial, tup)
+			}
+		}
+	}
+}
+
+// TestMatchEachSinceDelta: the delta restriction sees exactly the facts
+// inserted after the mark.
+func TestMatchEachSinceDelta(t *testing.T) {
+	r, err := parser.Parse(`?(X,Y) :- e(X,Y).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := r.Program.Reg.Lookup("e")
+	st := r.Program.Store
+	db := NewDB()
+	db.Insert(atom.New(e, st.Const("a"), st.Const("b")))
+	mark := db.Mark()
+	db.Insert(atom.New(e, st.Const("b"), st.Const("c")))
+	pattern := r.Queries[0].Atoms[0]
+	var count int
+	db.MatchEachSince(pattern, nil, mark, func(atom.Subst) bool {
+		count++
+		return true
+	})
+	if count != 1 {
+		t.Fatalf("delta matched %d facts, want 1", count)
+	}
+	count = 0
+	db.MatchEachSince(pattern, nil, 0, func(atom.Subst) bool {
+		count++
+		return true
+	})
+	if count != 2 {
+		t.Fatalf("mark 0 matched %d facts, want 2", count)
+	}
+}
+
+// TestIndexOfOrdering: IndexOf respects insertion order (needed by the
+// chase-tree builder's "unfold newest first" rule).
+func TestIndexOfOrdering(t *testing.T) {
+	prog := logic.NewProgram()
+	p := prog.Reg.Intern("p", 1)
+	db := NewDB()
+	var atoms []atom.Atom
+	for i := 0; i < 10; i++ {
+		a := atom.New(p, prog.Store.Const(fmt.Sprintf("k%d", i)))
+		atoms = append(atoms, a)
+		db.Insert(a)
+	}
+	for i, a := range atoms {
+		idx, ok := db.IndexOf(a)
+		if !ok || idx != i {
+			t.Fatalf("IndexOf(%d) = %d,%v", i, idx, ok)
+		}
+	}
+	if _, ok := db.IndexOf(atom.New(p, prog.Store.Const("missing"))); ok {
+		t.Fatalf("IndexOf found a missing atom")
+	}
+}

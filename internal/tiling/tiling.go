@@ -1,0 +1,249 @@
+// Package tiling implements the undecidability machinery of Section 5
+// (Theorem 5.1): tiling systems, the reduction from UnboundedTiling to
+// CQAns(PWL), and a brute-force tiler used as ground truth on small
+// instances.
+//
+// A tiling system T = (T, L, R, H, V, a, b) asks for a function
+// f : [n] × [m] → T (n columns, m rows, both unbounded) with
+//
+//	f(1,1) = a, f(1,m) = b,
+//	f(1,i) ∈ L and f(n,i) ∈ R for every i ∈ [m],
+//	(f(x,y), f(x+1,y)) ∈ H and (f(x,y), f(x,y+1)) ∈ V.
+//
+// The reduction produces a FIXED piece-wise linear set of TGDs Σ and a
+// FIXED Boolean CQ q (independent of T — that is what makes the result a
+// DATA complexity lower bound) plus a database D_T encoding T, such that T
+// has a tiling iff () ∈ cert(q, D_T, Σ).
+//
+// Note the paper's first CTiling rule checks Start(y) but not Le(y), and
+// the query checks Finish(y) but not Le(y); the reduction is faithful to
+// the formal definition when a, b ∈ L, which our generators ensure (a
+// tiling needs f(1,1) = a ∈ L anyway for column 1 to satisfy L).
+package tiling
+
+import (
+	"fmt"
+
+	"repro/internal/atom"
+	"repro/internal/logic"
+	"repro/internal/parser"
+	"repro/internal/storage"
+)
+
+// System is a tiling system.
+type System struct {
+	Tiles  []string
+	Left   map[string]bool
+	Right  map[string]bool
+	Horiz  map[[2]string]bool
+	Vert   map[[2]string]bool
+	Start  string // tile a
+	Finish string // tile b
+}
+
+// Validate checks structural sanity: a, b and all constraint tiles are
+// declared, and L ∩ R = ∅ (as the paper requires).
+func (s *System) Validate() error {
+	declared := make(map[string]bool)
+	for _, t := range s.Tiles {
+		declared[t] = true
+	}
+	if !declared[s.Start] || !declared[s.Finish] {
+		return fmt.Errorf("tiling: start/finish tile not declared")
+	}
+	for t := range s.Left {
+		if !declared[t] {
+			return fmt.Errorf("tiling: left tile %q not declared", t)
+		}
+		if s.Right[t] {
+			return fmt.Errorf("tiling: L and R must be disjoint (%q)", t)
+		}
+	}
+	for t := range s.Right {
+		if !declared[t] {
+			return fmt.Errorf("tiling: right tile %q not declared", t)
+		}
+	}
+	for p := range s.Horiz {
+		if !declared[p[0]] || !declared[p[1]] {
+			return fmt.Errorf("tiling: H mentions undeclared tile")
+		}
+	}
+	for p := range s.Vert {
+		if !declared[p[0]] || !declared[p[1]] {
+			return fmt.Errorf("tiling: V mentions undeclared tile")
+		}
+	}
+	return nil
+}
+
+// ProgramSource is the FIXED PWL program of the reduction, verbatim from
+// Section 5 (in the head-first surface syntax; "_" are don't-care
+// variables).
+const ProgramSource = `
+% rows that respect the horizontal constraints
+row(Z,Z,X,X) :- tile(X).
+row(X,U,Y,W) :- row(_,X,Y,Z), h(Z,W).
+% pairs of vertically compatible rows
+comp(X,X2) :- row(X,X,Y,Y), row(X2,X2,Y2,Y2), v(Y,Y2).
+comp(Y,Y2) :- row(X,Y,_,Z), row(X2,Y2,_,Z2), comp(X,X2), v(Z,Z2).
+% candidate tilings, grown row by row
+ctiling(X,Y) :- row(_,X,Y,Z), start(Y), right(Z).
+ctiling(Y,Z) :- ctiling(X,_), row(_,Y,Z,W), comp(X,Y), le(Z), right(W).
+`
+
+// QuerySource is the fixed Boolean CQ of the reduction.
+const QuerySource = `? :- ctiling(X,Y), finish(Y).`
+
+// Reduction is the output of the Theorem 5.1 construction.
+type Reduction struct {
+	Program *logic.Program
+	DB      *storage.DB
+	Query   *logic.CQ
+}
+
+// Reduce builds (D_T, Σ, q) for a tiling system.
+func Reduce(s *System) (*Reduction, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	res, err := parser.Parse(ProgramSource)
+	if err != nil {
+		return nil, fmt.Errorf("tiling: fixed program: %w", err)
+	}
+	qres, err := parser.ParseInto(res.Program, QuerySource)
+	if err != nil {
+		return nil, fmt.Errorf("tiling: fixed query: %w", err)
+	}
+	prog := res.Program
+	db := storage.NewDB()
+	reg, st := prog.Reg, prog.Store
+	tile := reg.Intern("tile", 1)
+	le := reg.Intern("le", 1)
+	right := reg.Intern("right", 1)
+	h := reg.Intern("h", 2)
+	v := reg.Intern("v", 2)
+	start := reg.Intern("start", 1)
+	finish := reg.Intern("finish", 1)
+	for _, t := range s.Tiles {
+		db.Insert(atom.New(tile, st.Const(t)))
+	}
+	for t := range s.Left {
+		db.Insert(atom.New(le, st.Const(t)))
+	}
+	for t := range s.Right {
+		db.Insert(atom.New(right, st.Const(t)))
+	}
+	for p := range s.Horiz {
+		db.Insert(atom.New(h, st.Const(p[0]), st.Const(p[1])))
+	}
+	for p := range s.Vert {
+		db.Insert(atom.New(v, st.Const(p[0]), st.Const(p[1])))
+	}
+	db.Insert(atom.New(start, st.Const(s.Start)))
+	db.Insert(atom.New(finish, st.Const(s.Finish)))
+	return &Reduction{Program: prog, DB: db, Query: qres.Queries[0]}, nil
+}
+
+// BruteForce searches for a tiling with at most maxW columns and maxH rows,
+// returning the tiling (row-major, grid[y][x], grid[0] being the row that
+// starts with the start tile) if one exists. It is the ground-truth oracle
+// for the faithfulness experiments (E4); the problem is unbounded, so a
+// negative answer only refutes tilings within the searched box.
+func BruteForce(s *System, maxW, maxH int) ([][]string, bool) {
+	if err := s.Validate(); err != nil {
+		return nil, false
+	}
+	for w := 1; w <= maxW; w++ {
+		rows := enumerateRows(s, w)
+		var startRows []int
+		for i, r := range rows {
+			if r[0] == s.Start {
+				startRows = append(startRows, i)
+			}
+		}
+		if grid, ok := dfsGrid(s, rows, startRows, maxH); ok {
+			return grid, true
+		}
+	}
+	return nil, false
+}
+
+// dfsGrid searches for a stack of ≤ maxH vertically compatible rows whose
+// first row is a start row and whose last row begins with the finish tile.
+func dfsGrid(s *System, rows [][]string, startRows []int, maxH int) ([][]string, bool) {
+	var path []int
+	var found [][]string
+	var rec func(cur, depth int) bool
+	rec = func(cur, depth int) bool {
+		path = append(path, cur)
+		defer func() { path = path[:len(path)-1] }()
+		if rows[cur][0] == s.Finish {
+			found = make([][]string, len(path))
+			for i, ri := range path {
+				found[i] = append([]string(nil), rows[ri]...)
+			}
+			return true
+		}
+		if depth == maxH {
+			return false
+		}
+		for j := range rows {
+			if compatible(s, rows[cur], rows[j]) && rec(j, depth+1) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, s0 := range startRows {
+		if rec(s0, 1) {
+			return found, true
+		}
+	}
+	return nil, false
+}
+
+// enumerateRows lists all rows of width w that respect H, start in L
+// (or equal the start/finish tile — see the package note) and end in R.
+// Row r is represented left-to-right; r[0] is the leftmost tile.
+func enumerateRows(s *System, w int) [][]string {
+	var out [][]string
+	row := make([]string, w)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == w {
+			if s.Right[row[w-1]] {
+				out = append(out, append([]string(nil), row...))
+			}
+			return
+		}
+		for _, t := range s.Tiles {
+			if i == 0 {
+				// Leftmost column: must be in L.
+				if !s.Left[t] {
+					continue
+				}
+			} else if !s.Horiz[[2]string{row[i-1], t}] {
+				continue
+			}
+			row[i] = t
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+// compatible reports whether row b can be placed directly above row a
+// (every column satisfies V(a[i], b[i])).
+func compatible(s *System, a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !s.Vert[[2]string{a[i], b[i]}] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,211 @@
+package tiling
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/chase"
+)
+
+// stripes is a solvable system: two tiles alternating vertically, every
+// row is monochrome. a = white, b = black, 2x2 tiling exists.
+func stripes() *System {
+	return &System{
+		Tiles: []string{"w", "k"},
+		Left:  map[string]bool{"w": true, "k": true},
+		Right: map[string]bool{}, // filled below
+		Horiz: map[[2]string]bool{},
+		Vert:  map[[2]string]bool{{"w", "k"}: true, {"k", "w"}: true},
+		Start: "w", Finish: "k",
+	}
+}
+
+// withRight adds right-border copies so L and R stay disjoint: tiles w,k
+// may continue right into wr,kr which are the only right-border tiles.
+func solvable() *System {
+	s := &System{
+		Tiles: []string{"w", "k", "wr", "kr"},
+		Left:  map[string]bool{"w": true, "k": true},
+		Right: map[string]bool{"wr": true, "kr": true},
+		Horiz: map[[2]string]bool{
+			{"w", "wr"}: true,
+			{"k", "kr"}: true,
+		},
+		Vert: map[[2]string]bool{
+			{"w", "k"}: true, {"k", "w"}: true,
+			{"wr", "kr"}: true, {"kr", "wr"}: true,
+		},
+		Start: "w", Finish: "k",
+	}
+	return s
+}
+
+// unsolvable returns a system with no tiling of any size: the start tile
+// has no vertical successor and is not a finish tile, and no row can both
+// start with a and end in R... here simply: V is empty and a != b, so no
+// second row can ever be added and height-1 tilings would need a = b.
+func unsolvable() *System {
+	return &System{
+		Tiles: []string{"a1", "b1", "r1"},
+		Left:  map[string]bool{"a1": true, "b1": true},
+		Right: map[string]bool{"r1": true},
+		Horiz: map[[2]string]bool{{"a1", "r1"}: true, {"b1", "r1"}: true},
+		Vert:  map[[2]string]bool{},
+		Start: "a1", Finish: "b1",
+	}
+}
+
+func TestValidate(t *testing.T) {
+	s := solvable()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("solvable system invalid: %v", err)
+	}
+	bad := solvable()
+	bad.Left["wr"] = true // overlaps Right
+	if err := bad.Validate(); err == nil {
+		t.Fatalf("L ∩ R ≠ ∅ must be rejected")
+	}
+	bad2 := solvable()
+	bad2.Start = "zzz"
+	if err := bad2.Validate(); err == nil {
+		t.Fatalf("undeclared start tile must be rejected")
+	}
+	bad3 := solvable()
+	bad3.Horiz[[2]string{"w", "zzz"}] = true
+	if err := bad3.Validate(); err == nil {
+		t.Fatalf("undeclared H tile must be rejected")
+	}
+}
+
+func TestBruteForceSolvable(t *testing.T) {
+	grid, ok := BruteForce(solvable(), 3, 3)
+	if !ok {
+		t.Fatalf("solvable system: no tiling found")
+	}
+	// First row starts with the start tile, last row with the finish tile.
+	if grid[0][0] != "w" {
+		t.Errorf("first row must start with a: %v", grid)
+	}
+	if grid[len(grid)-1][0] != "k" {
+		t.Errorf("last row must start with b: %v", grid)
+	}
+	// Every row ends in R.
+	s := solvable()
+	for _, row := range grid {
+		if !s.Right[row[len(row)-1]] {
+			t.Errorf("row does not end in R: %v", row)
+		}
+		if !s.Left[row[0]] {
+			t.Errorf("row does not start in L: %v", row)
+		}
+	}
+}
+
+func TestBruteForceUnsolvable(t *testing.T) {
+	if grid, ok := BruteForce(unsolvable(), 4, 4); ok {
+		t.Fatalf("unsolvable system produced a tiling: %v", grid)
+	}
+}
+
+func TestReductionProgramIsPWLNotWarded(t *testing.T) {
+	// The crux of Theorem 5.1: Σ is piece-wise linear, yet (necessarily,
+	// by Theorem 4.2) NOT warded — otherwise CQAns would be decidable.
+	red, err := Reduce(solvable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := analysis.Analyze(red.Program)
+	if ok, vs := a.IsPWL(); !ok {
+		t.Fatalf("reduction program must be piece-wise linear: %v", vs)
+	}
+	if ok, _ := a.IsWarded(); ok {
+		t.Fatalf("reduction program must NOT be warded (else Theorem 5.1 would contradict Theorem 4.2)")
+	}
+}
+
+func TestReductionFaithfulPositive(t *testing.T) {
+	// Solvable system: the bounded chase must derive the query.
+	red, err := Reduce(solvable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, res, err := chase.CertainAnswers(red.Program, red.DB, red.Query,
+		chase.Options{Restricted: true, MaxDepth: 8, MaxRounds: 200, MaxFacts: 200000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans) != 1 {
+		t.Fatalf("solvable tiling: query must hold (facts=%d, truncated=%v)",
+			res.DB.Len(), res.Truncated)
+	}
+}
+
+func TestReductionFaithfulNegative(t *testing.T) {
+	// Unsolvable system: even a deep bounded chase must not derive the
+	// query (soundness of the reduction).
+	red, err := Reduce(unsolvable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, _, err := chase.CertainAnswers(red.Program, red.DB, red.Query,
+		chase.Options{Restricted: true, MaxDepth: 10, MaxRounds: 500, MaxFacts: 200000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans) != 0 {
+		t.Fatalf("unsolvable tiling: query must not hold")
+	}
+}
+
+func TestReductionAgreesWithOracleOnFamilies(t *testing.T) {
+	// A small family of systems with known status.
+	cases := []struct {
+		name string
+		sys  *System
+		want bool
+	}{
+		{"solvable", solvable(), true},
+		{"unsolvable", unsolvable(), false},
+		{"single cell", &System{
+			Tiles: []string{"ab"},
+			Left:  map[string]bool{"ab": true},
+			Right: map[string]bool{},
+			Horiz: map[[2]string]bool{},
+			Vert:  map[[2]string]bool{},
+			Start: "ab", Finish: "ab",
+		}, false}, // a 1x1 tiling needs the single tile in both L and R; R empty
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, bf := BruteForce(c.sys, 3, 3)
+			if bf != c.want {
+				t.Fatalf("oracle disagrees with expectation: %v", bf)
+			}
+			red, err := Reduce(c.sys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ans, _, err := chase.CertainAnswers(red.Program, red.DB, red.Query,
+				chase.Options{Restricted: true, MaxDepth: 8, MaxRounds: 200, MaxFacts: 200000})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if (len(ans) == 1) != c.want {
+				t.Fatalf("reduction answer %v, want %v", len(ans) == 1, c.want)
+			}
+		})
+	}
+}
+
+func TestWideSolvableNeedsWidth2(t *testing.T) {
+	// Width-2 tilings: left tile must continue into a right tile; a width-1
+	// tiling is impossible because L and R are disjoint.
+	s := solvable()
+	grid, ok := BruteForce(s, 3, 3)
+	if !ok {
+		t.Fatal("no tiling")
+	}
+	if len(grid[0]) < 2 {
+		t.Fatalf("width-1 tiling should be impossible (L∩R=∅): %v", grid)
+	}
+}

@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/atom"
+	"repro/internal/logic"
+	"repro/internal/parser"
+	"repro/internal/storage"
+)
+
+// OWLSource is the fixed warded, piece-wise linear rule set of Example 3.3
+// (the OWL 2 QL direct-semantics entailment fragment).
+const OWLSource = `
+subclassS(X,Y) :- subclass(X,Y).
+subclassS(X,Z) :- subclassS(X,Y), subclass(Y,Z).
+type(X,Z) :- type(X,Y), subclassS(Y,Z).
+triple(X,Z,W) :- type(X,Y), restriction(Y,Z).
+triple(Z,W,X) :- triple(X,Y,Z), inverse(Y,W).
+type(X,W) :- triple(X,Y,Z), restriction(W,Y).
+`
+
+// OWLParams sizes a generated ontology + instance data.
+type OWLParams struct {
+	Classes      int // classes per chain
+	Chains       int // independent subclass chains
+	Restrictions int // class-property restrictions
+	Individuals  int // typed individuals
+	// NoInverses omits the inverse-property facts. The inverse RULE stays
+	// in the program; resolution steps through it then die against the
+	// empty relation. Top-down benches use this to keep the searched
+	// space dominated by the subclass/restriction growth under study.
+	NoInverses bool
+	Seed       int64
+}
+
+// OWLOntology is a generated Example 3.3 instance.
+type OWLOntology struct {
+	Program *logic.Program
+	DB      *storage.DB
+}
+
+// GenOWL generates the fixed program plus a random ontology and instance
+// data of the requested size.
+func GenOWL(p OWLParams) (*OWLOntology, error) {
+	res, err := parser.Parse(OWLSource)
+	if err != nil {
+		return nil, err
+	}
+	prog := res.Program
+	rng := rand.New(rand.NewSource(p.Seed))
+	db := storage.NewDB()
+	st := prog.Store
+	subclass := prog.Reg.Intern("subclass", 2)
+	typ := prog.Reg.Intern("type", 2)
+	restriction := prog.Reg.Intern("restriction", 2)
+	inverse := prog.Reg.Intern("inverse", 2)
+
+	class := func(c, i int) string { return fmt.Sprintf("cls_%d_%d", c, i) }
+	// Subclass chains.
+	for c := 0; c < p.Chains; c++ {
+		for i := 0; i+1 < p.Classes; i++ {
+			db.Insert(atom.New(subclass, st.Const(class(c, i)), st.Const(class(c, i+1))))
+		}
+	}
+	// Restrictions and inverses over random classes/properties.
+	for r := 0; r < p.Restrictions; r++ {
+		c := class(rng.Intn(maxi(1, p.Chains)), rng.Intn(maxi(1, p.Classes)))
+		prop := fmt.Sprintf("prop_%d", r)
+		db.Insert(atom.New(restriction, st.Const(c), st.Const(prop)))
+		if !p.NoInverses {
+			db.Insert(atom.New(inverse, st.Const(prop), st.Const(prop+"_inv")))
+		}
+	}
+	// Individuals typed at random chain entry points; ind_0 is pinned to
+	// the bottom of chain 0 so benchmarks have a deterministic positive
+	// target (type(ind_0, cls_0_<Classes-1>) via the subclass chain).
+	for i := 0; i < p.Individuals; i++ {
+		c := class(rng.Intn(maxi(1, p.Chains)), rng.Intn(maxi(1, p.Classes)))
+		if i == 0 {
+			c = class(0, 0)
+		}
+		db.Insert(atom.New(typ, st.Const(fmt.Sprintf("ind_%d", i)), st.Const(c)))
+	}
+	return &OWLOntology{Program: prog, DB: db}, nil
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
