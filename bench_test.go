@@ -392,6 +392,62 @@ func BenchmarkE10_Linearization(b *testing.B) {
 }
 
 // --------------------------------------------------------------------
+// P1 — the compiled-plan pipeline (internal/plan): multi-round fixpoint
+// cost of the shared RulePlan execution across all three engines. The TC
+// chain forces one semi-naive round per path length, so per-round overhead
+// (join-order recomputation, per-binding map allocation — both eliminated
+// by the plan refactor) dominates. ns/op and allocs/op here are the
+// before/after metric recorded in CHANGES.md.
+// --------------------------------------------------------------------
+
+func BenchmarkP1_PlanFixpointSeq(b *testing.B) {
+	res := mustParse(b, tcLinear)
+	prog := res.Program
+	db := workload.Chain(256).DB(prog, "e", "n")
+	opt := datalog.Options{Stratify: true, BiasRecursiveAtom: true}
+	var rounds int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, stats, err := datalog.Eval(prog, db, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds = stats.Rounds
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+}
+
+func BenchmarkP1_PlanFixpointParallel(b *testing.B) {
+	for _, workers := range []int{2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			res := mustParse(b, tcLinear)
+			prog := res.Program
+			db := workload.Chain(256).DB(prog, "e", "n")
+			opt := datalog.Options{Stratify: true, BiasRecursiveAtom: true}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := datalog.EvalParallel(prog, db, opt, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkP1_PlanChaseTC(b *testing.B) {
+	res := mustParse(b, tcLinear)
+	prog := res.Program
+	db := workload.Chain(256).DB(prog, "e", "n")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cres, err := chase.Run(prog, db, chase.Default())
+		if err != nil || cres.Truncated {
+			b.Fatalf("chase: %v truncated=%v", err, cres.Truncated)
+		}
+	}
+}
+
+// --------------------------------------------------------------------
 // E11 — PSpace combined complexity: proof-search effort grows with the
 // PROGRAM (number of stacked PWL modules) at fixed data.
 // --------------------------------------------------------------------

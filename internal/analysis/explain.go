@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/explain"
 	"repro/internal/term"
 )
 
@@ -19,6 +20,9 @@ type VarReport struct {
 // body variables, its ward (if needed/found), and its recursive body atoms.
 type TGDReport struct {
 	Index int
+	// Label is the display name of the rule (shared convention of
+	// internal/explain: the source label when present, else "rule <i>").
+	Label string
 	Text  string
 	Vars  []VarReport
 	// WardIndex is the body atom acting as ward; -1 when the TGD has no
@@ -40,6 +44,7 @@ func (a *Analysis) Explain() []TGDReport {
 	for i, t := range a.Prog.TGDs {
 		r := TGDReport{
 			Index: i,
+			Label: explain.RuleLabel(a.Prog, i),
 			Text:  t.String(a.Prog.Store, a.Prog.Reg),
 		}
 		var vars []term.Term
@@ -69,7 +74,7 @@ func (a *Analysis) Explain() []TGDReport {
 func FormatReport(reports []TGDReport) string {
 	var b strings.Builder
 	for _, r := range reports {
-		fmt.Fprintf(&b, "tgd %d (level %d): %s\n", r.Index, r.HeadLevel, r.Text)
+		fmt.Fprintf(&b, "%s (level %d): %s\n", r.Label, r.HeadLevel, r.Text)
 		if len(r.Vars) > 0 {
 			parts := make([]string, len(r.Vars))
 			for i, v := range r.Vars {

@@ -28,6 +28,7 @@ import (
 	"repro/internal/atom"
 	"repro/internal/guide"
 	"repro/internal/logic"
+	"repro/internal/plan"
 	"repro/internal/storage"
 	"repro/internal/term"
 )
@@ -130,6 +131,18 @@ func Run(prog *logic.Program, db *storage.DB, opt Options) (*Result, error) {
 	fired := make(map[string]bool)
 	nullDepth := make(map[uint32]int)
 
+	// Compile each TGD once: join orders, index access paths, and
+	// head/body templates are rule properties, not round properties. The
+	// chase drives the same RulePlan pipeline as the Datalog engines, with
+	// its trigger-key/memo/depth termination control layered on top of the
+	// enumeration instead of interleaved with it.
+	plans := plan.Compile(prog, plan.Options{DeltaFirst: true})
+	execs := make([]*plan.Exec, len(prog.TGDs))
+	for ti, r := range plans.Rules {
+		execs[ti] = plan.NewExec(r)
+	}
+	var nulls []term.Term // scratch for fresh existential witnesses
+
 	mark := storage.Mark(0)
 	for round := 1; ; round++ {
 		if opt.MaxRounds > 0 && round > opt.MaxRounds {
@@ -140,7 +153,10 @@ func Run(prog *logic.Program, db *storage.DB, opt Options) (*Result, error) {
 		next := work.Mark()
 		progress := false
 		for ti, tgd := range prog.TGDs {
-			hasExist := len(tgd.Existentials()) > 0
+			r := plans.Rules[ti]
+			ex := execs[ti]
+			hasExist := len(r.ExistSlots) > 0
+			hasNeg := len(r.Neg) > 0
 			for di := range tgd.Body {
 				// Round 1 runs with mark 0, so restricting any single atom
 				// to the delta already enumerates every homomorphism;
@@ -149,15 +165,19 @@ func Run(prog *logic.Program, db *storage.DB, opt Options) (*Result, error) {
 					break
 				}
 				stop := false
-				work.HomomorphismsEach(tgd.Body, nil, di, mark, func(h atom.Subst) bool {
+				ex.Run(work, di, mark, 0, 1, func() bool {
 					// Negation-as-failure guard: sound because RunStratified
 					// only admits rules whose negated predicates are closed.
-					for _, na := range tgd.NegBody {
-						if work.Contains(h.ApplyAtom(na)) {
-							return true
-						}
+					if hasNeg && ex.Blocked(work) {
+						return true
 					}
-					img := h.ApplyAtoms(tgd.Body)
+					// The trigger image is only materialized when a control
+					// or provenance actually consumes it; full TGDs without
+					// provenance never leave the slot frame.
+					var img []atom.Atom
+					if hasExist || res.Prov != nil {
+						img = ex.BodyImage()
+					}
 					// Trigger-level dedup and pattern control only matter
 					// for TGDs that invent nulls: re-firing a full TGD is
 					// absorbed by fact dedup, and keying every full-TGD
@@ -173,27 +193,32 @@ func Run(prog *logic.Program, db *storage.DB, opt Options) (*Result, error) {
 							return true
 						}
 					}
-					if opt.Restricted && headSatisfied(work, tgd, h) {
+					if opt.Restricted && headSatisfied(work, r, ex) {
 						res.SuppressedRestricted++
 						return true
 					}
-					depth := triggerDepth(img, nullDepth)
+					depth := frameDepth(ex.Frame(), nullDepth)
 					if opt.MaxDepth > 0 && hasExist && depth+1 > opt.MaxDepth {
 						res.SuppressedDepth++
 						return true
 					}
-					// Apply the step: extend h with fresh nulls.
-					h2 := h.Clone()
-					for z := range tgd.Existentials() {
-						n := prog.Store.FreshNull()
-						h2[z] = n
-						nullDepth[n.ID] = depth + 1
-						if depth+1 > res.MaxNullDepth {
-							res.MaxNullDepth = depth + 1
+					// Apply the step: fill the existential slots with fresh
+					// nulls, instantiate the head templates, then release
+					// the slots again.
+					if hasExist {
+						nulls = nulls[:0]
+						for range r.ExistSlots {
+							n := prog.Store.FreshNull()
+							nulls = append(nulls, n)
+							nullDepth[n.ID] = depth + 1
+							if depth+1 > res.MaxNullDepth {
+								res.MaxNullDepth = depth + 1
+							}
 						}
+						ex.SetExistentials(nulls)
 					}
-					for _, ha := range tgd.Head {
-						f := h2.ApplyAtom(ha)
+					for hi := range r.Head {
+						f := ex.Head(hi)
 						if opt.FactIso && f.HasNull() && !factIso.Admit(f) {
 							continue
 						}
@@ -204,6 +229,9 @@ func Run(prog *logic.Program, db *storage.DB, opt Options) (*Result, error) {
 								res.Prov[rowIdx] = Derivation{TGD: ti, Trigger: img}
 							}
 						}
+					}
+					if hasExist {
+						ex.ClearExistentials()
 					}
 					res.Applications++
 					if opt.MaxFacts > 0 && work.Len() > opt.MaxFacts {
@@ -231,34 +259,27 @@ func Run(prog *logic.Program, db *storage.DB, opt Options) (*Result, error) {
 }
 
 // headSatisfied reports whether the head of the TGD is already satisfied
-// under the frontier bindings of h (the restricted-chase test: I |= σ for
-// this trigger).
-func headSatisfied(db *storage.DB, tgd *logic.TGD, h atom.Subst) bool {
-	// Fast path: a single-atom head whose image is ground (every full TGD)
-	// reduces to a hash lookup.
-	if len(tgd.Head) == 1 {
-		img := h.ApplyAtom(tgd.Head[0])
-		if img.IsGround() {
-			return db.Contains(img)
-		}
+// under the frontier bindings of the matched frame (the restricted-chase
+// test: I |= σ for this trigger).
+func headSatisfied(db *storage.DB, r *plan.RulePlan, ex *plan.Exec) bool {
+	// Fast path: a single-atom head with no existentials instantiates to a
+	// ground atom (every full TGD) and reduces to a hash lookup.
+	if len(r.Head) == 1 && len(r.ExistSlots) == 0 {
+		return db.Contains(ex.Head(0))
 	}
-	base := atom.NewSubst()
-	for x := range tgd.Frontier() {
-		base[x] = h.Apply(x)
-	}
-	_, ok := db.Homomorphism(tgd.Head, base)
+	_, ok := db.Homomorphism(r.TGD.Head, ex.FrontierSubst())
 	return ok
 }
 
-// triggerDepth is the maximum birth depth among nulls in the trigger image.
-func triggerDepth(img []atom.Atom, nullDepth map[uint32]int) int {
+// frameDepth is the maximum birth depth among nulls bound in the frame —
+// the depth of the trigger image, read off the slots instead of the
+// materialized atoms.
+func frameDepth(frame []term.Term, nullDepth map[uint32]int) int {
 	d := 0
-	for _, a := range img {
-		for _, t := range a.Args {
-			if t.IsNull() {
-				if nd := nullDepth[t.ID]; nd > d {
-					d = nd
-				}
+	for _, t := range frame {
+		if t.IsNull() {
+			if nd := nullDepth[t.ID]; nd > d {
+				d = nd
 			}
 		}
 	}

@@ -2,24 +2,17 @@ package chase
 
 import (
 	"fmt"
-	"strings"
 
 	"repro/internal/atom"
-	"repro/internal/logic"
+	"repro/internal/explain"
 )
 
-// Explanation is a derivation tree for one fact: the fact, the TGD that
-// produced it (-1 for database facts), and the explanations of the trigger
-// facts it was derived from. It is a finite fragment of the chase graph
-// GD,Σ of §4.2 read backwards from the fact.
-type Explanation struct {
-	Fact atom.Atom
-	// TGD is the index of the producing TGD in the program, or -1 when the
-	// fact is part of the input database.
-	TGD int
-	// Premises explains each atom of the trigger h(body(σ)).
-	Premises []*Explanation
-}
+// Explanation is the shared derivation tree of internal/explain: the fact,
+// the TGD that produced it (-1 for database facts), and the explanations
+// of the trigger facts it was derived from. The tree type, Depth, and
+// Format live in internal/explain so that every engine renders proofs the
+// same way; this package only contributes the chase-provenance walk.
+type Explanation = explain.Tree
 
 // Explain builds the derivation tree of a fact from the provenance of a
 // chase run (Options.Provenance must have been set). Shared premises are
@@ -37,7 +30,7 @@ func (r *Result) Explain(f atom.Atom) (*Explanation, error) {
 }
 
 func (r *Result) explainRow(idx int) (*Explanation, error) {
-	f := r.DB.All()[idx]
+	f := r.DB.Row(idx)
 	if idx < r.BaseFacts {
 		return &Explanation{Fact: f, TGD: -1}, nil
 	}
@@ -59,40 +52,4 @@ func (r *Result) explainRow(idx int) (*Explanation, error) {
 		out.Premises = append(out.Premises, sub)
 	}
 	return out, nil
-}
-
-// Depth is the height of the derivation tree (0 for a database fact).
-func (e *Explanation) Depth() int {
-	d := 0
-	for _, p := range e.Premises {
-		if pd := p.Depth() + 1; pd > d {
-			d = pd
-		}
-	}
-	return d
-}
-
-// Format renders the tree with indentation, labeling each step with the
-// producing rule.
-func (e *Explanation) Format(prog *logic.Program) string {
-	var b strings.Builder
-	e.format(prog, &b, 0)
-	return b.String()
-}
-
-func (e *Explanation) format(prog *logic.Program, b *strings.Builder, depth int) {
-	b.WriteString(strings.Repeat("  ", depth))
-	b.WriteString(e.Fact.String(prog.Store, prog.Reg))
-	if e.TGD < 0 {
-		b.WriteString("   [database]\n")
-		return
-	}
-	label := fmt.Sprintf("rule %d", e.TGD)
-	if e.TGD < len(prog.TGDs) && prog.TGDs[e.TGD].Label != "" {
-		label = prog.TGDs[e.TGD].Label
-	}
-	fmt.Fprintf(b, "   [by %s]\n", label)
-	for _, p := range e.Premises {
-		p.format(prog, b, depth+1)
-	}
 }

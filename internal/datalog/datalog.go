@@ -15,6 +15,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/atom"
 	"repro/internal/logic"
+	"repro/internal/plan"
 	"repro/internal/schema"
 	"repro/internal/storage"
 	"repro/internal/term"
@@ -57,6 +58,28 @@ type evaluator struct {
 	db    *storage.DB
 	opt   Options
 	stats Stats
+	// plans holds the per-rule compiled plans: join orders, scan access
+	// paths, and templates are fixed once per evaluation, never per round.
+	plans *plan.Program
+	// execs holds one reusable binding frame per rule (lazily created).
+	execs []*plan.Exec
+}
+
+// exec returns the rule's executor, creating it on first use.
+func (e *evaluator) exec(ri int) *plan.Exec {
+	if e.execs[ri] == nil {
+		e.execs[ri] = plan.NewExec(e.plans.Rules[ri])
+	}
+	return e.execs[ri]
+}
+
+// collectProbes folds the per-rule probe counters into the stats.
+func (e *evaluator) collectProbes(execs []*plan.Exec) {
+	for _, ex := range execs {
+		if ex != nil {
+			e.stats.Probes += ex.Probes
+		}
+	}
 }
 
 // Eval computes the least fixpoint of the program over the database,
@@ -81,12 +104,20 @@ func Eval(prog *logic.Program, db *storage.DB, opt Options) (*storage.DB, *Stats
 		}
 		opt.Stratify = true
 	}
-	e := &evaluator{prog: prog, an: an, db: db.Clone(), opt: opt}
+	e := &evaluator{
+		prog:  prog,
+		an:    an,
+		db:    db.Clone(),
+		opt:   opt,
+		plans: plan.Compile(prog, plan.Options{DeltaFirst: opt.BiasRecursiveAtom}),
+		execs: make([]*plan.Exec, len(prog.TGDs)),
+	}
 	if opt.Stratify {
 		e.evalStratified()
 	} else {
 		e.fixpoint(ruleIndices(prog), nil)
 	}
+	e.collectProbes(e.execs)
 	stats := e.stats
 	return e.db, &stats, nil
 }
@@ -140,7 +171,7 @@ func (e *evaluator) fixpoint(rules []int, growing map[schema.PredID]bool) {
 			t := e.prog.TGDs[ri]
 			deltas := e.deltaPositions(t, growing, round)
 			for _, di := range deltas {
-				e.joinRule(t, di, mark)
+				e.joinRule(ri, di, mark)
 			}
 		}
 		added := e.db.Len() - before
@@ -172,63 +203,23 @@ func (e *evaluator) deltaPositions(t *logic.TGD, growing map[schema.PredID]bool,
 	return out
 }
 
-// joinRule enumerates homomorphisms of the rule body with body atom di
-// restricted to the delta (facts at/after mark), inserting head images.
-// Negated atoms are checked once the positive body is fully matched; they
-// are ground then (safe negation) and range over strictly lower strata, so
-// the check is stable for the whole stratum fixpoint.
-func (e *evaluator) joinRule(t *logic.TGD, di int, mark storage.Mark) {
-	order := e.joinOrder(t, di)
-	head := t.Head[0]
-	var rec func(k int, s atom.Subst)
-	rec = func(k int, s atom.Subst) {
-		if k == len(order) {
-			for _, na := range t.NegBody {
-				if e.db.Contains(s.ApplyAtom(na)) {
-					return
-				}
-			}
-			e.db.Insert(s.ApplyAtom(head))
-			return
+// joinRule executes the rule's compiled plan with body atom di restricted
+// to the delta (facts at/after mark), inserting head images. Negated atoms
+// are checked once the positive body is fully matched; they are ground then
+// (safe negation) and range over strictly lower strata, so the check is
+// stable for the whole stratum fixpoint. The join order and index access
+// paths were fixed at compile time; the binding frame is reused across all
+// rounds of the fixpoint.
+func (e *evaluator) joinRule(ri, di int, mark storage.Mark) {
+	ex := e.exec(ri)
+	hasNeg := len(ex.Rule.Neg) > 0
+	ex.Run(e.db, di, mark, 0, 1, func() bool {
+		if hasNeg && ex.Blocked(e.db) {
+			return true
 		}
-		pa := t.Body[order[k]]
-		if order[k] == di {
-			e.db.MatchEachSince(pa, s, mark, func(s2 atom.Subst) bool {
-				e.stats.Probes++
-				rec(k+1, s2)
-				return true
-			})
-		} else {
-			e.db.MatchEach(pa, s, func(s2 atom.Subst) bool {
-				e.stats.Probes++
-				rec(k+1, s2)
-				return true
-			})
-		}
-	}
-	rec(0, atom.NewSubst())
-}
-
-// joinOrder places the delta atom first when BiasRecursiveAtom is set
-// (§7(2): "the optimizer is biased towards selecting this special atom as
-// the first operand of the join"); otherwise the body is joined in written
-// order, with the delta restriction applied in place.
-func (e *evaluator) joinOrder(t *logic.TGD, di int) []int {
-	n := len(t.Body)
-	out := make([]int, 0, n)
-	if e.opt.BiasRecursiveAtom {
-		out = append(out, di)
-		for i := 0; i < n; i++ {
-			if i != di {
-				out = append(out, i)
-			}
-		}
-		return out
-	}
-	for i := 0; i < n; i++ {
-		out = append(out, i)
-	}
-	return out
+		e.db.Insert(ex.Head(0))
+		return true
+	})
 }
 
 // Naive computes the fixpoint by re-evaluating every rule against the full

@@ -8,6 +8,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/atom"
 	"repro/internal/logic"
+	"repro/internal/plan"
 	"repro/internal/schema"
 	"repro/internal/storage"
 )
@@ -42,8 +43,18 @@ func EvalParallel(prog *logic.Program, db *storage.DB, opt Options, workers int)
 		opt.Stratify = true
 	}
 	e := &parEvaluator{
-		evaluator: evaluator{prog: prog, an: an, db: db.Clone(), opt: opt},
-		workers:   workers,
+		evaluator: evaluator{
+			prog:  prog,
+			an:    an,
+			db:    db.Clone(),
+			opt:   opt,
+			plans: plan.Compile(prog, plan.Options{DeltaFirst: opt.BiasRecursiveAtom}),
+		},
+		workers: workers,
+		wexecs:  make([][]*plan.Exec, workers),
+	}
+	for w := range e.wexecs {
+		e.wexecs[w] = make([]*plan.Exec, len(prog.TGDs))
 	}
 	if opt.Stratify {
 		byLevel := make(map[int][]int)
@@ -68,6 +79,9 @@ func EvalParallel(prog *logic.Program, db *storage.DB, opt Options, workers int)
 	} else {
 		e.fixpointParallel(ruleIndices(prog), nil)
 	}
+	for _, wes := range e.wexecs {
+		e.collectProbes(wes)
+	}
 	stats := e.stats
 	return e.db, &stats, nil
 }
@@ -75,6 +89,17 @@ func EvalParallel(prog *logic.Program, db *storage.DB, opt Options, workers int)
 type parEvaluator struct {
 	evaluator
 	workers int
+	// wexecs[w][ri] is worker w's executor for rule ri: plans are shared
+	// and immutable, binding frames are strictly per worker.
+	wexecs [][]*plan.Exec
+}
+
+// wexec returns worker w's executor for rule ri, creating it on first use.
+func (e *parEvaluator) wexec(w, ri int) *plan.Exec {
+	if e.wexecs[w][ri] == nil {
+		e.wexecs[w][ri] = plan.NewExec(e.plans.Rules[ri])
+	}
+	return e.wexecs[w][ri]
 }
 
 // job is one (rule, delta position, delta shard) unit of a round: the
@@ -105,7 +130,6 @@ func (e *parEvaluator) fixpointParallel(rules []int, growing map[schema.PredID]b
 			}
 		}
 		buffers := make([][]atom.Atom, e.workers)
-		probes := make([]int, e.workers)
 		var wg sync.WaitGroup
 		for w := 0; w < e.workers; w++ {
 			wg.Add(1)
@@ -113,14 +137,13 @@ func (e *parEvaluator) fixpointParallel(rules []int, growing map[schema.PredID]b
 				defer wg.Done()
 				for ji := w; ji < len(jobs); ji += e.workers {
 					j := jobs[ji]
-					buffers[w] = e.runJob(j, mark, buffers[w], &probes[w])
+					buffers[w] = e.runJob(w, j, mark, buffers[w])
 				}
 			}(w)
 		}
 		wg.Wait()
 		before := e.db.Len()
-		for w, buf := range buffers {
-			e.stats.Probes += probes[w]
+		for _, buf := range buffers {
 			for _, f := range buf {
 				e.db.Insert(f)
 			}
@@ -137,39 +160,20 @@ func (e *parEvaluator) fixpointParallel(rules []int, growing map[schema.PredID]b
 	}
 }
 
-// runJob enumerates the rule's homomorphisms with the delta restriction and
+// runJob executes the rule's compiled plan with the job's delta shard and
 // appends head images to the worker's buffer. It mirrors joinRule but is
-// strictly read-only on the shared instance.
-func (e *parEvaluator) runJob(j job, mark storage.Mark, buf []atom.Atom, probes *int) []atom.Atom {
-	t := e.prog.TGDs[j.rule]
-	order := e.joinOrder(t, j.delta)
-	head := t.Head[0]
-	var rec func(k int, s atom.Subst)
-	rec = func(k int, s atom.Subst) {
-		if k == len(order) {
-			for _, na := range t.NegBody {
-				if e.db.Contains(s.ApplyAtom(na)) {
-					return
-				}
-			}
-			buf = append(buf, s.ApplyAtom(head))
-			return
+// strictly read-only on the shared instance: the plan's delta scan is
+// sharded by row-index residue class, so the workers partition exactly the
+// matches a sequential delta scan would enumerate.
+func (e *parEvaluator) runJob(w int, j job, mark storage.Mark, buf []atom.Atom) []atom.Atom {
+	ex := e.wexec(w, j.rule)
+	hasNeg := len(ex.Rule.Neg) > 0
+	ex.Run(e.db, j.delta, mark, j.shard, e.workers, func() bool {
+		if hasNeg && ex.Blocked(e.db) {
+			return true
 		}
-		pa := t.Body[order[k]]
-		if order[k] == j.delta {
-			e.db.MatchEachSinceSharded(pa, s, mark, j.shard, e.workers, func(s2 atom.Subst) bool {
-				*probes++
-				rec(k+1, s2)
-				return true
-			})
-		} else {
-			e.db.MatchEach(pa, s, func(s2 atom.Subst) bool {
-				*probes++
-				rec(k+1, s2)
-				return true
-			})
-		}
-	}
-	rec(0, atom.NewSubst())
+		buf = append(buf, ex.Head(0))
+		return true
+	})
 	return buf
 }

@@ -1,0 +1,68 @@
+// Package explain is the shared explanation layer: the derivation-tree
+// representation and formatting used by the chase provenance (chase.Result
+// .Explain) and the rule-labeling convention used by every human-facing
+// report. It exists so that the proof-explanation rendering lives in
+// exactly one place instead of being re-implemented per engine.
+package explain
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/atom"
+	"repro/internal/logic"
+)
+
+// Tree is a derivation tree for one fact: the fact, the TGD that produced
+// it (-1 for database facts), and the explanations of the trigger facts it
+// was derived from. It is a finite fragment of the chase graph GD,Σ of
+// §4.2 read backwards from the fact.
+type Tree struct {
+	Fact atom.Atom
+	// TGD is the index of the producing TGD in the program, or -1 when the
+	// fact is part of the input database.
+	TGD int
+	// Premises explains each atom of the trigger h(body(σ)).
+	Premises []*Tree
+}
+
+// Depth is the height of the derivation tree (0 for a database fact).
+func (t *Tree) Depth() int {
+	d := 0
+	for _, p := range t.Premises {
+		if pd := p.Depth() + 1; pd > d {
+			d = pd
+		}
+	}
+	return d
+}
+
+// Format renders the tree with indentation, labeling each step with the
+// producing rule.
+func (t *Tree) Format(prog *logic.Program) string {
+	var b strings.Builder
+	t.format(prog, &b, 0)
+	return b.String()
+}
+
+func (t *Tree) format(prog *logic.Program, b *strings.Builder, depth int) {
+	b.WriteString(strings.Repeat("  ", depth))
+	b.WriteString(t.Fact.String(prog.Store, prog.Reg))
+	if t.TGD < 0 {
+		b.WriteString("   [database]\n")
+		return
+	}
+	fmt.Fprintf(b, "   [by %s]\n", RuleLabel(prog, t.TGD))
+	for _, p := range t.Premises {
+		p.format(prog, b, depth+1)
+	}
+}
+
+// RuleLabel names a rule for display: its source label when the parser
+// recorded one, otherwise "rule <index>".
+func RuleLabel(prog *logic.Program, idx int) string {
+	if idx >= 0 && idx < len(prog.TGDs) && prog.TGDs[idx].Label != "" {
+		return prog.TGDs[idx].Label
+	}
+	return fmt.Sprintf("rule %d", idx)
+}

@@ -25,6 +25,7 @@ import (
 	"repro/internal/atom"
 	"repro/internal/datalog"
 	"repro/internal/logic"
+	"repro/internal/plan"
 	"repro/internal/schema"
 	"repro/internal/storage"
 )
@@ -40,6 +41,10 @@ type Engine struct {
 	db *storage.DB
 	// intensional marks maintained predicates.
 	intensional map[schema.PredID]bool
+	// plans / execs drive insertion deltas through the compiled-plan
+	// pipeline shared with the fixpoint engines; compiled once at New.
+	plans *plan.Program
+	execs []*plan.Exec
 
 	stats Stats
 }
@@ -75,6 +80,11 @@ func New(prog *logic.Program, base *storage.DB) (*Engine, error) {
 		base:        base.Clone(),
 		db:          db,
 		intensional: make(map[schema.PredID]bool),
+		plans:       plan.Compile(prog, plan.Options{DeltaFirst: true}),
+	}
+	e.execs = make([]*plan.Exec, len(prog.TGDs))
+	for i, r := range e.plans.Rules {
+		e.execs[i] = plan.NewExec(r)
 	}
 	for p := range prog.HeadPreds() {
 		e.intensional[p] = true
@@ -122,11 +132,11 @@ func (e *Engine) deltaFixpoint(mark storage.Mark) int {
 	for {
 		next := e.db.Mark()
 		before := e.db.Len()
-		for _, t := range e.prog.TGDs {
+		for ri, t := range e.prog.TGDs {
+			ex := e.execs[ri]
 			for di := range t.Body {
-				head := t.Head[0]
-				e.db.HomomorphismsEach(t.Body, nil, di, mark, func(s atom.Subst) bool {
-					e.db.Insert(s.ApplyAtom(head))
+				ex.Run(e.db, di, mark, 0, 1, func() bool {
+					e.db.Insert(ex.Head(0))
 					return true
 				})
 			}

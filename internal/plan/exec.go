@@ -1,0 +1,112 @@
+package plan
+
+import (
+	"repro/internal/atom"
+	"repro/internal/storage"
+	"repro/internal/term"
+)
+
+// Exec is the reusable execution state for one compiled rule: a single
+// binding frame that lives for the whole evaluation. Where the previous
+// engines cloned a map substitution per index probe, an Exec binds and
+// unbinds slots of the same flat array across every round — constant
+// steady-state memory per rule, zero allocation per binding.
+//
+// An Exec is not safe for concurrent use; the parallel evaluator keeps one
+// Exec per (worker, rule).
+type Exec struct {
+	Rule *RulePlan
+	// Probes counts successful row matches at every join level — the work
+	// metric of experiment E8, maintained by Run.
+	Probes int
+
+	frame []term.Term
+}
+
+// NewExec returns an executor for the rule with a fresh all-unbound frame.
+func NewExec(r *RulePlan) *Exec {
+	return &Exec{Rule: r, frame: storage.NewFrame(r.NumSlots)}
+}
+
+// Frame exposes the binding frame. Callers may read slots during a Run
+// callback and may write existential slots (see RulePlan.ExistSlots)
+// between match and head instantiation, but must not retain the slice.
+func (e *Exec) Frame() []term.Term { return e.frame }
+
+// Run enumerates every homomorphism of the rule body into db using variant
+// di (body atom di restricted to rows at/after since, and to the shard-th
+// residue class modulo shards when shards > 1). fn is invoked with the
+// bindings in e.Frame(); returning false stops the enumeration. Run reports
+// whether it ran to completion, and leaves every body slot unbound.
+func (e *Exec) Run(db *storage.DB, di int, since storage.Mark, shard, shards int, fn func() bool) bool {
+	v := e.Rule.Variants[di]
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == len(v.Scans) {
+			return fn()
+		}
+		s, sh, shs := storage.Mark(0), 0, 1
+		if k == v.DeltaStep {
+			s, sh, shs = since, shard, shards
+		}
+		return db.Probe(v.Scans[k], e.frame, s, sh, shs, func() bool {
+			e.Probes++
+			return rec(k + 1)
+		})
+	}
+	return rec(0)
+}
+
+// Blocked reports whether some negated body atom of the rule holds in db
+// under the current frame — the stratified negation-as-failure check, run
+// once the positive body is fully matched (safe negation makes the negated
+// atoms ground at that point).
+func (e *Exec) Blocked(db *storage.DB) bool {
+	for i := range e.Rule.Neg {
+		if db.Contains(e.Rule.Neg[i].Instantiate(e.frame)) {
+			return true
+		}
+	}
+	return false
+}
+
+// Head instantiates head atom i under the current frame.
+func (e *Exec) Head(i int) atom.Atom { return e.Rule.Head[i].Instantiate(e.frame) }
+
+// BodyImage instantiates the full body under the current frame — the
+// trigger image h(body(σ)) used for chase trigger keys, guide-structure
+// memoization, and provenance.
+func (e *Exec) BodyImage() []atom.Atom {
+	out := make([]atom.Atom, len(e.Rule.Body))
+	for i := range e.Rule.Body {
+		out[i] = e.Rule.Body[i].Instantiate(e.frame)
+	}
+	return out
+}
+
+// FrontierSubst materializes the frontier bindings h|front(σ) as a map
+// substitution — the compatibility bridge into the substitution-based
+// Homomorphism API used by the restricted-chase head check.
+func (e *Exec) FrontierSubst() atom.Subst {
+	s := atom.NewSubst()
+	for _, fv := range e.Rule.Frontier {
+		s[fv.Var] = e.frame[fv.Slot]
+	}
+	return s
+}
+
+// SetExistentials fills the existential slots from vals (aligned with
+// RulePlan.ExistSlots); ClearExistentials resets them. The chase brackets
+// head instantiation with this pair after inventing fresh nulls.
+func (e *Exec) SetExistentials(vals []term.Term) {
+	for i, s := range e.Rule.ExistSlots {
+		e.frame[s] = vals[i]
+	}
+}
+
+// ClearExistentials resets every existential slot to unbound.
+func (e *Exec) ClearExistentials() {
+	for _, s := range e.Rule.ExistSlots {
+		e.frame[s] = storage.Unbound
+	}
+}

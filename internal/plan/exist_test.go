@@ -1,0 +1,46 @@
+package plan
+
+import (
+	"testing"
+
+	"repro/internal/atom"
+	"repro/internal/parser"
+)
+
+// TestRepeatedExistentialSlots: an existential repeated non-consecutively
+// in the head keeps one slot and one fresh null.
+func TestRepeatedExistentialSlots(t *testing.T) {
+	p, _ := compile(t, `
+r(W,X,W,V) :- p(X).
+p(1).
+`, Options{DeltaFirst: true})
+	r := p.Rules[0]
+	if r.BodySlots != 1 || r.NumSlots != 3 {
+		t.Fatalf("slots = %d/%d, want 1/3", r.BodySlots, r.NumSlots)
+	}
+	if len(r.ExistSlots) != 2 || r.ExistSlots[0] != 1 || r.ExistSlots[1] != 2 {
+		t.Fatalf("exist slots = %v, want [1 2]", r.ExistSlots)
+	}
+}
+
+// TestCompileRejectsUnsafeNegation: a variable occurring only under "not"
+// has no slot; compiling it must panic rather than silently alias slot 0.
+func TestCompileRejectsUnsafeNegation(t *testing.T) {
+	r, err := parser.Parse(`p(X) :- q(X).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build the unsafe rule programmatically (the parser path would be
+	// rejected by Program.Validate before any engine compiles it).
+	st := r.Program.Store
+	reg := r.Program.Reg
+	neg := reg.Intern("r", 1)
+	r.Program.TGDs[0].NegBody = append(r.Program.TGDs[0].NegBody,
+		atom.New(neg, st.Var("OnlyNegated")))
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Compile accepted unsafe negation")
+		}
+	}()
+	Compile(r.Program, Options{DeltaFirst: true})
+}

@@ -1,0 +1,307 @@
+// Package plan compiles rules into executable plans — the shared,
+// space-efficient execution pipeline behind the Datalog fixpoint engines
+// and the chase.
+//
+// The paper's space-efficiency argument (The Space-Efficient Core of
+// Vadalog, PODS 2019, §7) rests on the engine doing bounded, reusable work
+// per rule: the join strategy of a rule is a property of the rule and the
+// schema, not of the fixpoint round. Following the Vadalog pipeline
+// architecture (Bellomarini et al., VLDB 2018), each TGD is compiled ONCE
+// into a RulePlan holding, per delta-atom position:
+//
+//   - a fixed join order (greedy bound-variable heuristic, delta atom
+//     first when Options.DeltaFirst — the §7(2) bias);
+//   - one storage.ScanPlan per body atom with pre-resolved index
+//     selections and per-position argument modes;
+//   - slot assignments for every rule variable, so bindings live in a
+//     flat, reusable frame instead of a per-binding map substitution;
+//   - instantiation templates for head, negated-body, and body atoms.
+//
+// The semi-naive engines (internal/datalog), the parallel evaluator, and
+// the chase (internal/chase) all execute RulePlans through Exec; the only
+// per-binding allocation left on the hot path is the derived fact itself.
+package plan
+
+import (
+	"repro/internal/atom"
+	"repro/internal/logic"
+	"repro/internal/schema"
+	"repro/internal/storage"
+	"repro/internal/term"
+)
+
+// Options configures compilation.
+type Options struct {
+	// DeltaFirst places the delta atom first in every variant's join order
+	// and orders the remaining atoms greedily by bound-position count (the
+	// §7(2) bias towards the recursive atom). When false, each variant
+	// keeps the written body order and applies the delta restriction in
+	// place — the unbiased baseline of experiment E8.
+	DeltaFirst bool
+}
+
+// Program is a compiled program: one RulePlan per TGD, sharing the source
+// program's naming context.
+type Program struct {
+	Source *logic.Program
+	Rules  []*RulePlan
+}
+
+// Compile compiles every TGD of the program. Compilation touches only the
+// rules and the schema — never the data — so a compiled program is valid
+// for any instance and any number of fixpoint rounds.
+func Compile(prog *logic.Program, opt Options) *Program {
+	out := &Program{Source: prog, Rules: make([]*RulePlan, len(prog.TGDs))}
+	for i, t := range prog.TGDs {
+		out.Rules[i] = compileRule(i, t, opt)
+	}
+	return out
+}
+
+// RulePlan is one compiled TGD.
+type RulePlan struct {
+	TGDIndex int
+	TGD      *logic.TGD
+
+	// NumSlots is the frame size: one slot per distinct rule variable.
+	// Slots [0, BodySlots) are body variables in order of first occurrence;
+	// slots [BodySlots, NumSlots) are existential head variables.
+	NumSlots  int
+	BodySlots int
+	// Slots maps slot index -> variable (diagnostics and tests).
+	Slots []term.Term
+	// ExistSlots are the slots of existential head variables, filled by the
+	// chase with fresh nulls just before head instantiation.
+	ExistSlots []int
+	// Frontier lists the frontier variables (body vars occurring in the
+	// head) with their slots — the base bindings for restricted-chase head
+	// checks.
+	Frontier []SlotVar
+
+	// Body, Neg, Head instantiate the trigger image, the negated body
+	// atoms, and the head atoms from a frame.
+	Body []Template
+	Neg  []Template
+	Head []Template
+
+	// Variants[di] is the join plan that treats body atom di as the
+	// semi-naive delta position. Every variant is compiled up front;
+	// selecting a delta position per round is an index, not a computation.
+	Variants []*Variant
+}
+
+// SlotVar pairs a rule variable with its frame slot.
+type SlotVar struct {
+	Var  term.Term
+	Slot int
+}
+
+// Variant is the compiled join for one delta-atom position: a fixed atom
+// order and one ScanPlan per step.
+type Variant struct {
+	// DeltaPos is the body atom index carrying the delta restriction;
+	// DeltaStep is its position in Order (0 when DeltaFirst).
+	DeltaPos  int
+	DeltaStep int
+	// Order holds body atom indexes in join order.
+	Order []int
+	// Scans[k] is the access path for body atom Order[k].
+	Scans []*storage.ScanPlan
+}
+
+// Template instantiates one rule atom from a frame.
+type Template struct {
+	Pred schema.PredID
+	Args []TemplateArg
+}
+
+// TemplateArg is one template position: a frame slot, or a constant when
+// Slot < 0.
+type TemplateArg struct {
+	Slot  int
+	Const term.Term
+}
+
+// Instantiate builds the atom under the frame. All referenced slots must be
+// bound; the returned atom owns a fresh argument slice (it may be stored).
+func (t *Template) Instantiate(frame []term.Term) atom.Atom {
+	args := make([]term.Term, len(t.Args))
+	for i, a := range t.Args {
+		if a.Slot < 0 {
+			args[i] = a.Const
+		} else {
+			args[i] = frame[a.Slot]
+		}
+	}
+	return atom.Atom{Pred: t.Pred, Args: args}
+}
+
+func compileRule(idx int, t *logic.TGD, opt Options) *RulePlan {
+	r := &RulePlan{TGDIndex: idx, TGD: t}
+	slotOf := make(map[term.Term]int)
+	intern := func(v term.Term) int {
+		if s, ok := slotOf[v]; ok {
+			return s
+		}
+		s := len(r.Slots)
+		slotOf[v] = s
+		r.Slots = append(r.Slots, v)
+		return s
+	}
+	for _, a := range t.Body {
+		for _, x := range a.Args {
+			if x.IsVar() {
+				intern(x)
+			}
+		}
+	}
+	r.BodySlots = len(r.Slots)
+	for _, a := range t.Head {
+		for _, x := range a.Args {
+			if x.IsVar() {
+				before := len(r.Slots)
+				s := intern(x)
+				if len(r.Slots) > before {
+					// Newly interned here, i.e. not a body variable:
+					// existential. Repeated occurrences hit the intern
+					// cache and are not appended again.
+					r.ExistSlots = append(r.ExistSlots, s)
+				}
+			}
+		}
+	}
+	r.NumSlots = len(r.Slots)
+	for s := 0; s < r.BodySlots; s++ {
+		v := r.Slots[s]
+		if inHead(t.Head, v) {
+			r.Frontier = append(r.Frontier, SlotVar{Var: v, Slot: s})
+		}
+	}
+	r.Body = compileTemplates(t.Body, slotOf)
+	r.Neg = compileTemplates(t.NegBody, slotOf)
+	r.Head = compileTemplates(t.Head, slotOf)
+	r.Variants = make([]*Variant, len(t.Body))
+	for di := range t.Body {
+		r.Variants[di] = compileVariant(t.Body, di, slotOf, r.NumSlots, opt)
+	}
+	return r
+}
+
+func inHead(head []atom.Atom, v term.Term) bool {
+	for _, a := range head {
+		for _, x := range a.Args {
+			if x == v {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func compileTemplates(atoms []atom.Atom, slotOf map[term.Term]int) []Template {
+	out := make([]Template, len(atoms))
+	for i, a := range atoms {
+		args := make([]TemplateArg, len(a.Args))
+		for j, x := range a.Args {
+			if x.IsVar() {
+				s, ok := slotOf[x]
+				if !ok {
+					// Every head variable is interned before templates are
+					// built, so only an unsafe negated-body variable (one
+					// occurring solely under "not") can be missing. That is
+					// invalid input — Program.Validate rejects it — and
+					// silently mapping it to slot 0 would corrupt results,
+					// so compiling it is a programming error.
+					panic("plan: variable without a slot (unsafe negation?)")
+				}
+				args[j] = TemplateArg{Slot: s}
+			} else {
+				args[j] = TemplateArg{Slot: -1, Const: x}
+			}
+		}
+		out[i] = Template{Pred: a.Pred, Args: args}
+	}
+	return out
+}
+
+// compileVariant fixes the join order for one delta position and compiles
+// each step's scan against the statically known bound-slot set.
+func compileVariant(body []atom.Atom, di int, slotOf map[term.Term]int, numSlots int, opt Options) *Variant {
+	v := &Variant{DeltaPos: di}
+	if opt.DeltaFirst {
+		v.Order = greedyOrder(body, di, slotOf)
+	} else {
+		v.Order = make([]int, len(body))
+		for i := range v.Order {
+			v.Order[i] = i
+		}
+	}
+	for k, bi := range v.Order {
+		if bi == di {
+			v.DeltaStep = k
+		}
+	}
+	bound := make([]bool, numSlots)
+	v.Scans = make([]*storage.ScanPlan, len(v.Order))
+	for k, bi := range v.Order {
+		args := make([]storage.ScanArg, len(body[bi].Args))
+		for j, x := range body[bi].Args {
+			if !x.IsVar() {
+				args[j] = storage.ScanArg{Mode: storage.ArgConst, Const: x}
+				continue
+			}
+			s := slotOf[x]
+			if bound[s] {
+				args[j] = storage.ScanArg{Mode: storage.ArgBound, Slot: s}
+			} else {
+				args[j] = storage.ScanArg{Mode: storage.ArgBind, Slot: s}
+				bound[s] = true
+			}
+		}
+		v.Scans[k] = storage.CompileScan(body[bi].Pred, args)
+	}
+	return v
+}
+
+// greedyOrder starts at the delta atom and repeatedly appends the unused
+// atom with the most bound argument positions (constants count as bound);
+// ties break towards the lowest body index, making the order deterministic.
+// Note this is a connected ordering, not the delta-first + written order
+// the pre-plan Datalog engine used: for rules with three or more body
+// atoms the biased join order (and hence Stats.Probes) can differ from
+// pre-refactor runs, by design — the connected order prunes earlier.
+func greedyOrder(body []atom.Atom, di int, slotOf map[term.Term]int) []int {
+	n := len(body)
+	order := make([]int, 0, n)
+	used := make([]bool, n)
+	bound := make(map[int]bool)
+	take := func(i int) {
+		used[i] = true
+		order = append(order, i)
+		for _, x := range body[i].Args {
+			if x.IsVar() {
+				bound[slotOf[x]] = true
+			}
+		}
+	}
+	take(di)
+	for len(order) < n {
+		best, bestScore := -1, -1
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			score := 0
+			for _, x := range body[i].Args {
+				if !x.IsVar() || bound[slotOf[x]] {
+					score++
+				}
+			}
+			if score > bestScore {
+				best, bestScore = i, score
+			}
+		}
+		take(best)
+	}
+	return order
+}

@@ -168,14 +168,7 @@ func (db *DB) candidates(pa atom.Atom, s atom.Subst) []int32 {
 // matching the pattern under base. Iteration stops early if fn returns
 // false. The substitution passed to fn is freshly cloned per match.
 func (db *DB) MatchEach(pa atom.Atom, base atom.Subst, fn func(atom.Subst) bool) {
-	for _, ri := range db.candidates(pa, base) {
-		s := base.Clone()
-		if atom.MatchAtom(s, pa, db.rows[ri]) {
-			if !fn(s) {
-				return
-			}
-		}
-	}
+	db.matchRows(pa, base, 0, 0, 1, fn)
 }
 
 // Homomorphism searches for a homomorphism from the pattern atom set into

@@ -23,11 +23,17 @@ func (db *DB) IndexOf(a atom.Atom) (int, bool) {
 	return 0, false
 }
 
-// MatchEachSince is MatchEach restricted to facts inserted at or after the
-// mark — the delta-join primitive of semi-naive evaluation.
-func (db *DB) MatchEachSince(pa atom.Atom, base atom.Subst, since Mark, fn func(atom.Subst) bool) {
+// matchRows is the shared core of the substitution-based matching family:
+// candidate rows filtered by mark and optional shard, cloning base per
+// match. The compiled-plan pipeline (ScanPlan/Probe in scan.go) is the
+// allocation-free hot path; these wrappers remain for the substitution
+// consumers (core, ucq, resolution, incremental) and the reference engines.
+func (db *DB) matchRows(pa atom.Atom, base atom.Subst, since Mark, shard, shards int, fn func(atom.Subst) bool) {
 	for _, ri := range db.candidates(pa, base) {
 		if ri < int32(since) {
+			continue
+		}
+		if shards > 1 && int(ri)%shards != shard {
 			continue
 		}
 		s := base.Clone()
@@ -39,23 +45,19 @@ func (db *DB) MatchEachSince(pa atom.Atom, base atom.Subst, since Mark, fn func(
 	}
 }
 
+// MatchEachSince is MatchEach restricted to facts inserted at or after the
+// mark — the delta-join primitive of semi-naive evaluation.
+func (db *DB) MatchEachSince(pa atom.Atom, base atom.Subst, since Mark, fn func(atom.Subst) bool) {
+	db.matchRows(pa, base, since, 0, 1, fn)
+}
+
 // MatchEachSinceSharded is MatchEachSince restricted to the shard-th
 // residue class of row indexes modulo shards. Parallel semi-naive workers
 // use it to split one delta scan: the shards partition the delta facts, so
 // running every shard in [0, shards) enumerates exactly the matches of
 // MatchEachSince, with no match seen by two workers.
 func (db *DB) MatchEachSinceSharded(pa atom.Atom, base atom.Subst, since Mark, shard, shards int, fn func(atom.Subst) bool) {
-	for _, ri := range db.candidates(pa, base) {
-		if ri < int32(since) || int(ri)%shards != shard {
-			continue
-		}
-		s := base.Clone()
-		if atom.MatchAtom(s, pa, db.rows[ri]) {
-			if !fn(s) {
-				return
-			}
-		}
-	}
+	db.matchRows(pa, base, since, shard, shards, fn)
 }
 
 // HomomorphismsEach enumerates every homomorphism from the pattern into the

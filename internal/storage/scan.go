@@ -1,0 +1,179 @@
+package storage
+
+import (
+	"repro/internal/atom"
+	"repro/internal/schema"
+	"repro/internal/term"
+)
+
+// Unbound is the sentinel value of an unbound slot in a binding frame. Its
+// Kind is outside the three term sorts, so it can never collide with a
+// stored term.
+var Unbound = term.Term{Kind: ^term.Kind(0)}
+
+// NewFrame returns a binding frame of n slots, all unbound. Frames are the
+// slot-indexed replacement for map-based substitutions on the enumeration
+// hot path: a compiled rule assigns each variable a fixed slot, and Probe
+// writes row values directly into the slots.
+func NewFrame(n int) []term.Term {
+	f := make([]term.Term, n)
+	for i := range f {
+		f[i] = Unbound
+	}
+	return f
+}
+
+// ArgMode says how one argument position of a ScanPlan constrains or binds
+// the frame. The mode of every position is fixed at compile time: because a
+// plan's join order is fixed, it is statically known which slots are bound
+// when a scan runs.
+type ArgMode uint8
+
+const (
+	// ArgConst compares the row value against a constant from the rule.
+	ArgConst ArgMode = iota
+	// ArgBound compares the row value against frame[Slot], which is bound —
+	// either by an earlier scan of the plan or by an earlier position of
+	// this same atom.
+	ArgBound
+	// ArgBind writes the row value into frame[Slot] (first occurrence of
+	// the variable along the join order).
+	ArgBind
+)
+
+// ScanArg is one compiled argument position.
+type ScanArg struct {
+	Mode  ArgMode
+	Slot  int       // frame slot for ArgBound / ArgBind
+	Const term.Term // comparison constant for ArgConst
+}
+
+type posKey struct {
+	pos int8
+	key uint64
+}
+
+type posSlot struct {
+	pos  int8
+	slot int
+}
+
+// ScanPlan is a compiled access path for one body atom: the predicate, the
+// per-position modes, the slots the scan binds, and the pre-resolved index
+// entry points. It is built once per (rule, join position) and reused for
+// every probe of every round.
+type ScanPlan struct {
+	Pred schema.PredID
+	Args []ScanArg
+
+	// binds are the slots this scan writes (ArgBind positions, first
+	// occurrence per slot); Probe resets them to Unbound between rows and
+	// before returning, so the frame backtracks without copying.
+	binds []int
+	// constKeys / boundKeys are the argument positions usable for index
+	// selection: constants carry their precomputed index key, bound slots
+	// are resolved against the frame at probe time.
+	constKeys []posKey
+	boundKeys []posSlot
+}
+
+// CompileScan builds a ScanPlan from the per-position modes. Index keys for
+// constant positions are resolved here, once, rather than per probe.
+func CompileScan(pred schema.PredID, args []ScanArg) *ScanPlan {
+	sp := &ScanPlan{Pred: pred, Args: args}
+	seen := make(map[int]bool)
+	for i, a := range args {
+		switch a.Mode {
+		case ArgConst:
+			sp.constKeys = append(sp.constKeys, posKey{pos: int8(i), key: a.Const.Key()})
+		case ArgBound:
+			// A slot bound by an earlier position of this same atom is not
+			// usable for index selection (it is unbound when the probe
+			// starts); only slots bound before the scan qualify.
+			if !seen[a.Slot] {
+				sp.boundKeys = append(sp.boundKeys, posSlot{pos: int8(i), slot: a.Slot})
+			}
+		case ArgBind:
+			if !seen[a.Slot] {
+				seen[a.Slot] = true
+				sp.binds = append(sp.binds, a.Slot)
+			}
+		}
+	}
+	// Positions whose slot is bound mid-atom must not feed index selection:
+	// drop any boundKey whose slot this very scan binds.
+	kept := sp.boundKeys[:0]
+	for _, bk := range sp.boundKeys {
+		if !seen[bk.slot] {
+			kept = append(kept, bk)
+		}
+	}
+	sp.boundKeys = kept
+	return sp
+}
+
+// Binds returns the slots this scan binds (read-only; used by plan tests).
+func (sp *ScanPlan) Binds() []int { return sp.binds }
+
+// Probe enumerates the stored atoms matching the scan plan under the
+// current frame, restricted to rows inserted at or after since and — when
+// shards > 1 — to the shard-th residue class of row indexes. For each
+// matching row it binds the plan's ArgBind slots in frame and calls fn;
+// the slots are reset to Unbound between rows and before Probe returns, so
+// the caller's frame is unchanged afterwards. fn returning false stops the
+// enumeration; Probe reports whether it ran to completion.
+//
+// Probe is the slot-based core the compiled rule plans drive; MatchEach and
+// friends remain as the substitution-based compatibility layer.
+func (db *DB) Probe(sp *ScanPlan, frame []term.Term, since Mark, shard, shards int, fn func() bool) bool {
+	rows := db.byPred[sp.Pred]
+	for _, ck := range sp.constKeys {
+		if cand := db.indexes[idxKey{pred: sp.Pred, pos: ck.pos, term: ck.key}]; len(cand) < len(rows) {
+			rows = cand
+		}
+	}
+	for _, bk := range sp.boundKeys {
+		if cand := db.indexes[idxKey{pred: sp.Pred, pos: bk.pos, term: frame[bk.slot].Key()}]; len(cand) < len(rows) {
+			rows = cand
+		}
+	}
+	for _, ri := range rows {
+		if ri < int32(since) {
+			continue
+		}
+		if shards > 1 && int(ri)%shards != shard {
+			continue
+		}
+		args := db.rows[ri].Args
+		ok := true
+		for i, a := range sp.Args {
+			switch a.Mode {
+			case ArgConst:
+				ok = args[i] == a.Const
+			case ArgBound:
+				ok = args[i] == frame[a.Slot]
+			case ArgBind:
+				frame[a.Slot] = args[i]
+			}
+			if !ok {
+				break
+			}
+		}
+		cont := true
+		if ok {
+			cont = fn()
+		}
+		for _, s := range sp.binds {
+			frame[s] = Unbound
+		}
+		if !cont {
+			return false
+		}
+	}
+	return true
+}
+
+// Row returns the stored atom at the given insertion index. Compiled plans
+// use insertion indexes for provenance; Row panics on out-of-range input
+// exactly like a slice access.
+func (db *DB) Row(i int) atom.Atom { return db.rows[i] }
