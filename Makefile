@@ -1,0 +1,25 @@
+# Developer entry points. CI runs vet+build+test directly; `make bench`
+# regenerates the machine-readable perf snapshot for the current PR.
+
+# Benchmarks tracked across PRs (the CHANGES.md before/after set).
+BENCH_PATTERN ?= BenchmarkE8|BenchmarkE9|BenchmarkE10|BenchmarkP1
+BENCH_OUT     ?= BENCH_pr2.json
+BENCH_TIME    ?= 10x
+
+.PHONY: all build test vet bench
+
+all: vet build test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+bench:
+	go test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime $(BENCH_TIME) . \
+		| go run ./cmd/benchjson -o $(BENCH_OUT)
+	@echo wrote $(BENCH_OUT)

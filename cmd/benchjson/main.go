@@ -1,0 +1,135 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// document, so the perf trajectory across PRs is machine-readable
+// (BENCH_pr*.json artifacts; see `make bench`).
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem . | benchjson -o BENCH.json
+//	benchjson -o BENCH.json bench-output.txt
+//
+// Unknown lines (test framework chatter, PASS/ok trailers) are ignored;
+// benchmark context lines (goos/goarch/pkg/cpu) are captured into the
+// document header.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line: the benchmark name (with the
+// -GOMAXPROCS suffix stripped into Procs), the iteration count, and every
+// reported metric keyed by unit (ns/op, B/op, allocs/op, custom units).
+type Result struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Document is the emitted JSON shape.
+type Document struct {
+	Context    map[string]string `json:"context,omitempty"`
+	Benchmarks []Result          `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	doc, err := Parse(in)
+	if err != nil {
+		fatal(err)
+	}
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
+
+// contextKeys are the `key: value` header lines the bench runner prints.
+var contextKeys = map[string]bool{"goos": true, "goarch": true, "pkg": true, "cpu": true}
+
+// Parse reads `go test -bench` output and returns the structured document.
+func Parse(in io.Reader) (*Document, error) {
+	doc := &Document{Context: map[string]string{}, Benchmarks: []Result{}}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if key, val, ok := strings.Cut(line, ": "); ok && contextKeys[key] {
+			doc.Context[key] = val
+			continue
+		}
+		if r, ok := parseBenchLine(line); ok {
+			doc.Benchmarks = append(doc.Benchmarks, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return doc, nil
+}
+
+// parseBenchLine parses one result line:
+//
+//	BenchmarkName/sub=x-8  3  1234 ns/op  56 B/op  7 allocs/op  89 widgets
+//
+// i.e. name, iterations, then (value, unit) pairs.
+func parseBenchLine(line string) (Result, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return Result{}, false
+	}
+	fields := strings.Fields(line)
+	// name + iterations + at least one (value, unit) pair.
+	if len(fields) < 4 || (len(fields)-2)%2 != 0 {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	// Strip the trailing -GOMAXPROCS suffix (absent when GOMAXPROCS=1).
+	if i := strings.LastIndexByte(r.Name, '-'); i > 0 {
+		if p, err := strconv.Atoi(r.Name[i+1:]); err == nil {
+			r.Name, r.Procs = r.Name[:i], p
+		}
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, true
+}

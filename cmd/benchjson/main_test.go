@@ -1,0 +1,53 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkP1_PlanFixpointSeq         	      10	  10927516 ns/op	       255.0 rounds	 6664778 B/op	    4030 allocs/op
+BenchmarkE8_JoinOrdering/biased=true-8  	       3	  95336662 ns/op	    262653 probes	43399968 B/op	  140757 allocs/op
+PASS
+ok  	repro	1.315s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Context["goos"] != "linux" || doc.Context["cpu"] == "" {
+		t.Fatalf("context not captured: %v", doc.Context)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(doc.Benchmarks))
+	}
+	b0 := doc.Benchmarks[0]
+	if b0.Name != "BenchmarkP1_PlanFixpointSeq" || b0.Iterations != 10 || b0.Procs != 0 {
+		t.Fatalf("b0 = %+v", b0)
+	}
+	if b0.Metrics["ns/op"] != 10927516 || b0.Metrics["allocs/op"] != 4030 || b0.Metrics["rounds"] != 255 {
+		t.Fatalf("b0 metrics = %v", b0.Metrics)
+	}
+	b1 := doc.Benchmarks[1]
+	if b1.Name != "BenchmarkE8_JoinOrdering/biased=true" || b1.Procs != 8 {
+		t.Fatalf("b1 = %+v", b1)
+	}
+	if b1.Metrics["probes"] != 262653 {
+		t.Fatalf("b1 metrics = %v", b1.Metrics)
+	}
+}
+
+func TestParseIgnoresChatter(t *testing.T) {
+	doc, err := Parse(strings.NewReader("=== RUN TestX\n--- PASS: TestX\nBenchmark\nBenchmarkBad abc\nnothing here\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 0 {
+		t.Fatalf("chatter parsed as benchmarks: %+v", doc.Benchmarks)
+	}
+}

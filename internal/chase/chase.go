@@ -131,12 +131,15 @@ func Run(prog *logic.Program, db *storage.DB, opt Options) (*Result, error) {
 	fired := make(map[string]bool)
 	nullDepth := make(map[uint32]int)
 
-	// Compile each TGD once: join orders, index access paths, and
-	// head/body templates are rule properties, not round properties. The
-	// chase drives the same RulePlan pipeline as the Datalog engines, with
-	// its trigger-key/memo/depth termination control layered on top of the
-	// enumeration instead of interleaved with it.
-	plans := plan.Compile(prog, plan.Options{DeltaFirst: true})
+	// Compile each TGD once (cached across runs of the same program): join
+	// orders, index access paths, and head/body templates are rule
+	// properties, not round properties. The chase drives the same RulePlan
+	// pipeline as the Datalog engines, with its trigger-key/memo/depth
+	// termination control layered on top of the enumeration instead of
+	// interleaved with it. NeedBodyImage keeps every body variable live:
+	// the chase reads full frames for trigger keys, memoization, and
+	// null-depth tracking, so nothing may be projected away.
+	plans := plan.Cached(prog, plan.Options{DeltaFirst: true, NeedBodyImage: true})
 	execs := make([]*plan.Exec, len(prog.TGDs))
 	for ti, r := range plans.Rules {
 		execs[ti] = plan.NewExec(r)
@@ -157,6 +160,10 @@ func Run(prog *logic.Program, db *storage.DB, opt Options) (*Result, error) {
 			ex := execs[ti]
 			hasExist := len(r.ExistSlots) > 0
 			hasNeg := len(r.Neg) > 0
+			// Full TGDs with no provenance and no fact-isomorphism control
+			// insert through the scratch-buffer path: the head never needs
+			// to exist as an atom before the store copies it.
+			fastInsert := !hasExist && res.Prov == nil && !opt.FactIso
 			for di := range tgd.Body {
 				// Round 1 runs with mark 0, so restricting any single atom
 				// to the delta already enumerates every homomorphism;
@@ -218,6 +225,12 @@ func Run(prog *logic.Program, db *storage.DB, opt Options) (*Result, error) {
 						ex.SetExistentials(nulls)
 					}
 					for hi := range r.Head {
+						if fastInsert {
+							if work.InsertArgs(ex.HeadArgs(hi)) {
+								progress = true
+							}
+							continue
+						}
 						f := ex.Head(hi)
 						if opt.FactIso && f.HasNull() && !factIso.Admit(f) {
 							continue
@@ -263,9 +276,10 @@ func Run(prog *logic.Program, db *storage.DB, opt Options) (*Result, error) {
 // test: I |= σ for this trigger).
 func headSatisfied(db *storage.DB, r *plan.RulePlan, ex *plan.Exec) bool {
 	// Fast path: a single-atom head with no existentials instantiates to a
-	// ground atom (every full TGD) and reduces to a hash lookup.
+	// ground atom (every full TGD) and reduces to a hash lookup over the
+	// executor's scratch buffer — no atom materialized.
 	if len(r.Head) == 1 && len(r.ExistSlots) == 0 {
-		return db.Contains(ex.Head(0))
+		return db.ContainsArgs(ex.HeadArgs(0))
 	}
 	_, ok := db.Homomorphism(r.TGD.Head, ex.FrontierSubst())
 	return ok

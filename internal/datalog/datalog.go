@@ -13,7 +13,6 @@ import (
 	"sort"
 
 	"repro/internal/analysis"
-	"repro/internal/atom"
 	"repro/internal/logic"
 	"repro/internal/plan"
 	"repro/internal/schema"
@@ -109,7 +108,7 @@ func Eval(prog *logic.Program, db *storage.DB, opt Options) (*storage.DB, *Stats
 		an:    an,
 		db:    db.Clone(),
 		opt:   opt,
-		plans: plan.Compile(prog, plan.Options{DeltaFirst: opt.BiasRecursiveAtom}),
+		plans: plan.Cached(prog, plan.Options{DeltaFirst: opt.BiasRecursiveAtom}),
 		execs: make([]*plan.Exec, len(prog.TGDs)),
 	}
 	if opt.Stratify {
@@ -217,15 +216,18 @@ func (e *evaluator) joinRule(ri, di int, mark storage.Mark) {
 		if hasNeg && ex.Blocked(e.db) {
 			return true
 		}
-		e.db.Insert(ex.Head(0))
+		e.db.InsertArgs(ex.HeadArgs(0))
 		return true
 	})
 }
 
 // Naive computes the fixpoint by re-evaluating every rule against the full
-// instance each round — the reference implementation used to property-test
-// the semi-naive engine. Programs with negation are evaluated stratum by
-// stratum (perfect-model semantics), naively within each stratum.
+// instance each round — the reference engine used to property-test the
+// semi-naive evaluators. It runs the same compiled-plan pipeline as the
+// other engines (unbiased written-order plans, no delta restriction), so
+// the four-engine cross-check exercises plan.Exec everywhere. Programs
+// with negation are evaluated stratum by stratum (perfect-model
+// semantics), naively within each stratum.
 func Naive(prog *logic.Program, db *storage.DB) (*storage.DB, error) {
 	an := analysis.Analyze(prog)
 	if !an.IsFullSingleHead() {
@@ -255,25 +257,27 @@ func Naive(prog *logic.Program, db *storage.DB) (*storage.DB, error) {
 		}
 	}
 	work := db.Clone()
+	plans := plan.Cached(prog, plan.Options{})
+	execs := make([]*plan.Exec, len(prog.TGDs))
 	for _, rules := range groups {
 		for {
 			before := work.Len()
 			for _, ri := range rules {
-				t := prog.TGDs[ri]
-				var all []atom.Subst
-				work.HomomorphismsEach(t.Body, nil, -1, 0, func(s atom.Subst) bool {
-					all = append(all, s.Clone())
+				if execs[ri] == nil {
+					execs[ri] = plan.NewExec(plans.Rules[ri])
+				}
+				ex := execs[ri]
+				hasNeg := len(ex.Rule.Neg) > 0
+				// Delta position 0 with mark 0 is the unrestricted join.
+				// Negated predicates live in strictly lower (closed) strata,
+				// so checking them mid-enumeration is stable.
+				ex.Run(work, 0, 0, 0, 1, func() bool {
+					if hasNeg && ex.Blocked(work) {
+						return true
+					}
+					work.InsertArgs(ex.HeadArgs(0))
 					return true
 				})
-			matches:
-				for _, s := range all {
-					for _, na := range t.NegBody {
-						if work.Contains(s.ApplyAtom(na)) {
-							continue matches
-						}
-					}
-					work.Insert(s.ApplyAtom(t.Head[0]))
-				}
 			}
 			if work.Len() == before {
 				break

@@ -48,7 +48,7 @@ func EvalParallel(prog *logic.Program, db *storage.DB, opt Options, workers int)
 			an:    an,
 			db:    db.Clone(),
 			opt:   opt,
-			plans: plan.Compile(prog, plan.Options{DeltaFirst: opt.BiasRecursiveAtom}),
+			plans: plan.Cached(prog, plan.Options{DeltaFirst: opt.BiasRecursiveAtom}),
 		},
 		workers: workers,
 		wexecs:  make([][]*plan.Exec, workers),
@@ -103,9 +103,11 @@ func (e *parEvaluator) wexec(w, ri int) *plan.Exec {
 }
 
 // job is one (rule, delta position, delta shard) unit of a round: the
-// rule's join with the delta scan restricted to one residue class of row
-// indexes. Sharding the delta rather than the rule list keeps all workers
-// busy even when a single recursive rule dominates the round.
+// rule's join with the delta scan restricted to one contiguous sub-range
+// of the delta window (storage.Probe shards the window by row range, so
+// each worker's scan walks adjacent columnar rows). Sharding the delta
+// rather than the rule list keeps all workers busy even when a single
+// recursive rule dominates the round.
 type job struct {
 	rule  int
 	delta int
@@ -163,8 +165,8 @@ func (e *parEvaluator) fixpointParallel(rules []int, growing map[schema.PredID]b
 // runJob executes the rule's compiled plan with the job's delta shard and
 // appends head images to the worker's buffer. It mirrors joinRule but is
 // strictly read-only on the shared instance: the plan's delta scan is
-// sharded by row-index residue class, so the workers partition exactly the
-// matches a sequential delta scan would enumerate.
+// sharded into contiguous row ranges of the delta window, so the workers
+// partition exactly the matches a sequential delta scan would enumerate.
 func (e *parEvaluator) runJob(w int, j job, mark storage.Mark, buf []atom.Atom) []atom.Atom {
 	ex := e.wexec(w, j.rule)
 	hasNeg := len(ex.Rule.Neg) > 0

@@ -80,7 +80,7 @@ func New(prog *logic.Program, base *storage.DB) (*Engine, error) {
 		base:        base.Clone(),
 		db:          db,
 		intensional: make(map[schema.PredID]bool),
-		plans:       plan.Compile(prog, plan.Options{DeltaFirst: true}),
+		plans:       plan.Cached(prog, plan.Options{DeltaFirst: true}),
 	}
 	e.execs = make([]*plan.Exec, len(prog.TGDs))
 	for i, r := range e.plans.Rules {
@@ -136,7 +136,7 @@ func (e *Engine) deltaFixpoint(mark storage.Mark) int {
 			ex := e.execs[ri]
 			for di := range t.Body {
 				ex.Run(e.db, di, mark, 0, 1, func() bool {
-					e.db.Insert(ex.Head(0))
+					e.db.InsertArgs(ex.HeadArgs(0))
 					return true
 				})
 			}

@@ -1,0 +1,89 @@
+package plan
+
+import (
+	"reflect"
+	"sync"
+
+	"repro/internal/logic"
+)
+
+// The compiled-program cache: a compiled Program is a pure function of the
+// rule set and the compile options, never of the data, so repeated
+// Eval/EvalParallel/chase.Run/incremental sessions over the same program
+// skip compilation entirely (ROADMAP: plan-caching follow-up of PR 1).
+//
+// Program identity is the rule set itself: the key is a fingerprint of the
+// *logic.TGD pointers plus the rule count and options, and a hit is
+// verified element-wise against the cached rule-pointer snapshot. Keying
+// on rules rather than the enclosing *logic.Program means ephemeral
+// wrapper programs over shared rules — the per-stratum sub-programs of
+// chase.RunStratified, program clones sharing TGDs — all hit one entry,
+// and appending, truncating, or re-parsing rules (which allocates fresh
+// *logic.TGD values, as the REPL does) recompiles instead of serving
+// stale plans. In-place mutation of an existing TGD's atoms is not
+// detected — engines never do that; rule edits go through re-parsing.
+
+type cacheKey struct {
+	fp  uint64
+	n   int
+	opt Options
+}
+
+type cacheEntry struct {
+	rules []*logic.TGD // snapshot for hit verification
+	prog  *Program
+}
+
+// cacheLimit bounds the cache; workloads compiling thousands of distinct
+// programs (generated scenario suites) reset it rather than grow it.
+const cacheLimit = 256
+
+var (
+	cacheMu sync.Mutex
+	cache   = make(map[cacheKey]cacheEntry)
+)
+
+// Cached returns the compiled program for (src, opt), compiling at most
+// once per distinct rule set. Safe for concurrent use; the returned
+// Program is shared and immutable (per-evaluation state lives in Exec).
+func Cached(src *logic.Program, opt Options) *Program {
+	k := cacheKey{fp: fingerprint(src.TGDs), n: len(src.TGDs), opt: opt}
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if e, ok := cache[k]; ok && sameRules(e.rules, src.TGDs) {
+		return e.prog
+	}
+	if len(cache) >= cacheLimit {
+		clear(cache)
+	}
+	p := Compile(src, opt)
+	cache[k] = cacheEntry{rules: append([]*logic.TGD(nil), src.TGDs...), prog: p}
+	return p
+}
+
+// fingerprint folds the rule pointers FNV-style. Collisions only cost a
+// cache slot: hits are always verified against the rule snapshot.
+func fingerprint(rules []*logic.TGD) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, t := range rules {
+		h ^= uint64(reflect.ValueOf(t).Pointer())
+		h *= prime
+	}
+	return h
+}
+
+func sameRules(a, b []*logic.TGD) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

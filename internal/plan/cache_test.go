@@ -1,0 +1,81 @@
+package plan
+
+import (
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/parser"
+)
+
+// TestCachedReusesCompilation: same program + same options hit the cache;
+// different options compile separately.
+func TestCachedReusesCompilation(t *testing.T) {
+	r, err := parser.Parse(`
+t(X,Y) :- e(X,Y).
+t(X,Z) :- e(X,Y), t(Y,Z).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Cached(r.Program, Options{DeltaFirst: true})
+	b := Cached(r.Program, Options{DeltaFirst: true})
+	if a != b {
+		t.Fatalf("identical (program, options) compiled twice")
+	}
+	c := Cached(r.Program, Options{DeltaFirst: false})
+	if c == a {
+		t.Fatalf("distinct options shared one compilation")
+	}
+	d := Cached(r.Program, Options{DeltaFirst: true, NeedBodyImage: true})
+	if d == a {
+		t.Fatalf("NeedBodyImage shared a projected compilation")
+	}
+
+	// Ephemeral wrapper programs over the same rules (the stratified
+	// chase builds one per stratum per call) must hit the same entry.
+	wrapper := &logic.Program{TGDs: r.Program.TGDs, Store: r.Program.Store, Reg: r.Program.Reg}
+	if Cached(wrapper, Options{DeltaFirst: true}) != a {
+		t.Fatalf("wrapper program over identical rules recompiled")
+	}
+}
+
+// TestCachedDetectsRuleChanges: appending rules recompiles, and — the REPL
+// rollback pattern — truncating then appending a different rule at the
+// same count must not serve the stale plans.
+func TestCachedDetectsRuleChanges(t *testing.T) {
+	r, err := parser.Parse(`t(X,Y) :- e(X,Y).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := r.Program
+	p1 := Cached(prog, Options{DeltaFirst: true})
+
+	if _, err := parser.ParseInto(prog, `s(X) :- t(X,Y).`); err != nil {
+		t.Fatal(err)
+	}
+	p2 := Cached(prog, Options{DeltaFirst: true})
+	if p2 == p1 || len(p2.Rules) != 2 {
+		t.Fatalf("appended rule not recompiled (rules = %d)", len(p2.Rules))
+	}
+
+	// Roll back and append a different rule: same count, fresh *TGD.
+	prog.TGDs = prog.TGDs[:1]
+	if _, err := parser.ParseInto(prog, `u(X) :- t(X,X).`); err != nil {
+		t.Fatal(err)
+	}
+	p3 := Cached(prog, Options{DeltaFirst: true})
+	if p3 == p2 {
+		t.Fatalf("stale plans served after rollback+append")
+	}
+	u, ok := prog.Reg.Lookup("u")
+	if !ok || p3.Rules[1].TGD.Head[0].Pred != u {
+		t.Fatalf("recompiled plans do not reflect the new rule")
+	}
+
+	// The original single-rule program is again cached consistently.
+	prog.TGDs = prog.TGDs[:1]
+	p4 := Cached(prog, Options{DeltaFirst: true})
+	if len(p4.Rules) != 1 {
+		t.Fatalf("truncated program compiled with %d rules", len(p4.Rules))
+	}
+}

@@ -2,6 +2,7 @@ package plan
 
 import (
 	"repro/internal/atom"
+	"repro/internal/schema"
 	"repro/internal/storage"
 	"repro/internal/term"
 )
@@ -21,6 +22,10 @@ type Exec struct {
 	Probes int
 
 	frame []term.Term
+	// scratch is the instantiation buffer behind HeadArgs and Blocked: the
+	// engines hand it straight to storage.InsertArgs/ContainsArgs, which
+	// copy, so no per-derivation argument slice is ever allocated.
+	scratch []term.Term
 }
 
 // NewExec returns an executor for the rule with a fresh all-unbound frame.
@@ -60,10 +65,13 @@ func (e *Exec) Run(db *storage.DB, di int, since storage.Mark, shard, shards int
 // Blocked reports whether some negated body atom of the rule holds in db
 // under the current frame — the stratified negation-as-failure check, run
 // once the positive body is fully matched (safe negation makes the negated
-// atoms ground at that point).
+// atoms ground at that point). The check instantiates into the scratch
+// buffer and never allocates.
 func (e *Exec) Blocked(db *storage.DB) bool {
 	for i := range e.Rule.Neg {
-		if db.Contains(e.Rule.Neg[i].Instantiate(e.frame)) {
+		t := &e.Rule.Neg[i]
+		e.scratch = t.AppendArgs(e.scratch[:0], e.frame)
+		if db.ContainsArgs(t.Pred, e.scratch) {
 			return true
 		}
 	}
@@ -73,9 +81,21 @@ func (e *Exec) Blocked(db *storage.DB) bool {
 // Head instantiates head atom i under the current frame.
 func (e *Exec) Head(i int) atom.Atom { return e.Rule.Head[i].Instantiate(e.frame) }
 
+// HeadArgs instantiates head atom i into the executor's scratch buffer,
+// returning its predicate and argument tuple. The tuple is valid until the
+// next HeadArgs or Blocked call; storage.DB.InsertArgs/ContainsArgs copy
+// it, so the insert-only engines derive facts without allocating.
+func (e *Exec) HeadArgs(i int) (schema.PredID, []term.Term) {
+	t := &e.Rule.Head[i]
+	e.scratch = t.AppendArgs(e.scratch[:0], e.frame)
+	return t.Pred, e.scratch
+}
+
 // BodyImage instantiates the full body under the current frame — the
 // trigger image h(body(σ)) used for chase trigger keys, guide-structure
-// memoization, and provenance.
+// memoization, and provenance. The plan must have been compiled with
+// Options.NeedBodyImage; otherwise dead body variables are projected away
+// and their slots are unbound here.
 func (e *Exec) BodyImage() []atom.Atom {
 	out := make([]atom.Atom, len(e.Rule.Body))
 	for i := range e.Rule.Body {

@@ -38,6 +38,14 @@ type Options struct {
 	// keeps the written body order and applies the delta restriction in
 	// place — the unbiased baseline of experiment E8.
 	DeltaFirst bool
+	// NeedBodyImage keeps every body variable live so Exec.BodyImage and
+	// Exec.Frame expose the full trigger image (the chase needs this for
+	// trigger keys, memoization, provenance, and null-depth tracking).
+	// When false, body variables read by no later scan and no head or
+	// negated-body template are projected away: their scan positions
+	// compile to storage.ArgSkip and the probe never writes the slot.
+	// Consumers that leave this false must not call Exec.BodyImage.
+	NeedBodyImage bool
 }
 
 // Program is a compiled program: one RulePlan per TGD, sharing the source
@@ -125,15 +133,21 @@ type TemplateArg struct {
 // Instantiate builds the atom under the frame. All referenced slots must be
 // bound; the returned atom owns a fresh argument slice (it may be stored).
 func (t *Template) Instantiate(frame []term.Term) atom.Atom {
-	args := make([]term.Term, len(t.Args))
-	for i, a := range t.Args {
+	return atom.Atom{Pred: t.Pred, Args: t.AppendArgs(make([]term.Term, 0, len(t.Args)), frame)}
+}
+
+// AppendArgs appends the template's argument tuple under the frame to dst
+// and returns it — the scratch-buffer instantiation path of Exec.HeadArgs
+// and Exec.Blocked.
+func (t *Template) AppendArgs(dst, frame []term.Term) []term.Term {
+	for _, a := range t.Args {
 		if a.Slot < 0 {
-			args[i] = a.Const
+			dst = append(dst, a.Const)
 		} else {
-			args[i] = frame[a.Slot]
+			dst = append(dst, frame[a.Slot])
 		}
 	}
-	return atom.Atom{Pred: t.Pred, Args: args}
+	return dst
 }
 
 func compileRule(idx int, t *logic.TGD, opt Options) *RulePlan {
@@ -180,11 +194,30 @@ func compileRule(idx int, t *logic.TGD, opt Options) *RulePlan {
 	r.Body = compileTemplates(t.Body, slotOf)
 	r.Neg = compileTemplates(t.NegBody, slotOf)
 	r.Head = compileTemplates(t.Head, slotOf)
+	// Template liveness: slots read after the join finishes. Frontier slots
+	// are a subset of head-template slots, so they need no separate marking.
+	live := make([]bool, r.NumSlots)
+	markTemplateSlots(live, r.Head)
+	markTemplateSlots(live, r.Neg)
+	if opt.NeedBodyImage {
+		markTemplateSlots(live, r.Body)
+	}
 	r.Variants = make([]*Variant, len(t.Body))
 	for di := range t.Body {
-		r.Variants[di] = compileVariant(t.Body, di, slotOf, r.NumSlots, opt)
+		r.Variants[di] = compileVariant(t.Body, di, slotOf, live, opt)
 	}
 	return r
+}
+
+// markTemplateSlots marks every frame slot a template reads.
+func markTemplateSlots(live []bool, ts []Template) {
+	for _, t := range ts {
+		for _, a := range t.Args {
+			if a.Slot >= 0 {
+				live[a.Slot] = true
+			}
+		}
+	}
 }
 
 func inHead(head []atom.Atom, v term.Term) bool {
@@ -224,9 +257,10 @@ func compileTemplates(atoms []atom.Atom, slotOf map[term.Term]int) []Template {
 	return out
 }
 
-// compileVariant fixes the join order for one delta position and compiles
-// each step's scan against the statically known bound-slot set.
-func compileVariant(body []atom.Atom, di int, slotOf map[term.Term]int, numSlots int, opt Options) *Variant {
+// compileVariant fixes the join order for one delta position, assigns
+// per-position argument modes against the statically known bound-slot set,
+// projects away dead bindings, and compiles each step's scan.
+func compileVariant(body []atom.Atom, di int, slotOf map[term.Term]int, live []bool, opt Options) *Variant {
 	v := &Variant{DeltaPos: di}
 	if opt.DeltaFirst {
 		v.Order = greedyOrder(body, di, slotOf)
@@ -241,8 +275,8 @@ func compileVariant(body []atom.Atom, di int, slotOf map[term.Term]int, numSlots
 			v.DeltaStep = k
 		}
 	}
-	bound := make([]bool, numSlots)
-	v.Scans = make([]*storage.ScanPlan, len(v.Order))
+	bound := make([]bool, len(live))
+	argss := make([][]storage.ScanArg, len(v.Order))
 	for k, bi := range v.Order {
 		args := make([]storage.ScanArg, len(body[bi].Args))
 		for j, x := range body[bi].Args {
@@ -258,7 +292,28 @@ func compileVariant(body []atom.Atom, di int, slotOf map[term.Term]int, numSlots
 				bound[s] = true
 			}
 		}
-		v.Scans[k] = storage.CompileScan(body[bi].Pred, args)
+		argss[k] = args
+	}
+	// Projection mask: a slot is read by the join itself when some position
+	// (in this variant's order) compares against it. Together with the
+	// template liveness this is the full read set; an ArgBind whose slot
+	// nobody reads is projected to ArgSkip, so the probe skips the write.
+	read := append([]bool(nil), live...)
+	for _, args := range argss {
+		for _, a := range args {
+			if a.Mode == storage.ArgBound {
+				read[a.Slot] = true
+			}
+		}
+	}
+	v.Scans = make([]*storage.ScanPlan, len(v.Order))
+	for k, bi := range v.Order {
+		for j, a := range argss[k] {
+			if a.Mode == storage.ArgBind && !read[a.Slot] {
+				argss[k][j] = storage.ScanArg{Mode: storage.ArgSkip}
+			}
+		}
+		v.Scans[k] = storage.CompileScan(body[bi].Pred, argss[k])
 	}
 	return v
 }

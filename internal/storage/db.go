@@ -1,7 +1,7 @@
 // Package storage implements the finite-instance layer: a deduplicating
-// fact store with per-position hash indexes, pattern matching, and
-// conjunctive-query evaluation over instances that may contain labeled
-// nulls (as produced by the chase).
+// fact store with per-predicate columnar relations and per-position hash
+// indexes, pattern matching, and conjunctive-query evaluation over
+// instances that may contain labeled nulls (as produced by the chase).
 //
 // The evaluation of a CQ q(x̄) over an instance I is the set of tuples h(x̄)
 // of CONSTANTS with h a homomorphism from atoms(q) to I (paper §2). Nulls
@@ -19,49 +19,88 @@ import (
 )
 
 // DB is an instance over a schema: a deduplicated set of ground atoms
-// (constants and nulls). The zero value is not usable; call NewDB.
+// (constants and nulls). Facts live in per-predicate columnar relations
+// (flat arity-strided term arrays with predicate-local dedup tables and
+// per-position indexes); a single global insertion-order log stitches the
+// relations into one instance for Mark-based delta windows, provenance
+// row indexes, and deterministic enumeration. The zero value is not
+// usable; call NewDB.
 type DB struct {
-	rows    []atom.Atom
-	byPred  map[schema.PredID][]int32
-	dedup   map[uint64][]int32
-	indexes map[idxKey][]int32
+	// rels is dense by PredID; entries are nil until the predicate's first
+	// fact arrives.
+	rels []*relation
+	// order is the global insertion log: order[g] locates the fact with
+	// global insertion index g inside its relation.
+	order []rowRef
 }
 
-type idxKey struct {
+// rowRef locates one fact: the relation of pred, local row index row.
+type rowRef struct {
 	pred schema.PredID
-	pos  int8
-	term uint64
+	row  int32
 }
 
 // NewDB returns an empty instance.
 func NewDB() *DB {
-	return &DB{
-		byPred:  make(map[schema.PredID][]int32),
-		dedup:   make(map[uint64][]int32),
-		indexes: make(map[idxKey][]int32),
+	return &DB{}
+}
+
+// relOf returns the predicate's relation, or nil if no fact with that
+// predicate was ever inserted.
+func (db *DB) relOf(p schema.PredID) *relation {
+	if int(p) < len(db.rels) {
+		return db.rels[p]
 	}
+	return nil
+}
+
+// rel returns the predicate's relation, creating it on first insert.
+func (db *DB) rel(p schema.PredID, arity int) *relation {
+	for int(p) >= len(db.rels) {
+		db.rels = append(db.rels, nil)
+	}
+	r := db.rels[p]
+	if r == nil {
+		r = newRelation(p, arity)
+		db.rels[p] = r
+	}
+	return r
 }
 
 // Insert adds a ground atom, reporting whether it was new. Atoms with
 // variables are rejected by panic: inserting a non-ground atom is always a
 // programming error in the engine layers above.
 func (db *DB) Insert(a atom.Atom) bool {
-	if !a.IsGround() {
-		panic("storage: inserting non-ground atom")
-	}
-	h := a.Hash()
-	for _, ri := range db.dedup[h] {
-		if db.rows[ri].Equal(a) {
-			return false
+	return db.InsertArgs(a.Pred, a.Args)
+}
+
+// InsertArgs adds the ground fact pred(args...), reporting whether it was
+// new. The argument tuple is copied into the columnar backing, so callers
+// may reuse args as a scratch buffer — this is the zero-allocation
+// insertion path the compiled-plan executors drive with their head
+// scratch buffers.
+func (db *DB) InsertArgs(pred schema.PredID, args []term.Term) bool {
+	for _, t := range args {
+		if t.IsVar() {
+			panic("storage: inserting non-ground atom")
 		}
 	}
-	ri := int32(len(db.rows))
-	db.rows = append(db.rows, a)
-	db.dedup[h] = append(db.dedup[h], ri)
-	db.byPred[a.Pred] = append(db.byPred[a.Pred], ri)
-	for i, t := range a.Args {
-		k := idxKey{pred: a.Pred, pos: int8(i), term: t.Key()}
-		db.indexes[k] = append(db.indexes[k], ri)
+	r := db.rel(pred, len(args))
+	h := hashArgs(pred, args)
+	if _, ok := r.find(h, args); ok {
+		return false
+	}
+	ri := int32(r.rows())
+	// Table first: growTab rehashes from the hashes column, so the new
+	// row's hash must not be appended yet or growth would place the row
+	// twice.
+	r.tabInsert(h, ri)
+	r.cols = append(r.cols, args...)
+	r.global = append(r.global, int32(len(db.order)))
+	r.hashes = append(r.hashes, h)
+	db.order = append(db.order, rowRef{pred: pred, row: ri})
+	for i, t := range args {
+		r.idx[i][t] = append(r.idx[i][t], ri)
 	}
 	return true
 }
@@ -79,42 +118,70 @@ func (db *DB) InsertAll(atoms []atom.Atom) int {
 
 // Contains reports whether the ground atom is present.
 func (db *DB) Contains(a atom.Atom) bool {
-	h := a.Hash()
-	for _, ri := range db.dedup[h] {
-		if db.rows[ri].Equal(a) {
-			return true
-		}
+	return db.ContainsArgs(a.Pred, a.Args)
+}
+
+// ContainsArgs reports whether the fact pred(args...) is present, without
+// materializing an atom; args may be a scratch buffer.
+func (db *DB) ContainsArgs(pred schema.PredID, args []term.Term) bool {
+	r := db.relOf(pred)
+	if r == nil {
+		return false
 	}
-	return false
+	_, ok := r.find(hashArgs(pred, args), args)
+	return ok
 }
 
 // Len reports the number of stored atoms.
-func (db *DB) Len() int { return len(db.rows) }
+func (db *DB) Len() int { return len(db.order) }
 
 // CountPred reports the number of atoms with the given predicate.
-func (db *DB) CountPred(p schema.PredID) int { return len(db.byPred[p]) }
+func (db *DB) CountPred(p schema.PredID) int {
+	if r := db.relOf(p); r != nil {
+		return r.rows()
+	}
+	return 0
+}
 
-// Facts returns the stored atoms with the given predicate. The returned
-// slice is shared; callers must not mutate it.
+// Facts returns the stored atoms with the given predicate in insertion
+// order. The atoms' argument slices alias the columnar backing; callers
+// must not mutate them.
 func (db *DB) Facts(p schema.PredID) []atom.Atom {
-	rows := db.byPred[p]
-	out := make([]atom.Atom, len(rows))
-	for i, ri := range rows {
-		out[i] = db.rows[ri]
+	r := db.relOf(p)
+	if r == nil {
+		return nil
+	}
+	out := make([]atom.Atom, r.rows())
+	for i := range out {
+		out[i] = r.atomAt(int32(i))
 	}
 	return out
 }
 
-// All returns every stored atom in insertion order (copy).
+// All returns every stored atom in insertion order. The slice is fresh but
+// the atoms' argument slices alias the columnar backing.
 func (db *DB) All() []atom.Atom {
-	return append([]atom.Atom(nil), db.rows...)
+	out := make([]atom.Atom, len(db.order))
+	for g, ref := range db.order {
+		out[g] = db.rels[ref.pred].atomAt(ref.row)
+	}
+	return out
 }
 
-// Clone returns a deep-enough copy sharing immutable atoms.
+// Clone returns an observationally identical, independently growable copy.
+// The columnar backings, the insertion log, and every posting list are
+// shared cap-limited with the original (relations are append-only, and an
+// append past a shared view's capacity reallocates), so cloning copies
+// only the per-key table headers — no re-insertion, no re-hashing.
 func (db *DB) Clone() *DB {
-	out := NewDB()
-	for _, a := range db.rows {
-		out.Insert(a)
+	out := &DB{
+		rels:  make([]*relation, len(db.rels)),
+		order: db.order[:len(db.order):len(db.order)],
+	}
+	for p, r := range db.rels {
+		if r != nil {
+			out.rels[p] = r.clone()
+		}
 	}
 	return out
 }
@@ -124,8 +191,11 @@ func (db *DB) Clone() *DB {
 func (db *DB) ActiveDomain() []term.Term {
 	seen := make(map[term.Term]bool)
 	var out []term.Term
-	for _, a := range db.rows {
-		for _, t := range a.Args {
+	for _, r := range db.rels {
+		if r == nil {
+			continue
+		}
+		for _, t := range r.cols {
 			if !seen[t] {
 				seen[t] = true
 				out = append(out, t)
@@ -147,21 +217,27 @@ func (db *DB) Constants() []term.Term {
 	return out
 }
 
-// candidates returns the row ids matching the pattern atom under the
-// substitution s, using the most selective available index.
-func (db *DB) candidates(pa atom.Atom, s atom.Subst) []int32 {
-	best := db.byPred[pa.Pred]
+// candidates returns the pattern's relation and the most selective
+// candidate row list under the substitution s. full reports that no index
+// narrowed the scan (rows is nil then, and the caller scans every local
+// row); otherwise rows is an ascending list of local candidate rows.
+func (db *DB) candidates(pa atom.Atom, s atom.Subst) (r *relation, rows []int32, full bool) {
+	r = db.relOf(pa.Pred)
+	if r == nil {
+		return nil, nil, false
+	}
+	best := r.rows()
+	full = true
 	for i, t := range pa.Args {
 		rt := s.Apply(t)
 		if rt.IsVar() {
 			continue
 		}
-		rows := db.indexes[idxKey{pred: pa.Pred, pos: int8(i), term: rt.Key()}]
-		if len(rows) < len(best) {
-			best = rows
+		if cand := r.idx[i][rt]; len(cand) < best {
+			best, rows, full = len(cand), cand, false
 		}
 	}
-	return best
+	return r, rows, full
 }
 
 // MatchEach calls fn with an extended substitution for every stored atom

@@ -5,22 +5,27 @@ import (
 )
 
 // Mark is a position in the insertion order of a DB; facts inserted after a
-// mark form the "delta" used by semi-naive evaluation.
+// mark form the "delta" used by semi-naive evaluation. Because every
+// relation's local rows follow global insertion order, a mark denotes one
+// contiguous suffix of local rows per relation.
 type Mark int
 
 // Mark returns the current insertion position.
-func (db *DB) Mark() Mark { return Mark(len(db.rows)) }
+func (db *DB) Mark() Mark { return Mark(len(db.order)) }
 
 // IndexOf returns the insertion index of a ground atom, if present.
 // Insertion indexes order derivations: a chase trigger's atoms always have
 // smaller indexes than the facts it produced.
 func (db *DB) IndexOf(a atom.Atom) (int, bool) {
-	for _, ri := range db.dedup[a.Hash()] {
-		if db.rows[ri].Equal(a) {
-			return int(ri), true
-		}
+	r := db.relOf(a.Pred)
+	if r == nil {
+		return 0, false
 	}
-	return 0, false
+	ri, ok := r.find(hashArgs(a.Pred, a.Args), a.Args)
+	if !ok {
+		return 0, false
+	}
+	return int(r.global[ri]), true
 }
 
 // matchRows is the shared core of the substitution-based matching family:
@@ -29,18 +34,32 @@ func (db *DB) IndexOf(a atom.Atom) (int, bool) {
 // allocation-free hot path; these wrappers remain for the substitution
 // consumers (core, ucq, resolution, incremental) and the reference engines.
 func (db *DB) matchRows(pa atom.Atom, base atom.Subst, since Mark, shard, shards int, fn func(atom.Subst) bool) {
-	for _, ri := range db.candidates(pa, base) {
-		if ri < int32(since) {
-			continue
-		}
-		if shards > 1 && int(ri)%shards != shard {
-			continue
+	r, rows, full := db.candidates(pa, base)
+	if r == nil {
+		return
+	}
+	lo := r.firstSince(since)
+	emit := func(ri int32) bool {
+		if shards > 1 && int(r.global[ri])%shards != shard {
+			return true
 		}
 		s := base.Clone()
-		if atom.MatchAtom(s, pa, db.rows[ri]) {
-			if !fn(s) {
+		if atom.MatchAtom(s, pa, r.atomAt(ri)) {
+			return fn(s)
+		}
+		return true
+	}
+	if full {
+		for ri, n := lo, r.rows(); ri < n; ri++ {
+			if !emit(int32(ri)) {
 				return
 			}
+		}
+		return
+	}
+	for k := postingLowerBound(rows, int32(lo)); k < len(rows); k++ {
+		if !emit(rows[k]) {
+			return
 		}
 	}
 }
@@ -52,10 +71,11 @@ func (db *DB) MatchEachSince(pa atom.Atom, base atom.Subst, since Mark, fn func(
 }
 
 // MatchEachSinceSharded is MatchEachSince restricted to the shard-th
-// residue class of row indexes modulo shards. Parallel semi-naive workers
-// use it to split one delta scan: the shards partition the delta facts, so
-// running every shard in [0, shards) enumerates exactly the matches of
-// MatchEachSince, with no match seen by two workers.
+// residue class of global insertion indexes modulo shards: the shards
+// partition the delta facts, so running every shard in [0, shards)
+// enumerates exactly the matches of MatchEachSince, with no match seen by
+// two callers. (The compiled-plan pipeline shards by contiguous row range
+// instead — see Probe.)
 func (db *DB) MatchEachSinceSharded(pa atom.Atom, base atom.Subst, since Mark, shard, shards int, fn func(atom.Subst) bool) {
 	db.matchRows(pa, base, since, shard, shards, fn)
 }
@@ -66,13 +86,15 @@ func (db *DB) MatchEachSinceSharded(pa atom.Atom, base atom.Subst, since Mark, s
 // pattern atom to facts inserted at or after since (semi-naive: at least
 // one atom must match a new fact). Pass deltaAtom = -1 for unrestricted
 // enumeration.
+//
+// This is a thin compatibility shim over MatchEach/MatchEachSince kept for
+// reference-model consumers (model checking in tests); every engine runs
+// the compiled-plan pipeline (plan.Exec over ScanPlan/Probe) instead. The
+// delta atom is enumerated first; the remaining atoms keep written order.
 func (db *DB) HomomorphismsEach(pattern []atom.Atom, base atom.Subst, deltaAtom int, since Mark, fn func(atom.Subst) bool) {
 	if base == nil {
 		base = atom.NewSubst()
 	}
-	// Order atoms for the join but remember which one carries the delta
-	// restriction. The delta atom goes first: it is typically the most
-	// selective, and putting it first makes the restriction prune early.
 	idx := make([]int, len(pattern))
 	for i := range idx {
 		idx[i] = i
@@ -80,16 +102,14 @@ func (db *DB) HomomorphismsEach(pattern []atom.Atom, base atom.Subst, deltaAtom 
 	if deltaAtom >= 0 && deltaAtom < len(pattern) {
 		idx[0], idx[deltaAtom] = idx[deltaAtom], idx[0]
 	}
-	ordered := orderRest(pattern, idx)
-
 	var rec func(k int, s atom.Subst) bool
 	rec = func(k int, s atom.Subst) bool {
-		if k == len(ordered) {
+		if k == len(idx) {
 			return fn(s)
 		}
 		cont := true
-		pa := pattern[ordered[k]]
-		if ordered[k] == deltaAtom {
+		pa := pattern[idx[k]]
+		if idx[k] == deltaAtom {
 			db.MatchEachSince(pa, s, since, func(s2 atom.Subst) bool {
 				cont = rec(k+1, s2)
 				return cont
@@ -103,44 +123,4 @@ func (db *DB) HomomorphismsEach(pattern []atom.Atom, base atom.Subst, deltaAtom 
 		return cont
 	}
 	rec(0, base)
-}
-
-// orderRest orders the atom indices so that idx[0] stays first and each
-// following atom shares variables with the prefix when possible.
-func orderRest(pattern []atom.Atom, idx []int) []int {
-	if len(idx) <= 2 {
-		return idx
-	}
-	out := []int{idx[0]}
-	used := map[int]bool{idx[0]: true}
-	bound := make(map[uint64]bool)
-	note := func(i int) {
-		for _, t := range pattern[i].Args {
-			if t.IsVar() {
-				bound[t.Key()] = true
-			}
-		}
-	}
-	note(idx[0])
-	for len(out) < len(idx) {
-		best, bestScore := -1, -1
-		for _, i := range idx {
-			if used[i] {
-				continue
-			}
-			score := 0
-			for _, t := range pattern[i].Args {
-				if t.IsVar() && bound[t.Key()] {
-					score++
-				}
-			}
-			if score > bestScore {
-				bestScore, best = score, i
-			}
-		}
-		used[best] = true
-		out = append(out, best)
-		note(best)
-	}
-	return out
 }

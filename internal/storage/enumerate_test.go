@@ -126,9 +126,9 @@ func TestHomomorphismsEachDeltaRestriction(t *testing.T) {
 	}
 }
 
-// TestHomomorphismsEachOrderRest exercises the connectivity ordering with
-// three atoms so orderRest's scoring path runs.
-func TestHomomorphismsEachOrderRest(t *testing.T) {
+// TestHomomorphismsEachThreeAtoms exercises the shim with three atoms:
+// the delta atom moves to the front and the rest keep written order.
+func TestHomomorphismsEachThreeAtoms(t *testing.T) {
 	prog := logic.NewProgram()
 	e := prog.Reg.Intern("e", 2)
 	lbl := prog.Reg.Intern("lbl", 1)

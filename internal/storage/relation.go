@@ -1,0 +1,184 @@
+package storage
+
+import (
+	"repro/internal/atom"
+	"repro/internal/schema"
+	"repro/internal/term"
+)
+
+// relation is the columnar store for one predicate: a flat, arity-strided
+// backing array of terms, a predicate-local dedup table, and one
+// term-keyed index per argument position. Every structure is local to the
+// predicate, so growth, dedup chains, and index postings never interleave
+// across predicates — the compact record layout the Vadalog pipeline
+// (Bellomarini et al., VLDB 2018) builds its throughput on.
+type relation struct {
+	pred  schema.PredID
+	arity int
+	// cols is the arity-strided backing array: local row r occupies
+	// cols[r*arity : (r+1)*arity]. Inserting a fact is one bulk append —
+	// no per-fact slice header or argument allocation survives.
+	cols []term.Term
+	// global maps local row -> global insertion index. It is strictly
+	// increasing, so a Mark-based delta window is a contiguous local row
+	// range [firstSince(mark), rows()), resolved by binary search.
+	global []int32
+	// hashes holds each row's fact hash: dedup probes compare hashes
+	// before touching the columns, and table growth rehashes without
+	// re-reading the rows.
+	hashes []uint64
+	// tab is the predicate-local dedup table: an open-addressed
+	// (linear-probing, power-of-two) hash set of local rows. Inserting a
+	// fact costs no allocation beyond amortized table growth.
+	tab []int32
+	// idx[i] maps the term at position i to its local rows, ascending.
+	idx []map[term.Term][]int32
+}
+
+func newRelation(pred schema.PredID, arity int) *relation {
+	r := &relation{
+		pred:  pred,
+		arity: arity,
+		idx:   make([]map[term.Term][]int32, arity),
+	}
+	for i := range r.idx {
+		r.idx[i] = make(map[term.Term][]int32)
+	}
+	return r
+}
+
+// rows is the number of stored facts.
+func (r *relation) rows() int { return len(r.global) }
+
+// args returns the argument tuple of local row ri as a cap-limited view of
+// the backing array: safe to hand out because rows are immutable and
+// appends past the view's cap cannot alias it.
+func (r *relation) args(ri int32) []term.Term {
+	o := int(ri) * r.arity
+	return r.cols[o : o+r.arity : o+r.arity]
+}
+
+// atomAt materializes local row ri as an atom sharing the columnar backing.
+func (r *relation) atomAt(ri int32) atom.Atom {
+	return atom.Atom{Pred: r.pred, Args: r.args(ri)}
+}
+
+// equalRow reports whether local row ri holds exactly args.
+func (r *relation) equalRow(ri int32, args []term.Term) bool {
+	row := r.args(ri)
+	for i := range row {
+		if row[i] != args[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// find returns the local row holding args, if present, given their hash.
+func (r *relation) find(h uint64, args []term.Term) (int32, bool) {
+	if len(r.tab) == 0 {
+		return 0, false
+	}
+	mask := uint64(len(r.tab) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		ri := r.tab[i]
+		if ri < 0 {
+			return 0, false
+		}
+		if r.hashes[ri] == h && r.equalRow(ri, args) {
+			return ri, true
+		}
+	}
+}
+
+// tabInsert records local row ri (with fact hash h) in the dedup table,
+// growing it at 3/4 load. The caller has already established the row is
+// not present, and must not have appended the row's hash to the hashes
+// column yet: growTab rehashes every hashes entry, so an early append
+// would double-insert the row.
+func (r *relation) tabInsert(h uint64, ri int32) {
+	if 4*(len(r.hashes)+1) > 3*len(r.tab) {
+		r.growTab()
+	}
+	mask := uint64(len(r.tab) - 1)
+	i := h & mask
+	for r.tab[i] >= 0 {
+		i = (i + 1) & mask
+	}
+	r.tab[i] = ri
+}
+
+// growTab doubles (or initializes) the dedup table and rehashes every row
+// from the hashes column.
+func (r *relation) growTab() {
+	n := 2 * len(r.tab)
+	if n < 16 {
+		n = 16
+	}
+	tab := make([]int32, n)
+	for i := range tab {
+		tab[i] = -1
+	}
+	mask := uint64(n - 1)
+	for ri, h := range r.hashes {
+		i := h & mask
+		for tab[i] >= 0 {
+			i = (i + 1) & mask
+		}
+		tab[i] = int32(ri)
+	}
+	r.tab = tab
+}
+
+// firstSince returns the first local row whose global insertion index is at
+// or after the mark — the lower bound of the contiguous delta window.
+func (r *relation) firstSince(since Mark) int {
+	if since <= 0 {
+		return 0
+	}
+	return postingLowerBound(r.global, int32(since))
+}
+
+// clone returns an observationally identical copy. Columns, postings, the
+// global map, and the hashes column are shared cap-limited: both sides
+// only ever append, and an append on either side past a view's capacity
+// reallocates, so neither can see the other's new rows. Only the dedup
+// table (mutated in place by inserts) is copied outright — a flat memcpy,
+// no re-hashing or re-comparison.
+func (r *relation) clone() *relation {
+	out := &relation{
+		pred:   r.pred,
+		arity:  r.arity,
+		cols:   r.cols[:len(r.cols):len(r.cols)],
+		global: r.global[:len(r.global):len(r.global)],
+		hashes: r.hashes[:len(r.hashes):len(r.hashes)],
+		tab:    append([]int32(nil), r.tab...),
+		idx:    make([]map[term.Term][]int32, r.arity),
+	}
+	for i, m := range r.idx {
+		nm := make(map[term.Term][]int32, len(m))
+		for t, rows := range m {
+			nm[t] = rows[:len(rows):len(rows)]
+		}
+		out.idx[i] = nm
+	}
+	return out
+}
+
+// hashArgs is the FNV-1a fact hash over an unboxed (pred, args) pair, so
+// scratch-buffer insertion paths hash without materializing an atom. It is
+// the store's own hash — nothing requires it to match atom.Atom.Hash.
+func hashArgs(pred schema.PredID, args []term.Term) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	h ^= uint64(pred)
+	h *= prime
+	for _, t := range args {
+		h ^= t.Key()
+		h *= prime
+	}
+	return h
+}

@@ -39,6 +39,12 @@ const (
 	// ArgBind writes the row value into frame[Slot] (first occurrence of
 	// the variable along the join order).
 	ArgBind
+	// ArgSkip is a projection mask: the position's variable is dead — read
+	// by no later scan, template, or frontier — so the probe neither
+	// compares nor writes it. Scans that only feed the delta restriction
+	// or an existence check compile to all-ArgSkip/ArgBound positions and
+	// touch no slot at all.
+	ArgSkip
 )
 
 // ScanArg is one compiled argument position.
@@ -49,19 +55,19 @@ type ScanArg struct {
 }
 
 type posKey struct {
-	pos int8
-	key uint64
+	pos  int
+	term term.Term
 }
 
 type posSlot struct {
-	pos  int8
+	pos  int
 	slot int
 }
 
 // ScanPlan is a compiled access path for one body atom: the predicate, the
-// per-position modes, the slots the scan binds, and the pre-resolved index
-// entry points. It is built once per (rule, join position) and reused for
-// every probe of every round.
+// per-position modes, the slots the scan binds, and the index entry points
+// usable for selectivity-based access-path choice. It is built once per
+// (rule, join position) and reused for every probe of every round.
 type ScanPlan struct {
 	Pred schema.PredID
 	Args []ScanArg
@@ -71,27 +77,28 @@ type ScanPlan struct {
 	// before returning, so the frame backtracks without copying.
 	binds []int
 	// constKeys / boundKeys are the argument positions usable for index
-	// selection: constants carry their precomputed index key, bound slots
-	// are resolved against the frame at probe time.
+	// selection: constants probe their predicate-local index directly,
+	// bound slots are resolved against the frame at probe time.
 	constKeys []posKey
 	boundKeys []posSlot
 }
 
-// CompileScan builds a ScanPlan from the per-position modes. Index keys for
-// constant positions are resolved here, once, rather than per probe.
+// CompileScan builds a ScanPlan from the per-position modes. ArgSkip
+// positions take part in nothing: no comparison, no slot write, no index
+// selection.
 func CompileScan(pred schema.PredID, args []ScanArg) *ScanPlan {
 	sp := &ScanPlan{Pred: pred, Args: args}
 	seen := make(map[int]bool)
 	for i, a := range args {
 		switch a.Mode {
 		case ArgConst:
-			sp.constKeys = append(sp.constKeys, posKey{pos: int8(i), key: a.Const.Key()})
+			sp.constKeys = append(sp.constKeys, posKey{pos: i, term: a.Const})
 		case ArgBound:
 			// A slot bound by an earlier position of this same atom is not
 			// usable for index selection (it is unbound when the probe
 			// starts); only slots bound before the scan qualify.
 			if !seen[a.Slot] {
-				sp.boundKeys = append(sp.boundKeys, posSlot{pos: int8(i), slot: a.Slot})
+				sp.boundKeys = append(sp.boundKeys, posSlot{pos: i, slot: a.Slot})
 			}
 		case ArgBind:
 			if !seen[a.Slot] {
@@ -115,50 +122,96 @@ func CompileScan(pred schema.PredID, args []ScanArg) *ScanPlan {
 // Binds returns the slots this scan binds (read-only; used by plan tests).
 func (sp *ScanPlan) Binds() []int { return sp.binds }
 
+// matchRow applies the plan's argument modes to one stored row: constants
+// and bound slots filter, bind slots are written, skip positions are
+// ignored. It reports whether the row matches; the caller is responsible
+// for resetting the bind slots afterwards.
+func (sp *ScanPlan) matchRow(row, frame []term.Term) bool {
+	for i := range sp.Args {
+		a := &sp.Args[i]
+		switch a.Mode {
+		case ArgConst:
+			if row[i] != a.Const {
+				return false
+			}
+		case ArgBound:
+			if row[i] != frame[a.Slot] {
+				return false
+			}
+		case ArgBind:
+			frame[a.Slot] = row[i]
+		}
+	}
+	return true
+}
+
 // Probe enumerates the stored atoms matching the scan plan under the
 // current frame, restricted to rows inserted at or after since and — when
-// shards > 1 — to the shard-th residue class of row indexes. For each
-// matching row it binds the plan's ArgBind slots in frame and calls fn;
-// the slots are reset to Unbound between rows and before Probe returns, so
-// the caller's frame is unchanged afterwards. fn returning false stops the
-// enumeration; Probe reports whether it ran to completion.
+// shards > 1 — to the shard-th contiguous sub-range of the delta window.
+// Because a relation's local rows follow global insertion order, the delta
+// window is one contiguous local row range, and sharding it by sub-range
+// (rather than residue classes) keeps each worker's delta scan on adjacent
+// columnar rows. For each matching row Probe binds the plan's ArgBind
+// slots in frame and calls fn; the slots are reset to Unbound between rows
+// and before Probe returns, so the caller's frame is unchanged afterwards.
+// fn returning false stops the enumeration; Probe reports whether it ran
+// to completion.
 //
 // Probe is the slot-based core the compiled rule plans drive; MatchEach and
 // friends remain as the substitution-based compatibility layer.
 func (db *DB) Probe(sp *ScanPlan, frame []term.Term, since Mark, shard, shards int, fn func() bool) bool {
-	rows := db.byPred[sp.Pred]
+	r := db.relOf(sp.Pred)
+	if r == nil {
+		return true
+	}
+	lo, hi := r.firstSince(since), r.rows()
+	if shards > 1 {
+		n := hi - lo
+		lo, hi = lo+shard*n/shards, lo+(shard+1)*n/shards
+	}
+	if lo >= hi {
+		return true
+	}
+	// Access-path choice: the smallest applicable index posting list vs
+	// the delta window itself. Posting lists span the whole relation;
+	// their in-window portion is cut by binary search below. indexed is
+	// tracked separately from rows because the most selective outcome is
+	// an ABSENT key — a nil posting list proving zero matches.
+	var rows []int32
+	indexed := false
+	best := hi - lo
 	for _, ck := range sp.constKeys {
-		if cand := db.indexes[idxKey{pred: sp.Pred, pos: ck.pos, term: ck.key}]; len(cand) < len(rows) {
-			rows = cand
+		if cand := r.idx[ck.pos][ck.term]; len(cand) < best {
+			best, rows, indexed = len(cand), cand, true
 		}
 	}
 	for _, bk := range sp.boundKeys {
-		if cand := db.indexes[idxKey{pred: sp.Pred, pos: bk.pos, term: frame[bk.slot].Key()}]; len(cand) < len(rows) {
-			rows = cand
+		if cand := r.idx[bk.pos][frame[bk.slot]]; len(cand) < best {
+			best, rows, indexed = len(cand), cand, true
 		}
 	}
-	for _, ri := range rows {
-		if ri < int32(since) {
-			continue
-		}
-		if shards > 1 && int(ri)%shards != shard {
-			continue
-		}
-		args := db.rows[ri].Args
-		ok := true
-		for i, a := range sp.Args {
-			switch a.Mode {
-			case ArgConst:
-				ok = args[i] == a.Const
-			case ArgBound:
-				ok = args[i] == frame[a.Slot]
-			case ArgBind:
-				frame[a.Slot] = args[i]
+	if !indexed {
+		for ri := lo; ri < hi; ri++ {
+			ok := sp.matchRow(r.args(int32(ri)), frame)
+			cont := true
+			if ok {
+				cont = fn()
 			}
-			if !ok {
-				break
+			for _, s := range sp.binds {
+				frame[s] = Unbound
+			}
+			if !cont {
+				return false
 			}
 		}
+		return true
+	}
+	for k := postingLowerBound(rows, int32(lo)); k < len(rows); k++ {
+		ri := rows[k]
+		if ri >= int32(hi) {
+			break
+		}
+		ok := sp.matchRow(r.args(ri), frame)
 		cont := true
 		if ok {
 			cont = fn()
@@ -173,7 +226,25 @@ func (db *DB) Probe(sp *ScanPlan, frame []term.Term, since Mark, shard, shards i
 	return true
 }
 
+// postingLowerBound returns the first index of the ascending posting list
+// whose row is at or after lo.
+func postingLowerBound(rows []int32, lo int32) int {
+	a, b := 0, len(rows)
+	for a < b {
+		mid := int(uint(a+b) >> 1)
+		if rows[mid] >= lo {
+			b = mid
+		} else {
+			a = mid + 1
+		}
+	}
+	return a
+}
+
 // Row returns the stored atom at the given insertion index. Compiled plans
 // use insertion indexes for provenance; Row panics on out-of-range input
 // exactly like a slice access.
-func (db *DB) Row(i int) atom.Atom { return db.rows[i] }
+func (db *DB) Row(i int) atom.Atom {
+	ref := db.order[i]
+	return db.rels[ref.pred].atomAt(ref.row)
+}
