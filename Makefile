@@ -1,12 +1,20 @@
 # Developer entry points. CI runs vet+build+test directly; `make bench`
-# regenerates the machine-readable perf snapshot for the current PR.
+# regenerates the machine-readable perf snapshot for the current PR, and
+# `make bench-par` refreshes just the parallel-scaling set.
 
 # Benchmarks tracked across PRs (the CHANGES.md before/after set).
-BENCH_PATTERN ?= BenchmarkE8|BenchmarkE9|BenchmarkE10|BenchmarkP1
-BENCH_OUT     ?= BENCH_pr2.json
-BENCH_TIME    ?= 10x
+BENCH_PATTERN  ?= BenchmarkE8|BenchmarkE9|BenchmarkE10|BenchmarkP1
+BENCH_OUT      ?= BENCH_pr3.json
+BENCH_TIME     ?= 10x
+# Sequential baseline for workers=N scaling entries (cmd/benchjson).
+BENCH_BASELINE ?= BenchmarkP1_PlanFixpointSeq
 
-.PHONY: all build test vet bench
+# The parallel-scaling subset: the w1/w2/w4/w8 ladders plus their
+# sequential baselines.
+BENCH_PAR_PATTERN ?= BenchmarkP1_PlanFixpoint
+BENCH_PAR_OUT     ?= BENCH_par.json
+
+.PHONY: all build test vet bench bench-par
 
 all: vet build test
 
@@ -21,5 +29,10 @@ test:
 
 bench:
 	go test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime $(BENCH_TIME) . \
-		| go run ./cmd/benchjson -o $(BENCH_OUT)
+		| go run ./cmd/benchjson -baseline $(BENCH_BASELINE) -o $(BENCH_OUT)
 	@echo wrote $(BENCH_OUT)
+
+bench-par:
+	go test -run '^$$' -bench '$(BENCH_PAR_PATTERN)' -benchmem -benchtime $(BENCH_TIME) . \
+		| go run ./cmd/benchjson -baseline $(BENCH_BASELINE) -o $(BENCH_PAR_OUT)
+	@echo wrote $(BENCH_PAR_OUT)

@@ -33,14 +33,29 @@ type Result struct {
 	Metrics    map[string]float64 `json:"metrics"`
 }
 
+// Scaling is one derived parallel-scaling entry: a `.../workers=N`
+// benchmark variant related to its family's baseline (the sequential run
+// named by -baseline, or the family's own `/seq` variant). Speedup > 1
+// means the parallel run beat the baseline.
+type Scaling struct {
+	Name     string  `json:"name"`
+	Workers  int     `json:"workers"`
+	Baseline string  `json:"baseline"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	Speedup  float64 `json:"speedup"`
+}
+
 // Document is the emitted JSON shape.
 type Document struct {
 	Context    map[string]string `json:"context,omitempty"`
 	Benchmarks []Result          `json:"benchmarks"`
+	Scaling    []Scaling         `json:"scaling,omitempty"`
 }
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	baseline := flag.String("baseline", "",
+		"benchmark name used as the sequential baseline for workers=N variants lacking a /seq sibling")
 	flag.Parse()
 
 	in := io.Reader(os.Stdin)
@@ -56,6 +71,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	doc.Scaling = DeriveScaling(doc.Benchmarks, *baseline)
 	enc, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -132,4 +148,53 @@ func parseBenchLine(line string) (Result, bool) {
 		r.Metrics[fields[i+1]] = v
 	}
 	return r, true
+}
+
+// DeriveScaling folds `.../workers=N` benchmark variants into parallel
+// scaling entries. Each variant's baseline is, in order of preference, its
+// own family's `/seq` sibling (the same benchmark run sequentially) or the
+// globally named fallback baseline; variants with no resolvable baseline
+// are skipped.
+func DeriveScaling(benchmarks []Result, fallback string) []Scaling {
+	nsOf := func(name string) (float64, bool) {
+		for _, r := range benchmarks {
+			if r.Name == name {
+				ns, ok := r.Metrics["ns/op"]
+				return ns, ok
+			}
+		}
+		return 0, false
+	}
+	var out []Scaling
+	for _, r := range benchmarks {
+		family, variant, ok := strings.Cut(r.Name, "/")
+		if !ok || !strings.HasPrefix(variant, "workers=") {
+			continue
+		}
+		workers, err := strconv.Atoi(strings.TrimPrefix(variant, "workers="))
+		if err != nil {
+			continue
+		}
+		ns, ok := r.Metrics["ns/op"]
+		if !ok || ns == 0 {
+			continue
+		}
+		base := family + "/seq"
+		baseNs, ok := nsOf(base)
+		if !ok && fallback != "" {
+			base = fallback
+			baseNs, ok = nsOf(base)
+		}
+		if !ok {
+			continue
+		}
+		out = append(out, Scaling{
+			Name:     r.Name,
+			Workers:  workers,
+			Baseline: base,
+			NsPerOp:  ns,
+			Speedup:  baseNs / ns,
+		})
+	}
+	return out
 }

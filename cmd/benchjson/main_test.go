@@ -42,6 +42,56 @@ func TestParse(t *testing.T) {
 	}
 }
 
+const scalingSample = `
+BenchmarkP1_PlanFixpointSeq                          10  10000000 ns/op
+BenchmarkP1_PlanFixpointParallel/workers=1           10  11000000 ns/op
+BenchmarkP1_PlanFixpointParallel/workers=4           10   5000000 ns/op
+BenchmarkP1_PlanFixpointParallelDense/seq            10  40000000 ns/op
+BenchmarkP1_PlanFixpointParallelDense/workers=2      10  20000000 ns/op
+BenchmarkOther/workers=3                             10   1000000 ns/op
+BenchmarkE8_JoinOrdering/biased=true                 10   2000000 ns/op
+`
+
+// TestDeriveScaling: workers=N variants resolve their baseline to the
+// family's /seq sibling first, then the -baseline fallback; variants with
+// neither are skipped, as are non-worker variants.
+func TestDeriveScaling(t *testing.T) {
+	doc, err := Parse(strings.NewReader(scalingSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := DeriveScaling(doc.Benchmarks, "BenchmarkP1_PlanFixpointSeq")
+	if len(sc) != 4 {
+		t.Fatalf("derived %d entries, want 4: %+v", len(sc), sc)
+	}
+	byName := map[string]Scaling{}
+	for _, s := range sc {
+		byName[s.Name] = s
+	}
+	w4 := byName["BenchmarkP1_PlanFixpointParallel/workers=4"]
+	if w4.Workers != 4 || w4.Baseline != "BenchmarkP1_PlanFixpointSeq" || w4.Speedup != 2.0 {
+		t.Fatalf("w4 = %+v", w4)
+	}
+	w1 := byName["BenchmarkP1_PlanFixpointParallel/workers=1"]
+	if w1.Speedup >= 1 {
+		t.Fatalf("w1 speedup = %v, want < 1", w1.Speedup)
+	}
+	dense := byName["BenchmarkP1_PlanFixpointParallelDense/workers=2"]
+	if dense.Baseline != "BenchmarkP1_PlanFixpointParallelDense/seq" || dense.Speedup != 2.0 {
+		t.Fatalf("dense = %+v", dense)
+	}
+	if other := byName["BenchmarkOther/workers=3"]; other.Baseline != "BenchmarkP1_PlanFixpointSeq" {
+		// No /seq sibling: the global fallback applies.
+		t.Fatalf("other = %+v", other)
+	}
+	// Without a fallback only the dense family (which carries its own /seq
+	// sibling) resolves.
+	if noFB := DeriveScaling(doc.Benchmarks, ""); len(noFB) != 1 ||
+		noFB[0].Name != "BenchmarkP1_PlanFixpointParallelDense/workers=2" {
+		t.Fatalf("no-fallback derivation wrong: %+v", noFB)
+	}
+}
+
 func TestParseIgnoresChatter(t *testing.T) {
 	doc, err := Parse(strings.NewReader("=== RUN TestX\n--- PASS: TestX\nBenchmark\nBenchmarkBad abc\nnothing here\n"))
 	if err != nil {

@@ -33,6 +33,15 @@ type Options struct {
 	// joined in written order after the delta atom, without connectivity
 	// reordering.
 	BiasRecursiveAtom bool
+	// Adaptive re-picks each rule's join-order variant every round from
+	// current predicate cardinalities (plan.ChooseAlt over the plans'
+	// precompiled alternatives — the ROADMAP "index swap"): when a delta
+	// window decisively outgrows a side relation, the join drives from the
+	// small relation and probes the window by index instead. The fixpoint
+	// is unchanged for any selection; only probe counts move. Off, every
+	// round keeps the compile-time order — the E8 baselines measure the
+	// static bias choice in isolation.
+	Adaptive bool
 }
 
 // Stats reports evaluation effort.
@@ -49,6 +58,13 @@ type Stats struct {
 	PeakDelta int
 	// Strata is the number of strata evaluated (1 when not stratified).
 	Strata int
+	// InlineRounds / FannedRounds split the parallel evaluator's rounds by
+	// schedule: inline rounds ran on the coordinator with direct insertion
+	// (the delta was too small to pay for dispatch), fanned rounds sharded
+	// the delta across the worker pool with buffered derivations and a
+	// bulk merge. Both zero under the sequential engines.
+	InlineRounds int
+	FannedRounds int
 }
 
 type evaluator struct {
@@ -170,7 +186,11 @@ func (e *evaluator) fixpoint(rules []int, growing map[schema.PredID]bool) {
 			t := e.prog.TGDs[ri]
 			deltas := e.deltaPositions(t, growing, round)
 			for _, di := range deltas {
-				e.joinRule(ri, di, mark)
+				alt := 0
+				if e.opt.Adaptive {
+					alt = plan.ChooseAlt(e.db, e.plans.Rules[ri], di, mark)
+				}
+				e.joinRule(ri, di, alt, mark)
 			}
 		}
 		added := e.db.Len() - before
@@ -206,13 +226,14 @@ func (e *evaluator) deltaPositions(t *logic.TGD, growing map[schema.PredID]bool,
 // to the delta (facts at/after mark), inserting head images. Negated atoms
 // are checked once the positive body is fully matched; they are ground then
 // (safe negation) and range over strictly lower strata, so the check is
-// stable for the whole stratum fixpoint. The join order and index access
-// paths were fixed at compile time; the binding frame is reused across all
-// rounds of the fixpoint.
-func (e *evaluator) joinRule(ri, di int, mark storage.Mark) {
+// stable for the whole stratum fixpoint. alt selects the precompiled
+// join-order alternative (0: the compile-time order; others only under
+// Options.Adaptive); the binding frame is reused across all rounds of the
+// fixpoint.
+func (e *evaluator) joinRule(ri, di, alt int, mark storage.Mark) {
 	ex := e.exec(ri)
 	hasNeg := len(ex.Rule.Neg) > 0
-	ex.Run(e.db, di, mark, 0, 1, func() bool {
+	ex.RunAlt(e.db, di, alt, mark, 0, 1, func() bool {
 		if hasNeg && ex.Blocked(e.db) {
 			return true
 		}

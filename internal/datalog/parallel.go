@@ -4,23 +4,49 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/analysis"
-	"repro/internal/atom"
 	"repro/internal/logic"
 	"repro/internal/plan"
 	"repro/internal/schema"
 	"repro/internal/storage"
 )
 
+// Scheduling thresholds of the parallel evaluator. Both exist for the same
+// reason: dispatching a goroutine, staging derivations in a buffer, and
+// merging the buffer back all cost real work, so a round (or a shard) must
+// carry enough rows to pay for it — the morsel-driven rule of never
+// parallelizing the tail.
+const (
+	// minShardRows is the smallest delta window worth splitting: a (rule,
+	// delta) pair gets one shard per minShardRows rows, capped at the
+	// worker count, so tiny windows produce one job instead of `workers`
+	// near-empty ones.
+	minShardRows = 128
+	// inlineRoundRows is the fan-out threshold for a whole round: below
+	// this many total delta rows the coordinator runs the round inline —
+	// no goroutines, no buffers, derived facts inserted directly exactly
+	// like the sequential engine. Deep fixpoints with shallow rounds (long
+	// chains) spend most of their rounds here.
+	inlineRoundRows = 512
+)
+
 // EvalParallel computes the same fixpoint as Eval using a worker pool
 // inside each semi-naive round — the multi-core direction of Section 7
 // (future work 1). Rounds are barriers: all workers read one immutable
-// snapshot of the instance (facts derived in a round become visible in the
-// next), so the engine is race-free without locking the fact store. The
-// schedule differs from the sequential engine only in that within-round
-// insertions are deferred, which can add rounds but never changes the
+// snapshot of the instance (facts derived in a fanned round become visible
+// in the next), so the engine is race-free without locking the fact store.
+// The schedule differs from the sequential engine only in that fanned
+// rounds defer insertions, which can add rounds but never changes the
 // fixpoint.
+//
+// Within a round, scheduling is adaptive (see fixpointParallel): small
+// rounds run inline on the coordinator, large rounds shard each (rule,
+// delta) pair by the delta window's row count and drain the shard jobs
+// through a dynamic queue. Workers stage derivations in columnar
+// per-job tuple buffers (hashes computed at append time); the coordinator
+// folds them in with one bulk DB.MergeBuffers call per round.
 //
 // Programs with negation are handled exactly as in Eval: evaluation is
 // forced into stratified mode, and negated atoms — closed in strictly
@@ -90,8 +116,39 @@ type parEvaluator struct {
 	evaluator
 	workers int
 	// wexecs[w][ri] is worker w's executor for rule ri: plans are shared
-	// and immutable, binding frames are strictly per worker.
+	// and immutable, binding frames are strictly per worker. The
+	// coordinator is worker 0.
 	wexecs [][]*plan.Exec
+	// bufs is the pool of job output buffers, reused (Reset, not
+	// reallocated) across every fanned round of the evaluation.
+	bufs []*storage.TupleBuffer
+	// jobs, alts, and rows are the round's job list, per-pair join-order
+	// choices, and per-pair delta window counts, reused across rounds — a
+	// steady-state round allocates nothing before its joins run.
+	jobs []job
+	alts []int
+	rows []int
+}
+
+// pair is one (rule, delta position) unit of a round before sharding;
+// pred is the delta atom's predicate, whose window row count drives the
+// round's cost estimates.
+type pair struct {
+	rule, delta int
+	pred        schema.PredID
+}
+
+// job is one (rule, delta position, alt order, delta shard) unit of a
+// fanned round: the rule's join with the delta scan restricted to one
+// contiguous sub-range of the delta window (storage.Probe shards the
+// window by row range, so each worker's scan walks adjacent columnar
+// rows). buf is the job's private output buffer — single-writer, merged in
+// job order, so the result is deterministic no matter which worker drains
+// which job.
+type job struct {
+	rule, delta, alt int
+	shard, shards    int
+	buf              *storage.TupleBuffer
 }
 
 // wexec returns worker w's executor for rule ri, creating it on first use.
@@ -102,55 +159,43 @@ func (e *parEvaluator) wexec(w, ri int) *plan.Exec {
 	return e.wexecs[w][ri]
 }
 
-// job is one (rule, delta position, delta shard) unit of a round: the
-// rule's join with the delta scan restricted to one contiguous sub-range
-// of the delta window (storage.Probe shards the window by row range, so
-// each worker's scan walks adjacent columnar rows). Sharding the delta
-// rather than the rule list keeps all workers busy even when a single
-// recursive rule dominates the round.
-type job struct {
-	rule  int
-	delta int
-	shard int
+// shardsFor picks how many contiguous sub-ranges to split one delta window
+// into: enough that every worker can help on a big window, never so many
+// that a tiny window pays per-job dispatch for near-empty scans.
+func shardsFor(rows, workers int) int {
+	s := rows / minShardRows
+	if s > workers {
+		s = workers
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
 }
 
-// fixpointParallel runs rounds to saturation, fanning the round's jobs
-// over the worker pool. Workers only read the snapshot; the coordinator
-// merges their derived-fact buffers between rounds.
+// fixpointParallel runs rounds to saturation. The (rule, delta) pair lists
+// are built once per stratum — round 1 fires every rule once with an
+// unrestricted window, steady-state rounds fire one pair per growing delta
+// position — and each round is scheduled adaptively from the pairs'
+// current window row counts.
 func (e *parEvaluator) fixpointParallel(rules []int, growing map[schema.PredID]bool) {
+	var first, steady []pair
+	for _, ri := range rules {
+		t := e.prog.TGDs[ri]
+		first = append(first, pair{rule: ri, delta: 0, pred: t.Body[0].Pred})
+		for _, di := range e.deltaPositions(t, growing, 2) {
+			steady = append(steady, pair{rule: ri, delta: di, pred: t.Body[di].Pred})
+		}
+	}
 	mark := storage.Mark(0)
 	for round := 1; ; round++ {
 		e.stats.Rounds++
 		next := e.db.Mark()
-		var jobs []job
-		for _, ri := range rules {
-			t := e.prog.TGDs[ri]
-			for _, di := range e.deltaPositions(t, growing, round) {
-				for sh := 0; sh < e.workers; sh++ {
-					jobs = append(jobs, job{rule: ri, delta: di, shard: sh})
-				}
-			}
+		pairs := steady
+		if round == 1 {
+			pairs = first
 		}
-		buffers := make([][]atom.Atom, e.workers)
-		var wg sync.WaitGroup
-		for w := 0; w < e.workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				for ji := w; ji < len(jobs); ji += e.workers {
-					j := jobs[ji]
-					buffers[w] = e.runJob(w, j, mark, buffers[w])
-				}
-			}(w)
-		}
-		wg.Wait()
-		before := e.db.Len()
-		for _, buf := range buffers {
-			for _, f := range buf {
-				e.db.Insert(f)
-			}
-		}
-		added := e.db.Len() - before
+		added := e.runRound(pairs, mark)
 		e.stats.Derived += added
 		if added > e.stats.PeakDelta {
 			e.stats.PeakDelta = added
@@ -162,20 +207,110 @@ func (e *parEvaluator) fixpointParallel(rules []int, growing map[schema.PredID]b
 	}
 }
 
-// runJob executes the rule's compiled plan with the job's delta shard and
-// appends head images to the worker's buffer. It mirrors joinRule but is
-// strictly read-only on the shared instance: the plan's delta scan is
-// sharded into contiguous row ranges of the delta window, so the workers
-// partition exactly the matches a sequential delta scan would enumerate.
-func (e *parEvaluator) runJob(w int, j job, mark storage.Mark, buf []atom.Atom) []atom.Atom {
-	ex := e.wexec(w, j.rule)
-	hasNeg := len(ex.Rule.Neg) > 0
-	ex.Run(e.db, j.delta, mark, j.shard, e.workers, func() bool {
-		if hasNeg && ex.Blocked(e.db) {
-			return true
+// runRound schedules and executes one round: cost-estimate every pair's
+// delta window (choosing its join-order alternative while at it), then
+// either run the whole round inline on the coordinator or shard it across
+// the worker pool with buffered derivations and a bulk merge.
+func (e *parEvaluator) runRound(pairs []pair, mark storage.Mark) int {
+	total := 0
+	for len(e.alts) < len(pairs) {
+		e.alts = append(e.alts, 0)
+		e.rows = append(e.rows, 0)
+	}
+	alts, rows := e.alts[:len(pairs)], e.rows[:len(pairs)]
+	for pi, pr := range pairs {
+		alts[pi] = 0
+		rows[pi] = e.db.CountSince(pr.pred, mark)
+		total += rows[pi]
+		if e.opt.Adaptive {
+			alts[pi] = plan.ChooseAlt(e.db, e.plans.Rules[pr.rule], pr.delta, mark)
 		}
-		buf = append(buf, ex.Head(0))
-		return true
-	})
-	return buf
+	}
+	if e.workers == 1 || total < inlineRoundRows {
+		e.stats.InlineRounds++
+		return e.runInline(pairs, alts, mark)
+	}
+	e.stats.FannedRounds++
+	return e.runFanned(pairs, alts, rows, mark)
+}
+
+// runInline executes the round's pairs on the coordinator with direct
+// insertion — byte-for-byte the sequential engine's round, no goroutines,
+// no buffers, no merge. Direct insertion makes within-round derivations
+// visible to later pairs (exactly as in Eval), which can only shrink the
+// round count relative to deferral.
+func (e *parEvaluator) runInline(pairs []pair, alts []int, mark storage.Mark) int {
+	before := e.db.Len()
+	for pi, pr := range pairs {
+		ex := e.wexec(0, pr.rule)
+		hasNeg := len(ex.Rule.Neg) > 0
+		ex.RunAlt(e.db, pr.delta, alts[pi], mark, 0, 1, func() bool {
+			if hasNeg && ex.Blocked(e.db) {
+				return true
+			}
+			e.db.InsertArgs(ex.HeadArgs(0))
+			return true
+		})
+	}
+	return e.db.Len() - before
+}
+
+// runFanned executes one buffered round: pairs are sharded by window size
+// into jobs, workers drain the job queue through an atomic cursor (dynamic
+// scheduling — a worker stuck on a skewed shard never strands the rest of
+// the queue on a static residue schedule), each job stages its derivations
+// in a private columnar buffer, and the coordinator folds all buffers into
+// the instance with one MergeBuffers call.
+func (e *parEvaluator) runFanned(pairs []pair, alts, rows []int, mark storage.Mark) int {
+	jobs := e.jobs[:0]
+	for pi, pr := range pairs {
+		shards := shardsFor(rows[pi], e.workers)
+		for sh := 0; sh < shards; sh++ {
+			jobs = append(jobs, job{rule: pr.rule, delta: pr.delta, alt: alts[pi], shard: sh, shards: shards})
+		}
+	}
+	for len(e.bufs) < len(jobs) {
+		e.bufs = append(e.bufs, storage.NewTupleBuffer())
+	}
+	for ji := range jobs {
+		b := e.bufs[ji]
+		b.Reset()
+		jobs[ji].buf = b
+	}
+	e.jobs = jobs
+
+	nw := e.workers
+	if nw > len(jobs) {
+		nw = len(jobs)
+	}
+	var cursor atomic.Int32
+	drain := func(w int) {
+		for {
+			ji := int(cursor.Add(1)) - 1
+			if ji >= len(jobs) {
+				return
+			}
+			j := jobs[ji]
+			ex := e.wexec(w, j.rule)
+			hasNeg := len(ex.Rule.Neg) > 0
+			ex.RunAlt(e.db, j.delta, j.alt, mark, j.shard, j.shards, func() bool {
+				if hasNeg && ex.Blocked(e.db) {
+					return true
+				}
+				ex.HeadAppend(0, j.buf)
+				return true
+			})
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 1; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			drain(w)
+		}(w)
+	}
+	drain(0)
+	wg.Wait()
+	return e.db.MergeBuffers(e.bufs[:len(jobs)], nw)
 }

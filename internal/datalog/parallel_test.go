@@ -94,6 +94,106 @@ pureSrc(X) :- src(X), not snk(X).
 	}
 }
 
+// TestParallelEquivalenceProperty is the parallel/sequential equivalence
+// property test: randomized programs (joins, non-linear recursion, strata,
+// safe stratified negation) over random edge sets, cross-checked at the
+// full worker ladder and under both the static and the adaptive
+// join-order policy. Density varies from sparse (every round inline) to
+// dense enough that rounds fan out through the buffered merge path.
+func TestParallelEquivalenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	workerLadder := []int{1, 2, 3, 4, 8}
+	for trial := 0; trial < 12; trial++ {
+		nodes := 6 + rng.Intn(30)
+		edges := nodes + rng.Intn(4*nodes)
+		var b strings.Builder
+		b.WriteString(`
+t(X,Y) :- e(X,Y).
+t(X,Z) :- t(X,Y), t(Y,Z).
+tri(X,Z) :- e(X,Y), e(Y,Z).
+src(X) :- e(X,Y).
+snk(Y) :- e(X,Y).
+mid(X) :- src(X), snk(X).
+edge2(X,Z) :- e(X,Y), e(Y,Z), not e(X,Z).
+pureSrc(X) :- src(X), not snk(X).
+`)
+		for i := 0; i < edges; i++ {
+			fmt.Fprintf(&b, "e(n%d,n%d).\n", rng.Intn(nodes), rng.Intn(nodes))
+		}
+		r, db := load(t, b.String())
+		want, _, err := Eval(r.Program, db, Options{BiasRecursiveAtom: true})
+		if err != nil {
+			t.Fatalf("trial %d: sequential: %v", trial, err)
+		}
+		for _, workers := range workerLadder {
+			for _, adaptive := range []bool{false, true} {
+				opt := Options{BiasRecursiveAtom: true, Adaptive: adaptive}
+				got, stats, err := EvalParallel(r.Program, db, opt, workers)
+				if err != nil {
+					t.Fatalf("trial %d workers=%d adaptive=%v: %v", trial, workers, adaptive, err)
+				}
+				if got.Len() != want.Len() {
+					t.Fatalf("trial %d workers=%d adaptive=%v: %d facts, want %d",
+						trial, workers, adaptive, got.Len(), want.Len())
+				}
+				for _, f := range want.All() {
+					if !got.Contains(f) {
+						t.Fatalf("trial %d workers=%d adaptive=%v: missing fact",
+							trial, workers, adaptive)
+					}
+				}
+				if workers == 1 && stats.FannedRounds != 0 {
+					t.Fatalf("trial %d: single worker fanned %d rounds", trial, stats.FannedRounds)
+				}
+				if stats.InlineRounds+stats.FannedRounds != stats.Rounds {
+					t.Fatalf("trial %d workers=%d: rounds %d != inline %d + fanned %d",
+						trial, workers, stats.Rounds, stats.InlineRounds, stats.FannedRounds)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelFannedRounds forces the buffered path: a dense non-linear TC
+// whose deltas exceed the inline threshold must fan at least one round
+// across the pool, stage derivations in tuple buffers, bulk-merge them —
+// and still land on the sequential fixpoint.
+func TestParallelFannedRounds(t *testing.T) {
+	var b strings.Builder
+	b.WriteString(`
+t(X,Y) :- e(X,Y).
+t(X,Z) :- t(X,Y), t(Y,Z).
+`)
+	n := 60
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "e(n%d,n%d).\n", i, (i+1)%n)
+		fmt.Fprintf(&b, "e(n%d,n%d).\n", i, (i+7)%n)
+	}
+	r, db := load(t, b.String())
+	want, _, err := Eval(r.Program, db, Options{BiasRecursiveAtom: true})
+	if err != nil {
+		t.Fatalf("sequential: %v", err)
+	}
+	for _, workers := range []int{2, 4} {
+		got, stats, err := EvalParallel(r.Program, db, Options{BiasRecursiveAtom: true}, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if stats.FannedRounds == 0 {
+			t.Fatalf("workers=%d: no fanned rounds on a dense delta (inline=%d rounds=%d)",
+				workers, stats.InlineRounds, stats.Rounds)
+		}
+		if got.Len() != want.Len() {
+			t.Fatalf("workers=%d: %d facts, want %d", workers, got.Len(), want.Len())
+		}
+		for _, f := range want.All() {
+			if !got.Contains(f) {
+				t.Fatalf("workers=%d: missing fact", workers)
+			}
+		}
+	}
+}
+
 // TestParallelStratifiedNegation: the three-strata scenario must agree
 // with Naive under all worker counts.
 func TestParallelStratifiedNegation(t *testing.T) {

@@ -40,21 +40,31 @@ func (e *Exec) Frame() []term.Term { return e.frame }
 
 // Run enumerates every homomorphism of the rule body into db using variant
 // di (body atom di restricted to rows at/after since, and to the shard-th
-// residue class modulo shards when shards > 1). fn is invoked with the
-// bindings in e.Frame(); returning false stops the enumeration. Run reports
-// whether it ran to completion, and leaves every body slot unbound.
+// contiguous sub-range of the delta window when shards > 1). fn is invoked
+// with the bindings in e.Frame(); returning false stops the enumeration.
+// Run reports whether it ran to completion, and leaves every body slot
+// unbound. It uses the variant's default join order; RunAlt selects an
+// alternative.
 func (e *Exec) Run(db *storage.DB, di int, since storage.Mark, shard, shards int, fn func() bool) bool {
-	v := e.Rule.Variants[di]
+	return e.RunAlt(db, di, 0, since, shard, shards, fn)
+}
+
+// RunAlt is Run with an explicit join-order alternative (an index into the
+// variant's Alts, as picked by ChooseAlt). Every alternative applies the
+// same delta restriction, so the enumerated match set is identical for any
+// alt — only the order (and hence the probe count) changes.
+func (e *Exec) RunAlt(db *storage.DB, di, alt int, since storage.Mark, shard, shards int, fn func() bool) bool {
+	j := e.Rule.Variants[di].Alts[alt]
 	var rec func(k int) bool
 	rec = func(k int) bool {
-		if k == len(v.Scans) {
+		if k == len(j.Scans) {
 			return fn()
 		}
 		s, sh, shs := storage.Mark(0), 0, 1
-		if k == v.DeltaStep {
+		if k == j.DeltaStep {
 			s, sh, shs = since, shard, shards
 		}
-		return db.Probe(v.Scans[k], e.frame, s, sh, shs, func() bool {
+		return db.Probe(j.Scans[k], e.frame, s, sh, shs, func() bool {
 			e.Probes++
 			return rec(k + 1)
 		})
@@ -89,6 +99,44 @@ func (e *Exec) HeadArgs(i int) (schema.PredID, []term.Term) {
 	t := &e.Rule.Head[i]
 	e.scratch = t.AppendArgs(e.scratch[:0], e.frame)
 	return t.Pred, e.scratch
+}
+
+// HeadAppend instantiates head atom i under the current frame and stages
+// it into the worker's tuple buffer — the parallel evaluator's derivation
+// path. The buffer hashes the tuple at append time and copies it, so no
+// boxed atom or per-fact argument slice is allocated.
+func (e *Exec) HeadAppend(i int, b *storage.TupleBuffer) {
+	b.Append(e.HeadArgs(i))
+}
+
+// ChooseAlt picks a join-order alternative for delta position di from
+// current predicate cardinalities — the per-round "index swap" the
+// adaptive engines perform. The estimated cost driver of an order is its
+// first scan: the delta window's row count when the delta atom leads, the
+// predicate's full cardinality otherwise. The compile-time order Alts[0]
+// wins ties and anything within a 4x band, so selection only overrides the
+// static heuristic when the cardinalities are decisively skewed (e.g. a
+// huge delta window joined against a small stable relation).
+func ChooseAlt(db *storage.DB, r *RulePlan, di int, since storage.Mark) int {
+	v := r.Variants[di]
+	if len(v.Alts) <= 1 {
+		return 0
+	}
+	est := func(j *JoinPlan) int {
+		first := j.Order[0]
+		p := r.Body[first].Pred
+		if j.DeltaStep == 0 {
+			return db.CountSince(p, since)
+		}
+		return db.CountPred(p)
+	}
+	bestAlt, best := 0, est(v.Alts[0])
+	for k := 1; k < len(v.Alts); k++ {
+		if e := est(v.Alts[k]); 4*e < best {
+			bestAlt, best = k, e
+		}
+	}
+	return bestAlt
 }
 
 // BodyImage instantiates the full body under the current frame — the

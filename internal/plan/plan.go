@@ -104,12 +104,31 @@ type SlotVar struct {
 	Slot int
 }
 
-// Variant is the compiled join for one delta-atom position: a fixed atom
-// order and one ScanPlan per step.
+// Variant is the compiled join for one delta-atom position. Its embedded
+// JoinPlan is the default order (compile-time heuristic); Alts holds every
+// precompiled alternative order, so per-round data-adaptive selection is
+// an index swap, never a recompilation.
 type Variant struct {
-	// DeltaPos is the body atom index carrying the delta restriction;
-	// DeltaStep is its position in Order (0 when DeltaFirst).
-	DeltaPos  int
+	// DeltaPos is the body atom index carrying the delta restriction.
+	DeltaPos int
+	// JoinPlan is the default order: delta atom first plus greedy
+	// bound-variable connectivity under Options.DeltaFirst, the written
+	// order otherwise.
+	JoinPlan
+	// Alts are the distinct precompiled join orders for this delta
+	// position: Alts[0] is the embedded default; each further entry seeds
+	// the greedy connected order at a different body atom. The engines
+	// pick one per round from current predicate cardinalities
+	// (ChooseAlt); every alternative applies the same delta restriction,
+	// so any choice enumerates the same matches.
+	Alts []*JoinPlan
+}
+
+// JoinPlan is one fixed join order for a delta position: the atom order
+// and one ScanPlan per step.
+type JoinPlan struct {
+	// DeltaStep is the delta atom's position in Order (0 when the delta
+	// atom leads).
 	DeltaStep int
 	// Order holds body atom indexes in join order.
 	Order []int
@@ -257,47 +276,88 @@ func compileTemplates(atoms []atom.Atom, slotOf map[term.Term]int) []Template {
 	return out
 }
 
-// compileVariant fixes the join order for one delta position, assigns
-// per-position argument modes against the statically known bound-slot set,
-// projects away dead bindings, and compiles each step's scan.
+// compileVariant compiles every join order for one delta position: the
+// default order (delta-first greedy under DeltaFirst, written order
+// otherwise) plus one alternative seeded at each other body atom, deduped.
+// Alternatives exist so the engines can swap the join order per round from
+// current cardinalities; compiling them all up front keeps the adaptive
+// path allocation-free.
 func compileVariant(body []atom.Atom, di int, slotOf map[term.Term]int, live []bool, opt Options) *Variant {
 	v := &Variant{DeltaPos: di}
+	var def []int
 	if opt.DeltaFirst {
-		v.Order = greedyOrder(body, di, slotOf)
+		def = greedyOrder(body, di, slotOf)
 	} else {
-		v.Order = make([]int, len(body))
-		for i := range v.Order {
-			v.Order[i] = i
+		def = make([]int, len(body))
+		for i := range def {
+			def[i] = i
 		}
 	}
-	for k, bi := range v.Order {
+	v.JoinPlan = *compileJoin(body, def, di, slotOf, live)
+	v.Alts = append(v.Alts, &v.JoinPlan)
+	for first := 0; first < len(body); first++ {
+		ord := greedyOrder(body, first, slotOf)
+		if containsOrder(v.Alts, ord) {
+			continue
+		}
+		v.Alts = append(v.Alts, compileJoin(body, ord, di, slotOf, live))
+	}
+	return v
+}
+
+// containsOrder reports whether the order is already compiled.
+func containsOrder(alts []*JoinPlan, ord []int) bool {
+	for _, a := range alts {
+		if len(a.Order) != len(ord) {
+			continue
+		}
+		same := true
+		for i := range ord {
+			if a.Order[i] != ord[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return true
+		}
+	}
+	return false
+}
+
+// compileJoin fixes one join order for one delta position, assigns
+// per-position argument modes against the statically known bound-slot set,
+// projects away dead bindings, and compiles each step's scan.
+func compileJoin(body []atom.Atom, order []int, di int, slotOf map[term.Term]int, live []bool) *JoinPlan {
+	j := &JoinPlan{Order: order}
+	for k, bi := range order {
 		if bi == di {
-			v.DeltaStep = k
+			j.DeltaStep = k
 		}
 	}
 	bound := make([]bool, len(live))
-	argss := make([][]storage.ScanArg, len(v.Order))
-	for k, bi := range v.Order {
+	argss := make([][]storage.ScanArg, len(order))
+	for k, bi := range order {
 		args := make([]storage.ScanArg, len(body[bi].Args))
-		for j, x := range body[bi].Args {
+		for jj, x := range body[bi].Args {
 			if !x.IsVar() {
-				args[j] = storage.ScanArg{Mode: storage.ArgConst, Const: x}
+				args[jj] = storage.ScanArg{Mode: storage.ArgConst, Const: x}
 				continue
 			}
 			s := slotOf[x]
 			if bound[s] {
-				args[j] = storage.ScanArg{Mode: storage.ArgBound, Slot: s}
+				args[jj] = storage.ScanArg{Mode: storage.ArgBound, Slot: s}
 			} else {
-				args[j] = storage.ScanArg{Mode: storage.ArgBind, Slot: s}
+				args[jj] = storage.ScanArg{Mode: storage.ArgBind, Slot: s}
 				bound[s] = true
 			}
 		}
 		argss[k] = args
 	}
 	// Projection mask: a slot is read by the join itself when some position
-	// (in this variant's order) compares against it. Together with the
-	// template liveness this is the full read set; an ArgBind whose slot
-	// nobody reads is projected to ArgSkip, so the probe skips the write.
+	// (in this order) compares against it. Together with the template
+	// liveness this is the full read set; an ArgBind whose slot nobody
+	// reads is projected to ArgSkip, so the probe skips the write.
 	read := append([]bool(nil), live...)
 	for _, args := range argss {
 		for _, a := range args {
@@ -306,16 +366,16 @@ func compileVariant(body []atom.Atom, di int, slotOf map[term.Term]int, live []b
 			}
 		}
 	}
-	v.Scans = make([]*storage.ScanPlan, len(v.Order))
-	for k, bi := range v.Order {
-		for j, a := range argss[k] {
+	j.Scans = make([]*storage.ScanPlan, len(order))
+	for k, bi := range order {
+		for jj, a := range argss[k] {
 			if a.Mode == storage.ArgBind && !read[a.Slot] {
-				argss[k][j] = storage.ScanArg{Mode: storage.ArgSkip}
+				argss[k][jj] = storage.ScanArg{Mode: storage.ArgSkip}
 			}
 		}
-		v.Scans[k] = storage.CompileScan(body[bi].Pred, argss[k])
+		j.Scans[k] = storage.CompileScan(body[bi].Pred, argss[k])
 	}
-	return v
+	return j
 }
 
 // greedyOrder starts at the delta atom and repeatedly appends the unused

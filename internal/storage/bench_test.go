@@ -116,6 +116,58 @@ func BenchmarkDeltaScan(b *testing.B) {
 	}
 }
 
+// BenchmarkInsertWideDomain: every key is unique at every position, so
+// each posting holds exactly one row — the high-selectivity regime the
+// inline-first-row posting representation targets. allocs/op is the
+// tracked metric: the per-key posting slice of the old representation is
+// gone (two allocations per fact on a binary predicate).
+func BenchmarkInsertWideDomain(b *testing.B) {
+	st := term.NewStore()
+	reg := schema.NewRegistry()
+	e := reg.Intern("e", 2)
+	n := 16384
+	facts := make([]atom.Atom, n)
+	for i := range facts {
+		facts[i] = atom.New(e,
+			st.Const(fmt.Sprintf("l%d", i)), st.Const(fmt.Sprintf("r%d", i)))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db := NewDB()
+		for _, f := range facts {
+			db.Insert(f)
+		}
+	}
+}
+
+// BenchmarkMergeBuffers: bulk-merging staged columnar tuples (hashes
+// cached at append time, one pre-sized table grow) vs the per-row Insert
+// path over the same facts — the coordinator-side cost of one big parallel
+// round.
+func BenchmarkMergeBuffers(b *testing.B) {
+	facts, e := benchEdges(16384)
+	for _, nb := range []int{1, 4} {
+		b.Run(fmt.Sprintf("buffers=%d", nb), func(b *testing.B) {
+			bufs := make([]*TupleBuffer, nb)
+			for i := range bufs {
+				bufs[i] = NewTupleBuffer()
+			}
+			for i, f := range facts {
+				bufs[i%nb].Append(e, f.Args)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				db := NewDB()
+				if got := db.MergeBuffers(bufs, 1); got != len(facts) {
+					b.Fatalf("merged %d, want %d", got, len(facts))
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkClone: structural clone cost (shared backings, copied tables).
 func BenchmarkClone(b *testing.B) {
 	facts, _ := benchEdges(16384)

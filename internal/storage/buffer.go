@@ -1,0 +1,87 @@
+package storage
+
+import (
+	"repro/internal/schema"
+	"repro/internal/term"
+)
+
+// TupleBuffer is a worker-local columnar staging area for derived facts:
+// one flat arity-strided term column plus a hash column per predicate,
+// with the fact hash computed once at append time. The parallel
+// evaluator's workers append through plan.Exec.HeadAppend — no boxed
+// atoms, no per-fact argument slice — and the coordinator folds whole
+// buffers into the instance with DB.MergeBuffers, which reuses the cached
+// hashes instead of re-hashing every tuple. A buffer is single-writer; a
+// Reset keeps the backing arrays, so steady-state rounds append without
+// allocating.
+type TupleBuffer struct {
+	// bufs is dense by PredID; entries are nil until the predicate's first
+	// append.
+	bufs []*predBuffer
+	// touched lists the predicates holding at least one buffered tuple, in
+	// first-append order — the deterministic predicate order MergeBuffers
+	// folds in.
+	touched []schema.PredID
+	rows    int
+}
+
+// predBuffer is one predicate's staged tuples.
+type predBuffer struct {
+	arity  int
+	cols   []term.Term
+	hashes []uint64
+}
+
+// rows is the number of staged tuples.
+func (pb *predBuffer) rows() int { return len(pb.hashes) }
+
+// args returns the argument tuple of staged row k.
+func (pb *predBuffer) args(k int) []term.Term {
+	o := k * pb.arity
+	return pb.cols[o : o+pb.arity : o+pb.arity]
+}
+
+// NewTupleBuffer returns an empty buffer.
+func NewTupleBuffer() *TupleBuffer {
+	return &TupleBuffer{}
+}
+
+// Append stages the ground fact pred(args...), hashing it now so the merge
+// never re-hashes. The tuple is copied; callers may reuse args as a
+// scratch buffer. Duplicates are staged as-is — MergeBuffers dedups
+// against the instance and across buffers in one pass.
+func (b *TupleBuffer) Append(pred schema.PredID, args []term.Term) {
+	for _, t := range args {
+		if t.IsVar() {
+			panic("storage: buffering non-ground atom")
+		}
+	}
+	for int(pred) >= len(b.bufs) {
+		b.bufs = append(b.bufs, nil)
+	}
+	pb := b.bufs[pred]
+	if pb == nil {
+		pb = &predBuffer{arity: len(args)}
+		b.bufs[pred] = pb
+	}
+	if pb.rows() == 0 {
+		b.touched = append(b.touched, pred)
+	}
+	pb.cols = append(pb.cols, args...)
+	pb.hashes = append(pb.hashes, hashArgs(pred, args))
+	b.rows++
+}
+
+// Len reports the number of staged tuples (duplicates included).
+func (b *TupleBuffer) Len() int { return b.rows }
+
+// Reset empties the buffer, keeping every backing array for reuse.
+func (b *TupleBuffer) Reset() {
+	for _, p := range b.touched {
+		pb := b.bufs[p]
+		pb.cols = pb.cols[:0]
+		pb.hashes = pb.hashes[:0]
+	}
+	b.touched = b.touched[:0]
+	b.rows = 0
+}

@@ -213,11 +213,11 @@ func TestColumnarCandidatesSelectivity(t *testing.T) {
 		if full {
 			continue // whole-relation scan is trivially a superset
 		}
-		if len(rows) > r.rows() {
+		if rows.size() > r.rows() {
 			t.Fatalf("c%d: candidate set larger than relation", i)
 		}
-		if len(rows) < want {
-			t.Fatalf("c%d: candidates = %d < %d matches (unsound index)", i, len(rows), want)
+		if rows.size() < want {
+			t.Fatalf("c%d: candidates = %d < %d matches (unsound index)", i, rows.size(), want)
 		}
 	}
 }

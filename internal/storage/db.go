@@ -100,7 +100,7 @@ func (db *DB) InsertArgs(pred schema.PredID, args []term.Term) bool {
 	r.hashes = append(r.hashes, h)
 	db.order = append(db.order, rowRef{pred: pred, row: ri})
 	for i, t := range args {
-		r.idx[i][t] = append(r.idx[i][t], ri)
+		r.idxAdd(i, t, ri)
 	}
 	return true
 }
@@ -139,6 +139,16 @@ func (db *DB) Len() int { return len(db.order) }
 func (db *DB) CountPred(p schema.PredID) int {
 	if r := db.relOf(p); r != nil {
 		return r.rows()
+	}
+	return 0
+}
+
+// CountSince reports the number of atoms with the given predicate inserted
+// at or after the mark — the delta-window row count the fixpoint engines
+// use for cost-based shard scheduling and adaptive join-order selection.
+func (db *DB) CountSince(p schema.PredID, since Mark) int {
+	if r := db.relOf(p); r != nil {
+		return r.rows() - r.firstSince(since)
 	}
 	return 0
 }
@@ -218,13 +228,13 @@ func (db *DB) Constants() []term.Term {
 }
 
 // candidates returns the pattern's relation and the most selective
-// candidate row list under the substitution s. full reports that no index
-// narrowed the scan (rows is nil then, and the caller scans every local
-// row); otherwise rows is an ascending list of local candidate rows.
-func (db *DB) candidates(pa atom.Atom, s atom.Subst) (r *relation, rows []int32, full bool) {
+// candidate posting under the substitution s. full reports that no index
+// narrowed the scan (rows is empty then, and the caller scans every local
+// row); otherwise rows is an ascending set of local candidate rows.
+func (db *DB) candidates(pa atom.Atom, s atom.Subst) (r *relation, rows candSet, full bool) {
 	r = db.relOf(pa.Pred)
 	if r == nil {
-		return nil, nil, false
+		return nil, candSet{}, false
 	}
 	best := r.rows()
 	full = true
@@ -233,8 +243,8 @@ func (db *DB) candidates(pa atom.Atom, s atom.Subst) (r *relation, rows []int32,
 		if rt.IsVar() {
 			continue
 		}
-		if cand := r.idx[i][rt]; len(cand) < best {
-			best, rows, full = len(cand), cand, false
+		if cand := r.posting(i, rt); cand.size() < best {
+			best, rows, full = cand.size(), cand, false
 		}
 	}
 	return r, rows, full

@@ -57,11 +57,7 @@ func (db *DB) matchRows(pa atom.Atom, base atom.Subst, since Mark, shard, shards
 		}
 		return
 	}
-	for k := postingLowerBound(rows, int32(lo)); k < len(rows); k++ {
-		if !emit(rows[k]) {
-			return
-		}
-	}
+	rows.eachFrom(int32(lo), emit)
 }
 
 // MatchEachSince is MatchEach restricted to facts inserted at or after the

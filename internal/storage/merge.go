@@ -1,0 +1,118 @@
+package storage
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/schema"
+)
+
+// MergeBuffers folds staged worker buffers into the instance, returning
+// the number of new facts. It is the bulk counterpart of per-row Insert
+// and the other half of the TupleBuffer contract:
+//
+//   - dedup reuses the hashes cached at append time — no tuple is ever
+//     re-hashed — and catches duplicates against the base instance, within
+//     one buffer, and across buffers in the same probe;
+//   - each relation's dedup table is pre-sized for its worst case (base
+//     rows plus every staged tuple) in ONE rehash, instead of growing
+//     power-of-two by power-of-two under per-row Insert;
+//   - relations are independent, so distinct predicates merge concurrently
+//     (up to par goroutines) — only the global insertion log is stitched
+//     serially, after every relation has settled.
+//
+// The result is deterministic regardless of par and of which worker staged
+// which tuple into which buffer: predicates are folded in first-touched
+// order across the buffers (ties by buffer order), and within a predicate
+// tuples keep (buffer, append) order. Accepted rows of one predicate land
+// contiguously in the insertion log, so Mark-based delta windows stay
+// contiguous local row ranges.
+func (db *DB) MergeBuffers(bufs []*TupleBuffer, par int) int {
+	// Deterministic predicate order, with per-predicate staged totals for
+	// table pre-sizing. Relations are also created HERE, serially: db.rels
+	// growth must not race the per-predicate goroutines.
+	var preds []schema.PredID
+	staged := make(map[schema.PredID]int)
+	for _, b := range bufs {
+		if b == nil {
+			continue
+		}
+		for _, p := range b.touched {
+			if staged[p] == 0 {
+				preds = append(preds, p)
+				db.rel(p, b.bufs[p].arity)
+			}
+			staged[p] += b.bufs[p].rows()
+		}
+	}
+	if len(preds) == 0 {
+		return 0
+	}
+	accepted := make([]int, len(preds))
+	mergeOne := func(pi int) {
+		p := preds[pi]
+		r := db.rels[p]
+		base := r.rows()
+		r.growTabTo(base + staged[p])
+		for _, b := range bufs {
+			if b == nil || int(p) >= len(b.bufs) || b.bufs[p] == nil {
+				continue
+			}
+			pb := b.bufs[p]
+			for k, n := 0, pb.rows(); k < n; k++ {
+				h := pb.hashes[k]
+				args := pb.args(k)
+				if _, ok := r.find(h, args); ok {
+					continue
+				}
+				ri := int32(len(r.hashes))
+				r.tabInsert(h, ri)
+				r.cols = append(r.cols, args...)
+				r.hashes = append(r.hashes, h)
+				for i, t := range args {
+					r.idxAdd(i, t, ri)
+				}
+			}
+		}
+		accepted[pi] = len(r.hashes) - base
+	}
+	if par > len(preds) {
+		par = len(preds)
+	}
+	if par > 1 {
+		var next atomic.Int32
+		var wg sync.WaitGroup
+		for w := 0; w < par; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					pi := int(next.Add(1)) - 1
+					if pi >= len(preds) {
+						return
+					}
+					mergeOne(pi)
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for pi := range preds {
+			mergeOne(pi)
+		}
+	}
+	// Stitch the insertion log: accepted rows enter in predicate order,
+	// each relation's global column staying strictly increasing.
+	added := 0
+	for pi, p := range preds {
+		r := db.rels[p]
+		base := r.rows()
+		for k := 0; k < accepted[pi]; k++ {
+			ri := int32(base + k)
+			r.global = append(r.global, int32(len(db.order)))
+			db.order = append(db.order, rowRef{pred: p, row: ri})
+		}
+		added += accepted[pi]
+	}
+	return added
+}

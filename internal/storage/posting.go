@@ -1,0 +1,78 @@
+package storage
+
+import "repro/internal/term"
+
+// Index postings with an inline first row.
+//
+// idx[i] maps a term to an int32 code: a non-negative code IS the single
+// local row holding the term at position i (stored inline — no slice, no
+// allocation), while a negative code -(k+1) points at entry k of the
+// relation's shared overflow table, which holds the ascending row list of
+// keys occurring more than once. On high-selectivity positions (wide
+// domains, near-key columns) most keys occur once, so the per-key slice
+// allocation of a map[term.Term][]int32 representation disappears, the map
+// value shrinks to 4 bytes, and — unlike a struct-valued posting map —
+// steady-state updates of hot keys touch the map only once: the overflow
+// row list is appended in place through the table, never re-stored.
+
+// idxAdd records that local row ri holds term t at position i. Rows arrive
+// in insertion order, so every posting stays ascending without comparison.
+func (r *relation) idxAdd(i int, t term.Term, ri int32) {
+	m := r.idx[i]
+	v, ok := m[t]
+	switch {
+	case !ok:
+		m[t] = ri
+	case v >= 0:
+		r.over = append(r.over, []int32{v, ri})
+		m[t] = -int32(len(r.over))
+	default:
+		k := -v - 1
+		r.over[k] = append(r.over[k], ri)
+	}
+}
+
+// candSet is a resolved posting: n candidate rows, held either inline
+// (one, when n == 1) or in an overflow row list. The zero value is the
+// empty posting.
+type candSet struct {
+	n    int
+	one  int32
+	rows []int32
+}
+
+func (c candSet) size() int { return c.n }
+
+// posting resolves the candidate rows for term t at position i. A present
+// key with n == 0 cannot occur; absent keys yield the empty set — the most
+// selective outcome a probe can hit.
+func (r *relation) posting(i int, t term.Term) candSet {
+	v, ok := r.idx[i][t]
+	if !ok {
+		return candSet{}
+	}
+	if v >= 0 {
+		return candSet{n: 1, one: v}
+	}
+	rows := r.over[-v-1]
+	return candSet{n: len(rows), rows: rows}
+}
+
+// eachFrom calls fn for every candidate row at or after lo in ascending
+// order, stopping early if fn returns false.
+func (c candSet) eachFrom(lo int32, fn func(int32) bool) {
+	if c.n == 0 {
+		return
+	}
+	if c.rows == nil {
+		if c.one >= lo {
+			fn(c.one)
+		}
+		return
+	}
+	for k := postingLowerBound(c.rows, lo); k < len(c.rows); k++ {
+		if !fn(c.rows[k]) {
+			return
+		}
+	}
+}

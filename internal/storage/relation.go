@@ -31,18 +31,23 @@ type relation struct {
 	// (linear-probing, power-of-two) hash set of local rows. Inserting a
 	// fact costs no allocation beyond amortized table growth.
 	tab []int32
-	// idx[i] maps the term at position i to its local rows, ascending.
-	idx []map[term.Term][]int32
+	// idx[i] maps the term at position i to its posting code: the single
+	// local row holding it (inline, non-negative) or -(k+1) for entry k of
+	// over (see posting.go).
+	idx []map[term.Term]int32
+	// over is the shared overflow table: ascending row lists of the keys
+	// that occur more than once, across all positions.
+	over [][]int32
 }
 
 func newRelation(pred schema.PredID, arity int) *relation {
 	r := &relation{
 		pred:  pred,
 		arity: arity,
-		idx:   make([]map[term.Term][]int32, arity),
+		idx:   make([]map[term.Term]int32, arity),
 	}
 	for i := range r.idx {
-		r.idx[i] = make(map[term.Term][]int32)
+		r.idx[i] = make(map[term.Term]int32)
 	}
 	return r
 }
@@ -115,6 +120,29 @@ func (r *relation) growTab() {
 	if n < 16 {
 		n = 16
 	}
+	r.rebuildTab(n)
+}
+
+// growTabTo sizes the dedup table so that n rows fit under 3/4 load in ONE
+// rehash — the bulk-merge path pre-sizes for base rows plus every buffered
+// tuple instead of growing power-of-two by power-of-two mid-merge.
+func (r *relation) growTabTo(n int) {
+	want := len(r.tab)
+	if want < 16 {
+		want = 16
+	}
+	for 4*n > 3*want {
+		want *= 2
+	}
+	if want == len(r.tab) {
+		return
+	}
+	r.rebuildTab(want)
+}
+
+// rebuildTab replaces the dedup table with one of n slots (a power of two)
+// and rehashes every row from the hashes column.
+func (r *relation) rebuildTab(n int) {
 	tab := make([]int32, n)
 	for i := range tab {
 		tab[i] = -1
@@ -139,12 +167,14 @@ func (r *relation) firstSince(since Mark) int {
 	return postingLowerBound(r.global, int32(since))
 }
 
-// clone returns an observationally identical copy. Columns, postings, the
-// global map, and the hashes column are shared cap-limited: both sides
-// only ever append, and an append on either side past a view's capacity
-// reallocates, so neither can see the other's new rows. Only the dedup
+// clone returns an observationally identical copy. Columns, overflow row
+// lists, the global map, and the hashes column are shared cap-limited:
+// both sides only ever append, and an append on either side past a view's
+// capacity reallocates, so neither can see the other's new rows. The dedup
 // table (mutated in place by inserts) is copied outright — a flat memcpy,
-// no re-hashing or re-comparison.
+// no re-hashing or re-comparison — and the posting maps copy their 4-byte
+// codes (a code re-pointed by either side after the clone changes only
+// that side's map).
 func (r *relation) clone() *relation {
 	out := &relation{
 		pred:   r.pred,
@@ -153,14 +183,18 @@ func (r *relation) clone() *relation {
 		global: r.global[:len(r.global):len(r.global)],
 		hashes: r.hashes[:len(r.hashes):len(r.hashes)],
 		tab:    append([]int32(nil), r.tab...),
-		idx:    make([]map[term.Term][]int32, r.arity),
+		idx:    make([]map[term.Term]int32, r.arity),
+		over:   make([][]int32, len(r.over)),
 	}
 	for i, m := range r.idx {
-		nm := make(map[term.Term][]int32, len(m))
-		for t, rows := range m {
-			nm[t] = rows[:len(rows):len(rows)]
+		nm := make(map[term.Term]int32, len(m))
+		for t, v := range m {
+			nm[t] = v
 		}
 		out.idx[i] = nm
+	}
+	for k, rows := range r.over {
+		out.over[k] = rows[:len(rows):len(rows)]
 	}
 	return out
 }

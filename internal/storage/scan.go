@@ -172,22 +172,22 @@ func (db *DB) Probe(sp *ScanPlan, frame []term.Term, since Mark, shard, shards i
 	if lo >= hi {
 		return true
 	}
-	// Access-path choice: the smallest applicable index posting list vs
-	// the delta window itself. Posting lists span the whole relation;
-	// their in-window portion is cut by binary search below. indexed is
-	// tracked separately from rows because the most selective outcome is
-	// an ABSENT key — a nil posting list proving zero matches.
-	var rows []int32
+	// Access-path choice: the smallest applicable index posting vs the
+	// delta window itself. Postings span the whole relation; their
+	// in-window portion is cut by binary search below. indexed is tracked
+	// separately from the candidate set because the most selective outcome
+	// is an ABSENT key — an empty posting proving zero matches.
+	var cand candSet
 	indexed := false
 	best := hi - lo
 	for _, ck := range sp.constKeys {
-		if cand := r.idx[ck.pos][ck.term]; len(cand) < best {
-			best, rows, indexed = len(cand), cand, true
+		if c := r.posting(ck.pos, ck.term); c.size() < best {
+			best, cand, indexed = c.size(), c, true
 		}
 	}
 	for _, bk := range sp.boundKeys {
-		if cand := r.idx[bk.pos][frame[bk.slot]]; len(cand) < best {
-			best, rows, indexed = len(cand), cand, true
+		if c := r.posting(bk.pos, frame[bk.slot]); c.size() < best {
+			best, cand, indexed = c.size(), c, true
 		}
 	}
 	if !indexed {
@@ -206,6 +206,22 @@ func (db *DB) Probe(sp *ScanPlan, frame []term.Term, since Mark, shard, shards i
 		}
 		return true
 	}
+	if cand.rows == nil {
+		// Inline posting: zero or one candidate row.
+		if cand.n == 0 || cand.one < int32(lo) || cand.one >= int32(hi) {
+			return true
+		}
+		ok := sp.matchRow(r.args(cand.one), frame)
+		cont := true
+		if ok {
+			cont = fn()
+		}
+		for _, s := range sp.binds {
+			frame[s] = Unbound
+		}
+		return cont
+	}
+	rows := cand.rows
 	for k := postingLowerBound(rows, int32(lo)); k < len(rows); k++ {
 		ri := rows[k]
 		if ri >= int32(hi) {
