@@ -3,8 +3,8 @@
 # `make bench-par` refreshes just the parallel-scaling set.
 
 # Benchmarks tracked across PRs (the CHANGES.md before/after set).
-BENCH_PATTERN  ?= BenchmarkE8|BenchmarkE9|BenchmarkE10|BenchmarkP1
-BENCH_OUT      ?= BENCH_pr3.json
+BENCH_PATTERN  ?= BenchmarkE8|BenchmarkE9|BenchmarkE10|BenchmarkP1|BenchmarkIncrementalDelete
+BENCH_OUT      ?= BENCH_pr4.json
 BENCH_TIME     ?= 10x
 # Sequential baseline for workers=N scaling entries (cmd/benchjson).
 BENCH_BASELINE ?= BenchmarkP1_PlanFixpointSeq

@@ -1,0 +1,90 @@
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/atom"
+	"repro/internal/incremental"
+	"repro/internal/logic"
+	"repro/internal/workload"
+)
+
+// --------------------------------------------------------------------
+// P2 — in-place DRed (internal/incremental): cost of maintaining a live
+// TC materialization under deletions. The single-retraction runs delete
+// (and, off the clock, re-insert) the last chain edge — the small-cone
+// regime incremental maintenance targets: only the n facts t(x, n-1)
+// are overdeleted, so wall-clock must stay sublinear in the O(n²)
+// instance and allocs/op must not scale with it (the pre-tombstone
+// engine rebuilt both stores from scratch per Delete). The churn run is
+// the mixed workload: one op = delete+re-insert every 10th chain edge,
+// middle edges included, so overdelete/rederive cones span all sizes.
+// ns/op and allocs/op are the before/after metric of CHANGES.md.
+// --------------------------------------------------------------------
+
+func chainEdge(prog *logic.Program, x, y int) atom.Atom {
+	e := prog.Reg.Intern("e", 2)
+	return atom.New(e,
+		prog.Store.Const(fmt.Sprintf("n%d", x)),
+		prog.Store.Const(fmt.Sprintf("n%d", y)))
+}
+
+func BenchmarkIncrementalDelete(b *testing.B) {
+	for _, n := range []int{256, 512} {
+		b.Run(fmt.Sprintf("TC-%d/single", n), func(b *testing.B) {
+			res := mustParse(b, tcLinear)
+			prog := res.Program
+			base := workload.Chain(n).DB(prog, "e", "n")
+			eng, err := incremental.New(prog, base)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last := chainEdge(prog, n-2, n-1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := eng.Delete(last); err != nil {
+					b.Fatal(err)
+				}
+				// Restore the closure for the next iteration off the clock:
+				// only Delete is measured.
+				b.StopTimer()
+				if err := eng.Insert(last); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+			b.StopTimer()
+			st := eng.Stats()
+			b.ReportMetric(float64(st.Overdeleted)/float64(b.N), "overdel/op")
+			b.ReportMetric(float64(st.Rederived)/float64(b.N), "rederived/op")
+		})
+	}
+	b.Run("TC-256/churn10", func(b *testing.B) {
+		const n = 256
+		res := mustParse(b, tcLinear)
+		prog := res.Program
+		base := workload.Chain(n).DB(prog, "e", "n")
+		eng, err := incremental.New(prog, base)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for k := 0; k+1 < n; k += 10 {
+				ed := chainEdge(prog, k, k+1)
+				if err := eng.Delete(ed); err != nil {
+					b.Fatal(err)
+				}
+				if err := eng.Insert(ed); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.StopTimer()
+		st := eng.Stats()
+		b.ReportMetric(float64(st.Rederived)/float64(b.N), "rederived/op")
+	})
+}

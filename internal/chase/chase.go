@@ -95,8 +95,11 @@ type Result struct {
 	MemoPatterns int
 	// Prov maps DB row index -> derivation, when Options.Provenance.
 	Prov map[int]Derivation
-	// BaseFacts is the number of input database facts (rows below this
-	// index are D; rows at or above it were derived by the chase).
+	// BaseFacts is the input database's physical size in global insertion
+	// indexes (rows below this index are D — live or tombstoned; rows at
+	// or above it were derived by the chase). It partitions the same index
+	// space Prov and IndexOf use, so it must stay a physical count even on
+	// input stores that have seen deletions.
 	BaseFacts int
 }
 
@@ -112,7 +115,7 @@ func Run(prog *logic.Program, db *storage.DB, opt Options) (*Result, error) {
 		return nil, fmt.Errorf("chase: program uses negation; use RunStratified")
 	}
 	work := db.Clone()
-	res := &Result{DB: work, BaseFacts: work.Len()}
+	res := &Result{DB: work, BaseFacts: work.PhysicalLen()}
 	if opt.Provenance {
 		res.Prov = make(map[int]Derivation)
 	}
@@ -235,7 +238,11 @@ func Run(prog *logic.Program, db *storage.DB, opt Options) (*Result, error) {
 						if opt.FactIso && f.HasNull() && !factIso.Admit(f) {
 							continue
 						}
-						rowIdx := work.Len()
+						// Provenance keys on the global insertion index, so
+						// the physical length (tombstoned rows included — a
+						// caller may hand the chase a store that has seen
+						// deletions), not the live count.
+						rowIdx := work.PhysicalLen()
 						if work.Insert(f) {
 							progress = true
 							if res.Prov != nil {

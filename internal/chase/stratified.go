@@ -39,7 +39,7 @@ func RunStratified(prog *logic.Program, db *storage.DB, opt Options) (*Result, e
 	sort.Ints(levels)
 
 	opt.stratumSafe = true
-	agg := &Result{DB: db, BaseFacts: db.Len()}
+	agg := &Result{DB: db, BaseFacts: db.PhysicalLen()}
 	if opt.Provenance {
 		agg.Prov = make(map[int]Derivation)
 	}

@@ -12,6 +12,15 @@
 //     overdeleted facts that still have a derivation from the surviving
 //     instance.
 //
+// Both directions run the compiled-plan pipeline shared with the fixpoint
+// engines, and both are in-place: insertion appends through the scratch
+// paths, deletion flips storage tombstones — the worklists carry (pred,
+// row) handles, the overestimate enumerates rule instances through each
+// deleted row with seed-bound plans (Exec.RunSeed), rederivation checks
+// head-bound plans (Exec.Rederivable) and propagates restorations through
+// the same seed-bound plans. Neither store is ever rebuilt; physical space
+// is reclaimed by storage.Compact once a relation is mostly dead.
+//
 // The engine supports full single-head TGDs without negation (negation
 // under updates requires maintaining strata fronts; callers can rebuild
 // per stratum instead). Updates apply to base (extensional) facts;
@@ -20,6 +29,7 @@ package incremental
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/analysis"
 	"repro/internal/atom"
@@ -28,25 +38,47 @@ import (
 	"repro/internal/plan"
 	"repro/internal/schema"
 	"repro/internal/storage"
+	"repro/internal/term"
 )
+
+// CompactFraction is the per-relation dead fraction beyond which Delete
+// asks the store to physically reclaim tombstoned rows. Rebuilding at half
+// dead bounds the instance's physical size at 2x its live size while
+// keeping the amortized reclamation cost per tombstone constant for the
+// churning relation.
+const CompactFraction = 0.5
 
 // Engine holds a program and its maintained materialization.
 type Engine struct {
 	prog *logic.Program
 	an   *analysis.Analysis
-	// base holds the extensional facts currently asserted.
+	// base holds the extensional facts currently asserted. Invariant: the
+	// extensional slice of db equals base (rules only derive intensional
+	// predicates), so one membership probe answers for both stores.
 	base *storage.DB
 	// db is the maintained materialization: base plus every derivable
 	// intensional fact.
 	db *storage.DB
 	// intensional marks maintained predicates.
 	intensional map[schema.PredID]bool
-	// plans / execs drive insertion deltas through the compiled-plan
-	// pipeline shared with the fixpoint engines; compiled once at New.
+	// plans / execs drive insertion deltas, deletion overestimates, and
+	// rederivation through the compiled-plan pipeline shared with the
+	// fixpoint engines; compiled once at New.
 	plans *plan.Program
 	execs []*plan.Exec
+	// bodyOcc[p] lists the (rule, body position) pairs where predicate p
+	// occurs in a rule body — the seed-bound delete plans fired when a fact
+	// over p is deleted or revived. headRules[p] lists the rules deriving p
+	// — the head-bound rederive plans tried for an overdeleted fact.
+	bodyOcc   map[schema.PredID][]occurrence
+	headRules map[schema.PredID][]int
 
 	stats Stats
+}
+
+// occurrence is one body-atom occurrence of a predicate.
+type occurrence struct {
+	rule, pos int
 }
 
 // Stats accumulates maintenance effort across updates.
@@ -59,6 +91,8 @@ type Stats struct {
 	Overdeleted int
 	// Rederived counts overdeleted facts the rederivation step restored.
 	Rederived int
+	// Compacted counts rows physically reclaimed by storage compaction.
+	Compacted int
 }
 
 // New materializes the program over the initial base facts.
@@ -81,6 +115,8 @@ func New(prog *logic.Program, base *storage.DB) (*Engine, error) {
 		db:          db,
 		intensional: make(map[schema.PredID]bool),
 		plans:       plan.Cached(prog, plan.Options{DeltaFirst: true}),
+		bodyOcc:     make(map[schema.PredID][]occurrence),
+		headRules:   make(map[schema.PredID][]int),
 	}
 	e.execs = make([]*plan.Exec, len(prog.TGDs))
 	for i, r := range e.plans.Rules {
@@ -88,6 +124,12 @@ func New(prog *logic.Program, base *storage.DB) (*Engine, error) {
 	}
 	for p := range prog.HeadPreds() {
 		e.intensional[p] = true
+	}
+	for ri, t := range prog.TGDs {
+		e.headRules[t.Head[0].Pred] = append(e.headRules[t.Head[0].Pred], ri)
+		for di, b := range t.Body {
+			e.bodyOcc[b.Pred] = append(e.bodyOcc[b.Pred], occurrence{rule: ri, pos: di})
+		}
 	}
 	return e, nil
 }
@@ -112,8 +154,12 @@ func (e *Engine) Insert(facts ...atom.Atom) error {
 	mark := e.db.Mark()
 	added := 0
 	for _, f := range facts {
-		e.base.Insert(f)
-		if e.db.Insert(f) {
+		// The atoms are ground and interned, so dedup runs on the scratch
+		// argument path directly; and since the extensional slice of db
+		// equals base, db's verdict decides base's insert too — a duplicate
+		// costs one probe instead of two.
+		if e.db.InsertArgs(f.Pred, f.Args) {
+			e.base.InsertArgs(f.Pred, f.Args)
 			added++
 		}
 	}
@@ -150,7 +196,107 @@ func (e *Engine) deltaFixpoint(mark storage.Mark) int {
 	}
 }
 
-// Delete retracts base facts and maintains the materialization with DRed.
+// handle locates one fact of the materialization: its predicate and the
+// local row inside the predicate's relation. Handles replace the SortKey
+// string maps of the pre-tombstone engine on every deletion worklist.
+type handle struct {
+	pred schema.PredID
+	row  int32
+}
+
+// pendSet is the per-predicate pending-deletion index of one Delete pass:
+// a bitmap over each touched relation's local rows (constant-time
+// membership and dedup for the overestimate worklist) plus a fact-hash
+// index from argument tuples to handles (rederive propagation must locate
+// the pending row of a derived head, which the store's own dedup table no
+// longer links once the row is tombstoned).
+type pendSet struct {
+	rows  map[schema.PredID][]uint64
+	byKey map[uint64][]handle
+	all   []handle
+	n     int
+}
+
+func newPendSet() *pendSet {
+	return &pendSet{rows: make(map[schema.PredID][]uint64), byKey: make(map[uint64][]handle)}
+}
+
+// factKey hashes a fact for the pending index — the store's own fact
+// hash, so the two layers cannot drift. Collisions only cost an equality
+// re-check at lookup.
+func factKey(pred schema.PredID, args []term.Term) uint64 {
+	return storage.HashArgs(pred, args)
+}
+
+// add marks the handle pending, reporting whether it was new.
+func (ps *pendSet) add(h handle, key uint64) bool {
+	bm := ps.rows[h.pred]
+	w := int(h.row >> 6)
+	for len(bm) <= w {
+		bm = append(bm, 0)
+	}
+	bit := uint64(1) << (uint(h.row) & 63)
+	if bm[w]&bit != 0 {
+		return false
+	}
+	bm[w] |= bit
+	ps.rows[h.pred] = bm
+	ps.byKey[key] = append(ps.byKey[key], h)
+	ps.all = append(ps.all, h)
+	ps.n++
+	return true
+}
+
+// has reports whether the handle is still pending.
+func (ps *pendSet) has(h handle) bool {
+	bm := ps.rows[h.pred]
+	w := int(h.row >> 6)
+	return w < len(bm) && bm[w]>>(uint(h.row)&63)&1 != 0
+}
+
+// remove clears the handle from the bitmap (the hash index keeps its
+// entry; lookups re-check membership), reporting whether it was pending.
+func (ps *pendSet) remove(h handle) bool {
+	bm := ps.rows[h.pred]
+	w := int(h.row >> 6)
+	if w >= len(bm) || bm[w]>>(uint(h.row)&63)&1 == 0 {
+		return false
+	}
+	bm[w] &^= 1 << (uint(h.row) & 63)
+	ps.n--
+	return true
+}
+
+// lookup finds the still-pending handle holding exactly pred(args...).
+func (ps *pendSet) lookup(db *storage.DB, pred schema.PredID, args []term.Term, key uint64) (handle, bool) {
+	for _, h := range ps.byKey[key] {
+		if h.pred != pred || !ps.has(h) {
+			continue
+		}
+		if tupleEqual(db.FactArgs(h.pred, h.row), args) {
+			return h, true
+		}
+	}
+	return handle{}, false
+}
+
+func tupleEqual(a, b []term.Term) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Delete retracts base facts and maintains the materialization with DRed,
+// entirely in place: the overestimate walks seed-bound compiled plans over
+// the still-intact instance, deletion applies as tombstone flips (no store
+// rebuild), and rederivation combines head-bound existence plans with
+// seed-bound propagation of restored facts.
 func (e *Engine) Delete(facts ...atom.Atom) error {
 	for _, f := range facts {
 		if e.intensional[f.Pred] {
@@ -158,129 +304,112 @@ func (e *Engine) Delete(facts ...atom.Atom) error {
 		}
 	}
 	// Seed the overestimate with the actually present base facts.
-	deleted := make(map[string]atom.Atom)
-	var worklist []atom.Atom
+	pend := newPendSet()
+	var work []handle
 	for _, f := range facts {
-		if !e.base.Contains(f) {
+		row, ok := e.db.FindRow(f.Pred, f.Args)
+		if !ok {
 			continue
 		}
-		k := atom.SortKey(f)
-		if _, ok := deleted[k]; !ok {
-			deleted[k] = f
-			worklist = append(worklist, f)
+		h := handle{pred: f.Pred, row: row}
+		if pend.add(h, factKey(f.Pred, f.Args)) {
+			work = append(work, h)
 		}
 	}
-	if len(worklist) == 0 {
+	if len(work) == 0 {
 		return nil
 	}
-	e.stats.Deleted += len(worklist)
+	seeds := len(work)
+	e.stats.Deleted += seeds
 
 	// Phase 1 — overestimate: anything with a derivation through a deleted
-	// fact gets deleted too (computed to a fixpoint over the OLD instance,
-	// which is still intact; derivations through other deleted facts are
-	// fine, this phase may only over-approximate).
-	seedCount := len(worklist)
-	for len(worklist) > 0 {
-		g := worklist[len(worklist)-1]
-		worklist = worklist[:len(worklist)-1]
-		for _, t := range e.prog.TGDs {
-			head := t.Head[0]
-			for di, b := range t.Body {
-				if b.Pred != g.Pred {
-					continue
+	// fact gets deleted too. Tombstones land only after the whole phase,
+	// so every seed-bound run enumerates over the OLD, intact instance:
+	// derivations through other pending facts still count, which is the
+	// over-approximation DRed's soundness rests on.
+	for len(work) > 0 {
+		g := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, occ := range e.bodyOcc[g.pred] {
+			ex := e.execs[occ.rule]
+			ex.RunSeed(e.db, occ.pos, g.row, func() bool {
+				hp, hargs := ex.HeadArgs(0)
+				row, ok := e.db.FindRow(hp, hargs)
+				if !ok {
+					return true
 				}
-				s := atom.NewSubst()
-				if !atom.MatchAtom(s, b, g) {
-					continue
+				h := handle{pred: hp, row: row}
+				if pend.add(h, factKey(hp, hargs)) {
+					work = append(work, h)
 				}
-				rest := make([]atom.Atom, 0, len(t.Body)-1)
-				rest = append(rest, t.Body[:di]...)
-				rest = append(rest, t.Body[di+1:]...)
-				e.matchAll(rest, s, func(s2 atom.Subst) {
-					h := s2.ApplyAtom(head)
-					k := atom.SortKey(h)
-					if _, ok := deleted[k]; !ok && e.db.Contains(h) {
-						deleted[k] = h
-						worklist = append(worklist, h)
-					}
-				})
+				return true
+			})
+		}
+	}
+	e.stats.Overdeleted += pend.n - seeds
+
+	// Apply — flip tombstones; columns, postings, and marks stay put.
+	for p, bm := range pend.rows {
+		for w, word := range bm {
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				word &^= 1 << b
+				e.db.Tombstone(p, int32(w*64+b))
 			}
 		}
 	}
-	e.stats.Overdeleted += len(deleted) - seedCount
-
-	// Apply: rebuild the store without the deleted facts (the fact store is
-	// append-only by design; a batch rebuild keeps its invariants simple).
-	oldRows := e.db.All()
-	e.db = storage.NewDB()
-	for _, f := range oldRows {
-		if _, gone := deleted[atom.SortKey(f)]; !gone {
-			e.db.Insert(f)
+	for _, f := range facts {
+		if row, ok := e.base.FindRow(f.Pred, f.Args); ok {
+			e.base.Tombstone(f.Pred, row)
 		}
 	}
-	newBase := storage.NewDB()
-	for _, f := range e.base.All() {
-		if _, gone := deleted[atom.SortKey(f)]; !gone {
-			newBase.Insert(f)
-		}
-	}
-	e.base = newBase
 
 	// Phase 2 — rederive: an overdeleted intensional fact returns if some
-	// rule still derives it from the surviving instance; each readmission
-	// can unlock others, so iterate to fixpoint.
-	for changed := true; changed; {
-		changed = false
-		for k, f := range deleted {
-			if !e.intensional[f.Pred] {
-				continue // explicitly deleted base facts stay deleted
-			}
-			if e.rederivable(f) {
-				e.db.Insert(f)
-				delete(deleted, k)
-				e.stats.Rederived++
-				changed = true
+	// rule still derives it from the surviving instance. One head-bound
+	// existence check per pending fact, then each restoration propagates
+	// through the seed-bound plans to the still-pending facts it can
+	// re-support — O(affected), replacing the repeat-until-stable scan
+	// over the whole deleted set.
+	var restored []handle
+	for _, h := range pend.all {
+		if !e.intensional[h.pred] || !pend.has(h) {
+			continue // explicitly deleted base facts stay deleted
+		}
+		args := e.db.FactArgs(h.pred, h.row)
+		for _, ri := range e.headRules[h.pred] {
+			if e.execs[ri].Rederivable(e.db, h.pred, args) {
+				e.revive(h, pend, &restored)
+				break
 			}
 		}
 	}
+	for len(restored) > 0 {
+		g := restored[len(restored)-1]
+		restored = restored[:len(restored)-1]
+		for _, occ := range e.bodyOcc[g.pred] {
+			ex := e.execs[occ.rule]
+			ex.RunSeed(e.db, occ.pos, g.row, func() bool {
+				hp, hargs := ex.HeadArgs(0)
+				if h, ok := pend.lookup(e.db, hp, hargs, factKey(hp, hargs)); ok {
+					e.revive(h, pend, &restored)
+				}
+				return true
+			})
+		}
+	}
+
+	// Reclaim physical space once a relation is mostly tombstones. Compact
+	// invalidates row handles, so it runs only here, after the worklists
+	// have drained.
+	e.stats.Compacted += e.db.Compact(CompactFraction)
+	e.stats.Compacted += e.base.Compact(CompactFraction)
 	return nil
 }
 
-// rederivable reports whether some rule instance derives f from the
-// current (post-deletion) instance.
-func (e *Engine) rederivable(f atom.Atom) bool {
-	for _, t := range e.prog.TGDs {
-		head := t.Head[0]
-		if head.Pred != f.Pred {
-			continue
-		}
-		s := atom.NewSubst()
-		if !atom.MatchAtom(s, head, f) {
-			continue
-		}
-		if _, ok := e.db.Homomorphism(t.Body, s); ok {
-			return true
-		}
-	}
-	return false
-}
-
-// matchAll enumerates homomorphisms of the pattern extending s.
-func (e *Engine) matchAll(pattern []atom.Atom, s atom.Subst, fn func(atom.Subst)) {
-	if len(pattern) == 0 {
-		fn(s)
-		return
-	}
-	var rec func(i int, cur atom.Subst)
-	rec = func(i int, cur atom.Subst) {
-		if i == len(pattern) {
-			fn(cur)
-			return
-		}
-		e.db.MatchEach(pattern[i], cur, func(s2 atom.Subst) bool {
-			rec(i+1, s2)
-			return true
-		})
-	}
-	rec(0, s)
+// revive un-tombstones a pending fact and queues it for propagation.
+func (e *Engine) revive(h handle, pend *pendSet, restored *[]handle) {
+	e.db.Revive(h.pred, h.row)
+	pend.remove(h)
+	e.stats.Rederived++
+	*restored = append(*restored, h)
 }

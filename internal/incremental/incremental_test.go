@@ -139,6 +139,55 @@ func TestDeleteAbsentFactIsNoop(t *testing.T) {
 	}
 }
 
+// assertMatchesRecompute checks the maintained instance (and, through the
+// extensional-slice invariant, the base store) against a from-scratch
+// recomputation over the live base facts.
+func assertMatchesRecompute(t *testing.T, label string, eng *Engine, live []atom.Atom) {
+	t.Helper()
+	base := storage.NewDB()
+	for _, f := range live {
+		base.Insert(f)
+	}
+	want, _, err := datalog.Eval(eng.prog, base, datalog.Options{Stratify: true})
+	if err != nil {
+		t.Fatalf("%s: oracle: %v", label, err)
+	}
+	got := eng.DB()
+	if got.Len() != want.Len() {
+		t.Fatalf("%s: maintained %d facts, recompute %d", label, got.Len(), want.Len())
+	}
+	for _, f := range want.All() {
+		if !got.Contains(f) {
+			t.Fatalf("%s: maintained instance missing %v", label, f)
+		}
+	}
+	// The base store must hold exactly the live extensional facts.
+	if eng.base.Len() != len(live) {
+		t.Fatalf("%s: base store holds %d facts, want %d", label, eng.base.Len(), len(live))
+	}
+	for _, f := range live {
+		if !eng.base.Contains(f) {
+			t.Fatalf("%s: base store lost %v", label, f)
+		}
+	}
+}
+
+// assertStatsConsistent checks the DRed accounting invariants: counters
+// only grow, nothing is rederived that was not first overdeleted, and
+// explicit deletions never exceed the facts handed in.
+func assertStatsConsistent(t *testing.T, label string, prev, cur Stats) {
+	t.Helper()
+	if cur.Inserted < prev.Inserted || cur.Deleted < prev.Deleted ||
+		cur.DerivedNew < prev.DerivedNew || cur.Overdeleted < prev.Overdeleted ||
+		cur.Rederived < prev.Rederived || cur.Compacted < prev.Compacted {
+		t.Fatalf("%s: stats regressed: %+v -> %+v", label, prev, cur)
+	}
+	if cur.Rederived > cur.Overdeleted {
+		t.Fatalf("%s: Rederived %d > Overdeleted %d (rederived a fact never overdeleted)",
+			label, cur.Rederived, cur.Overdeleted)
+	}
+}
+
 // TestRandomUpdateStreamMatchesRecompute is the main property: after every
 // update in a random insert/delete stream over random programs, the
 // maintained instance equals a from-scratch recomputation.
@@ -193,24 +242,78 @@ hop(X,W) :- tri(X,Z), g(Z,W).
 				}
 			}
 			// Oracle: full recomputation over the current base facts.
-			base := storage.NewDB()
-			for _, f := range live {
-				base.Insert(f)
-			}
-			want, _, err := datalog.Eval(r.Program, base, datalog.Options{Stratify: true})
-			if err != nil {
-				t.Fatalf("trial %d step %d: oracle: %v", trial, step, err)
-			}
-			got := eng.DB()
-			if got.Len() != want.Len() {
-				t.Fatalf("trial %d step %d: maintained %d facts, recompute %d",
-					trial, step, got.Len(), want.Len())
-			}
-			for _, f := range want.All() {
-				if !got.Contains(f) {
-					t.Fatalf("trial %d step %d: maintained instance missing a fact", trial, step)
+			assertMatchesRecompute(t, fmt.Sprintf("trial %d step %d", trial, step), eng, live)
+		}
+	}
+}
+
+// TestRandomUpdateStreamNonLinear runs the same maintained-vs-recompute
+// property over the NON-linear transitive closure (t joins t — the DRed
+// regime where one deletion's overestimate cone fans out through derived
+// facts on both join sides) plus a three-body join program, with the DRed
+// accounting invariants checked after every update. Longer streams over a
+// smaller node set drive the dead fraction up, so storage compaction fires
+// inside the stream too.
+func TestRandomUpdateStreamNonLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	progs := []string{
+		`
+t(X,Y) :- e(X,Y).
+t(X,Z) :- t(X,Y), t(Y,Z).
+`,
+		`
+tri(X,W) :- e(X,Y), g(Y,Z), e(Z,W).
+t(X,Y) :- e(X,Y).
+t(X,Z) :- t(X,Y), t(Y,Z).
+`,
+	}
+	compacted := false
+	for trial := 0; trial < 8; trial++ {
+		src := progs[trial%len(progs)]
+		r, db := load(t, src)
+		eng, err := New(r.Program, db)
+		if err != nil {
+			t.Fatalf("trial %d: new: %v", trial, err)
+		}
+		nodes := 4
+		var live []atom.Atom
+		inLive := make(map[string]bool)
+		mk := func() atom.Atom {
+			preds := []string{"e", "g"}
+			pid := r.Program.Reg.Intern(preds[rng.Intn(len(preds))], 2)
+			return atom.New(pid,
+				r.Program.Store.Const(fmt.Sprintf("n%d", rng.Intn(nodes))),
+				r.Program.Store.Const(fmt.Sprintf("n%d", rng.Intn(nodes))))
+		}
+		for step := 0; step < 50; step++ {
+			prev := eng.Stats()
+			if len(live) == 0 || rng.Intn(2) == 0 {
+				f := mk()
+				if err := eng.Insert(f); err != nil {
+					t.Fatalf("trial %d step %d: insert: %v", trial, step, err)
+				}
+				if k := atom.SortKey(f); !inLive[k] {
+					inLive[k] = true
+					live = append(live, f)
+				}
+			} else {
+				i := rng.Intn(len(live))
+				f := live[i]
+				live = append(live[:i], live[i+1:]...)
+				delete(inLive, atom.SortKey(f))
+				if err := eng.Delete(f); err != nil {
+					t.Fatalf("trial %d step %d: delete: %v", trial, step, err)
 				}
 			}
+			label := fmt.Sprintf("trial %d step %d", trial, step)
+			assertStatsConsistent(t, label, prev, eng.Stats())
+			assertMatchesRecompute(t, label, eng, live)
 		}
+		if eng.Stats().Compacted > 0 {
+			compacted = true
+		}
+	}
+	if !compacted {
+		t.Fatalf("no trial ever compacted: the stream does not exercise reclamation")
 	}
 }

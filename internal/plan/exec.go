@@ -72,6 +72,94 @@ func (e *Exec) RunAlt(db *storage.DB, di, alt int, since storage.Mark, shard, sh
 	return rec(0)
 }
 
+// RunSeed enumerates every rule instance whose body atom di is EXACTLY the
+// fact stored at local row seed of its relation — the seed-bound DRed
+// delete plan: the deleted (overestimate) or just-revived (rederive
+// propagation) fact is pinned at the variant's delta step via
+// storage.ProbeRow and the remaining scans enumerate around it with the
+// default join order. fn and the frame behave exactly as in Run.
+func (e *Exec) RunSeed(db *storage.DB, di int, seed int32, fn func() bool) bool {
+	j := &e.Rule.Variants[di].JoinPlan
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == len(j.Scans) {
+			return fn()
+		}
+		probe := func() bool {
+			e.Probes++
+			return rec(k + 1)
+		}
+		if k == j.DeltaStep {
+			return db.ProbeRow(j.Scans[k], e.frame, seed, probe)
+		}
+		return db.Probe(j.Scans[k], e.frame, 0, 0, 1, probe)
+	}
+	return rec(0)
+}
+
+// Rederivable reports whether the rule derives the fact pred(args...) from
+// db — the head-bound rederive plan of DRed phase 2. The head template is
+// matched against the fact first (constants compared, repeated variables
+// checked for consistency, frontier slots bound), then the precompiled
+// Rederive join runs as a pure existence check: the first full body match
+// wins and every slot is reset before returning. False when the rule has
+// no rederive plan (not full single-head) or a different head predicate.
+func (e *Exec) Rederivable(db *storage.DB, pred schema.PredID, args []term.Term) bool {
+	j := e.Rule.Rederive
+	if j == nil || e.Rule.Head[0].Pred != pred {
+		return false
+	}
+	found := false
+	if e.bindHead(args) {
+		var rec func(k int) bool
+		rec = func(k int) bool {
+			if k == len(j.Scans) {
+				found = true
+				return false // first witness suffices
+			}
+			return db.Probe(j.Scans[k], e.frame, 0, 0, 1, func() bool {
+				e.Probes++
+				return rec(k + 1)
+			})
+		}
+		rec(0)
+	}
+	e.unbindHead()
+	return found
+}
+
+// bindHead binds the frame's head slots from the fact's argument tuple,
+// reporting whether the fact is an instance of the head template. On a
+// false return some slots may already be bound; the caller pairs every
+// bindHead with unbindHead.
+func (e *Exec) bindHead(args []term.Term) bool {
+	t := &e.Rule.Head[0]
+	for i := range t.Args {
+		a := &t.Args[i]
+		if a.Slot < 0 {
+			if args[i] != a.Const {
+				return false
+			}
+			continue
+		}
+		if e.frame[a.Slot] == storage.Unbound {
+			e.frame[a.Slot] = args[i]
+		} else if e.frame[a.Slot] != args[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// unbindHead resets every slot the head template references.
+func (e *Exec) unbindHead() {
+	for _, a := range e.Rule.Head[0].Args {
+		if a.Slot >= 0 {
+			e.frame[a.Slot] = storage.Unbound
+		}
+	}
+}
+
 // Blocked reports whether some negated body atom of the rule holds in db
 // under the current frame — the stratified negation-as-failure check, run
 // once the positive body is fully matched (safe negation makes the negated

@@ -95,7 +95,18 @@ type RulePlan struct {
 	// Variants[di] is the join plan that treats body atom di as the
 	// semi-naive delta position. Every variant is compiled up front;
 	// selecting a delta position per round is an index, not a computation.
+	// The same variants double as the DRed delete plans: Exec.RunSeed pins
+	// the delta scan to one stored row instead of a delta window.
 	Variants []*Variant
+
+	// Rederive is the head-bound join for DRed rederivation: the whole
+	// body ordered greedily under the head-bound slot set, every slot the
+	// head binds compiled as a comparison (storage.ArgBound) and every
+	// body variable unread past the join projected away — a pure existence
+	// check replacing the substitution-based Homomorphism walk. Compiled
+	// only for full single-head rules (one head atom, no existential
+	// variables); nil otherwise.
+	Rederive *JoinPlan
 }
 
 // SlotVar pairs a rule variable with its frame slot.
@@ -225,6 +236,18 @@ func compileRule(idx int, t *logic.TGD, opt Options) *RulePlan {
 	for di := range t.Body {
 		r.Variants[di] = compileVariant(t.Body, di, slotOf, live, opt)
 	}
+	if len(t.Head) == 1 && len(r.ExistSlots) == 0 && len(t.Body) > 0 {
+		headBound := make([]bool, r.NumSlots)
+		for _, a := range r.Head[0].Args {
+			if a.Slot >= 0 {
+				headBound[a.Slot] = true
+			}
+		}
+		ord := greedyOrderBound(t.Body, slotOf, headBound)
+		// Liveness is empty: a rederive run instantiates no template, so
+		// any slot the join itself does not compare is projected away.
+		r.Rederive = compileJoin(t.Body, ord, -1, slotOf, make([]bool, r.NumSlots), headBound)
+	}
 	return r
 }
 
@@ -293,14 +316,14 @@ func compileVariant(body []atom.Atom, di int, slotOf map[term.Term]int, live []b
 			def[i] = i
 		}
 	}
-	v.JoinPlan = *compileJoin(body, def, di, slotOf, live)
+	v.JoinPlan = *compileJoin(body, def, di, slotOf, live, nil)
 	v.Alts = append(v.Alts, &v.JoinPlan)
 	for first := 0; first < len(body); first++ {
 		ord := greedyOrder(body, first, slotOf)
 		if containsOrder(v.Alts, ord) {
 			continue
 		}
-		v.Alts = append(v.Alts, compileJoin(body, ord, di, slotOf, live))
+		v.Alts = append(v.Alts, compileJoin(body, ord, di, slotOf, live, nil))
 	}
 	return v
 }
@@ -327,8 +350,11 @@ func containsOrder(alts []*JoinPlan, ord []int) bool {
 
 // compileJoin fixes one join order for one delta position, assigns
 // per-position argument modes against the statically known bound-slot set,
-// projects away dead bindings, and compiles each step's scan.
-func compileJoin(body []atom.Atom, order []int, di int, slotOf map[term.Term]int, live []bool) *JoinPlan {
+// projects away dead bindings, and compiles each step's scan. bound0,
+// when non-nil, seeds the bound-slot set (the head-bound slots of a
+// rederive plan, whose positions then compile to comparisons); di < 0
+// compiles a plan with no delta position.
+func compileJoin(body []atom.Atom, order []int, di int, slotOf map[term.Term]int, live []bool, bound0 []bool) *JoinPlan {
 	j := &JoinPlan{Order: order}
 	for k, bi := range order {
 		if bi == di {
@@ -336,6 +362,9 @@ func compileJoin(body []atom.Atom, order []int, di int, slotOf map[term.Term]int
 		}
 	}
 	bound := make([]bool, len(live))
+	if bound0 != nil {
+		copy(bound, bound0)
+	}
 	argss := make([][]storage.ScanArg, len(order))
 	for k, bi := range order {
 		args := make([]storage.ScanArg, len(body[bi].Args))
@@ -385,21 +414,37 @@ func compileJoin(body []atom.Atom, order []int, di int, slotOf map[term.Term]int
 // the pre-plan Datalog engine used: for rules with three or more body
 // atoms the biased join order (and hence Stats.Probes) can differ from
 // pre-refactor runs, by design — the connected order prunes earlier.
-func greedyOrder(body []atom.Atom, di int, slotOf map[term.Term]int) []int {
-	n := len(body)
-	order := make([]int, 0, n)
-	used := make([]bool, n)
+// greedyOrderBound orders the whole body greedily under an initial set of
+// bound slots — the rederive-plan analogue of greedyOrder, with the
+// head-bound slots playing the role of the already-matched delta atom.
+func greedyOrderBound(body []atom.Atom, slotOf map[term.Term]int, bound0 []bool) []int {
 	bound := make(map[int]bool)
-	take := func(i int) {
-		used[i] = true
-		order = append(order, i)
-		for _, x := range body[i].Args {
-			if x.IsVar() {
-				bound[slotOf[x]] = true
-			}
+	for s, b := range bound0 {
+		if b {
+			bound[s] = true
 		}
 	}
-	take(di)
+	return greedyExtend(body, slotOf, make([]bool, len(body)), bound, make([]int, 0, len(body)))
+}
+
+func greedyOrder(body []atom.Atom, di int, slotOf map[term.Term]int) []int {
+	n := len(body)
+	used := make([]bool, n)
+	bound := make(map[int]bool)
+	used[di] = true
+	for _, x := range body[di].Args {
+		if x.IsVar() {
+			bound[slotOf[x]] = true
+		}
+	}
+	return greedyExtend(body, slotOf, used, bound, append(make([]int, 0, n), di))
+}
+
+// greedyExtend appends the remaining atoms to order greedily: most bound
+// argument positions first (constants count as bound), ties to the lowest
+// body index — the shared selection loop of the delta and rederive orders.
+func greedyExtend(body []atom.Atom, slotOf map[term.Term]int, used []bool, bound map[int]bool, order []int) []int {
+	n := len(body)
 	for len(order) < n {
 		best, bestScore := -1, -1
 		for i := 0; i < n; i++ {
@@ -416,7 +461,13 @@ func greedyOrder(body []atom.Atom, di int, slotOf map[term.Term]int) []int {
 				best, bestScore = i, score
 			}
 		}
-		take(best)
+		used[best] = true
+		order = append(order, best)
+		for _, x := range body[best].Args {
+			if x.IsVar() {
+				bound[slotOf[x]] = true
+			}
+		}
 	}
 	return order
 }

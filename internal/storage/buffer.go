@@ -30,6 +30,54 @@ type predBuffer struct {
 	arity  int
 	cols   []term.Term
 	hashes []uint64
+	// seen is a small open-addressed set of staged-tuple hashes (a zero
+	// hash is mapped to 1 so 0 can mean "empty slot"); distinct counts
+	// first occurrences. It exists purely as a cheap per-buffer cardinality
+	// estimate: MergeBuffers pre-sizes each relation's dedup table from the
+	// summed distinct counts instead of the raw staged-row count, so
+	// duplicate-heavy rounds (non-linear rules re-deriving the same closure
+	// facts in every shard) stop growing transient tables for rows that
+	// will never be inserted. Hash collisions only skew the estimate —
+	// correctness never depends on it.
+	seen     []uint64
+	distinct int
+}
+
+// note records one staged hash in the local distinct estimate.
+func (pb *predBuffer) note(h uint64) {
+	if h == 0 {
+		h = 1
+	}
+	if 4*(pb.distinct+1) > 3*len(pb.seen) {
+		n := 2 * len(pb.seen)
+		if n < 64 {
+			n = 64
+		}
+		grown := make([]uint64, n)
+		mask := uint64(n - 1)
+		for _, g := range pb.seen {
+			if g == 0 {
+				continue
+			}
+			i := g & mask
+			for grown[i] != 0 {
+				i = (i + 1) & mask
+			}
+			grown[i] = g
+		}
+		pb.seen = grown
+	}
+	mask := uint64(len(pb.seen) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		switch pb.seen[i] {
+		case h:
+			return
+		case 0:
+			pb.seen[i] = h
+			pb.distinct++
+			return
+		}
+	}
 }
 
 // rows is the number of staged tuples.
@@ -67,20 +115,25 @@ func (b *TupleBuffer) Append(pred schema.PredID, args []term.Term) {
 	if pb.rows() == 0 {
 		b.touched = append(b.touched, pred)
 	}
+	h := hashArgs(pred, args)
 	pb.cols = append(pb.cols, args...)
-	pb.hashes = append(pb.hashes, hashArgs(pred, args))
+	pb.hashes = append(pb.hashes, h)
+	pb.note(h)
 	b.rows++
 }
 
 // Len reports the number of staged tuples (duplicates included).
 func (b *TupleBuffer) Len() int { return b.rows }
 
-// Reset empties the buffer, keeping every backing array for reuse.
+// Reset empties the buffer, keeping every backing array for reuse (the
+// distinct-estimate set is zeroed in place — a flat memclr).
 func (b *TupleBuffer) Reset() {
 	for _, p := range b.touched {
 		pb := b.bufs[p]
 		pb.cols = pb.cols[:0]
 		pb.hashes = pb.hashes[:0]
+		clear(pb.seen)
+		pb.distinct = 0
 	}
 	b.touched = b.touched[:0]
 	b.rows = 0

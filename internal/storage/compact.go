@@ -1,0 +1,96 @@
+package storage
+
+import "repro/internal/term"
+
+// Compact physically reclaims tombstoned rows. A relation is rebuilt only
+// when its dead fraction reaches minDeadFrac (0 < frac <= 1): live rows
+// are re-packed into fresh columns, postings, and a freshly-sized dedup
+// table (the same bulk machinery Clone-divergence growth uses), and the
+// liveness bitmap drops away. Because dropping any insertion-log entry
+// shifts every later global index, the log and every relation's global
+// column are rewritten into fresh backings in the same pass (never in
+// place — the old backings may be shared with clones). When no relation
+// qualifies, Compact does nothing and costs one scan over the relation
+// headers.
+//
+// Compact invalidates every outstanding Mark and (pred, row) handle: the
+// incremental engine calls it only between update transactions, after its
+// worklists have drained. Returns the number of rows reclaimed.
+func (db *DB) Compact(minDeadFrac float64) int {
+	if db.dead == 0 {
+		return 0
+	}
+	any := false
+	reclaim := make([]bool, len(db.rels))
+	for p, r := range db.rels {
+		if r != nil && r.nDead > 0 && float64(r.nDead) >= minDeadFrac*float64(r.rows()) {
+			reclaim[p] = true
+			any = true
+		}
+	}
+	if !any {
+		return 0
+	}
+	fresh := make([]*relation, len(db.rels))
+	newGlobal := make([][]int32, len(db.rels))
+	for p, r := range db.rels {
+		if r == nil {
+			continue
+		}
+		if reclaim[p] {
+			nr := newRelation(r.pred, r.arity)
+			live := r.liveRows()
+			nr.cols = make([]term.Term, 0, live*r.arity)
+			nr.global = make([]int32, 0, live)
+			nr.hashes = make([]uint64, 0, live)
+			fresh[p] = nr
+		} else {
+			newGlobal[p] = make([]int32, 0, len(r.global))
+		}
+	}
+	// One walk over the old insertion log rebuilds everything: a
+	// relation's rows appear in the log in ascending local-row order, so
+	// appending survivors in log order preserves both per-relation row
+	// order and the strictly-increasing global column.
+	newOrder := make([]rowRef, 0, len(db.order))
+	removed := 0
+	for _, ref := range db.order {
+		r := db.rels[ref.pred]
+		if !reclaim[ref.pred] {
+			newGlobal[ref.pred] = append(newGlobal[ref.pred], int32(len(newOrder)))
+			newOrder = append(newOrder, ref)
+			continue
+		}
+		if r.isDead(ref.row) {
+			removed++
+			continue
+		}
+		nr := fresh[ref.pred]
+		nrow := int32(len(nr.hashes))
+		args := r.args(ref.row)
+		nr.cols = append(nr.cols, args...)
+		nr.hashes = append(nr.hashes, r.hashes[ref.row])
+		nr.global = append(nr.global, int32(len(newOrder)))
+		for i, t := range args {
+			nr.idxAdd(i, t, nrow)
+		}
+		newOrder = append(newOrder, rowRef{pred: ref.pred, row: nrow})
+	}
+	for p, r := range db.rels {
+		if r == nil {
+			continue
+		}
+		if reclaim[p] {
+			nr := fresh[p]
+			if len(nr.hashes) > 0 {
+				nr.growTabTo(len(nr.hashes))
+			}
+			db.rels[p] = nr
+		} else {
+			r.global = newGlobal[p]
+		}
+	}
+	db.order = newOrder
+	db.dead -= removed
+	return removed
+}

@@ -32,6 +32,9 @@ type DB struct {
 	// order is the global insertion log: order[g] locates the fact with
 	// global insertion index g inside its relation.
 	order []rowRef
+	// dead is the total number of tombstoned rows across relations; Len and
+	// the per-window counts report live rows only.
+	dead int
 }
 
 // rowRef locates one fact: the relation of pred, local row index row.
@@ -132,61 +135,73 @@ func (db *DB) ContainsArgs(pred schema.PredID, args []term.Term) bool {
 	return ok
 }
 
-// Len reports the number of stored atoms.
-func (db *DB) Len() int { return len(db.order) }
+// Len reports the number of live stored atoms (tombstoned rows excluded).
+func (db *DB) Len() int { return len(db.order) - db.dead }
 
-// CountPred reports the number of atoms with the given predicate.
+// CountPred reports the number of live atoms with the given predicate.
 func (db *DB) CountPred(p schema.PredID) int {
 	if r := db.relOf(p); r != nil {
-		return r.rows()
+		return r.liveRows()
 	}
 	return 0
 }
 
-// CountSince reports the number of atoms with the given predicate inserted
-// at or after the mark — the delta-window row count the fixpoint engines
-// use for cost-based shard scheduling and adaptive join-order selection.
+// CountSince reports the number of live atoms with the given predicate
+// inserted at or after the mark — the delta-window row count the fixpoint
+// engines use for cost-based shard scheduling and adaptive join-order
+// selection.
 func (db *DB) CountSince(p schema.PredID, since Mark) int {
 	if r := db.relOf(p); r != nil {
-		return r.rows() - r.firstSince(since)
+		lo := r.firstSince(since)
+		return r.rows() - lo - r.deadInRange(lo, r.rows())
 	}
 	return 0
 }
 
-// Facts returns the stored atoms with the given predicate in insertion
-// order. The atoms' argument slices alias the columnar backing; callers
-// must not mutate them.
+// Facts returns the live stored atoms with the given predicate in
+// insertion order. The atoms' argument slices alias the columnar backing;
+// callers must not mutate them.
 func (db *DB) Facts(p schema.PredID) []atom.Atom {
 	r := db.relOf(p)
 	if r == nil {
 		return nil
 	}
-	out := make([]atom.Atom, r.rows())
-	for i := range out {
-		out[i] = r.atomAt(int32(i))
+	out := make([]atom.Atom, 0, r.liveRows())
+	for i, n := 0, r.rows(); i < n; i++ {
+		if r.nDead != 0 && r.isDead(int32(i)) {
+			continue
+		}
+		out = append(out, r.atomAt(int32(i)))
 	}
 	return out
 }
 
-// All returns every stored atom in insertion order. The slice is fresh but
-// the atoms' argument slices alias the columnar backing.
+// All returns every live stored atom in insertion order. The slice is
+// fresh but the atoms' argument slices alias the columnar backing.
 func (db *DB) All() []atom.Atom {
-	out := make([]atom.Atom, len(db.order))
-	for g, ref := range db.order {
-		out[g] = db.rels[ref.pred].atomAt(ref.row)
+	out := make([]atom.Atom, 0, db.Len())
+	for _, ref := range db.order {
+		r := db.rels[ref.pred]
+		if r.nDead != 0 && r.isDead(ref.row) {
+			continue
+		}
+		out = append(out, r.atomAt(ref.row))
 	}
 	return out
 }
 
 // Clone returns an observationally identical, independently growable copy.
 // The columnar backings, the insertion log, and every posting list are
-// shared cap-limited with the original (relations are append-only, and an
-// append past a shared view's capacity reallocates), so cloning copies
-// only the per-key table headers — no re-insertion, no re-hashing.
+// shared cap-limited with the original (row storage only ever appends, and
+// an append past a shared view's capacity reallocates), so cloning copies
+// only the per-key table headers plus the in-place-mutated dedup tables
+// and liveness bitmaps — no re-insertion, no re-hashing. Tombstones
+// flipped on either side after the clone stay invisible to the other.
 func (db *DB) Clone() *DB {
 	out := &DB{
 		rels:  make([]*relation, len(db.rels)),
 		order: db.order[:len(db.order):len(db.order)],
+		dead:  db.dead,
 	}
 	for p, r := range db.rels {
 		if r != nil {
@@ -196,8 +211,8 @@ func (db *DB) Clone() *DB {
 	return out
 }
 
-// ActiveDomain returns dom(I): all terms occurring in the instance, with
-// constants first, deterministically ordered.
+// ActiveDomain returns dom(I): all terms occurring in the live instance,
+// with constants first, deterministically ordered.
 func (db *DB) ActiveDomain() []term.Term {
 	seen := make(map[term.Term]bool)
 	var out []term.Term
@@ -205,10 +220,15 @@ func (db *DB) ActiveDomain() []term.Term {
 		if r == nil {
 			continue
 		}
-		for _, t := range r.cols {
-			if !seen[t] {
-				seen[t] = true
-				out = append(out, t)
+		for ri, n := 0, r.rows(); ri < n; ri++ {
+			if r.nDead != 0 && r.isDead(int32(ri)) {
+				continue
+			}
+			for _, t := range r.args(int32(ri)) {
+				if !seen[t] {
+					seen[t] = true
+					out = append(out, t)
+				}
 			}
 		}
 	}

@@ -40,6 +40,9 @@ func (db *DB) matchRows(pa atom.Atom, base atom.Subst, since Mark, shard, shards
 	}
 	lo := r.firstSince(since)
 	emit := func(ri int32) bool {
+		if r.nDead != 0 && r.isDead(ri) {
+			return true
+		}
 		if shards > 1 && int(r.global[ri])%shards != shard {
 			return true
 		}

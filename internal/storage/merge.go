@@ -28,9 +28,13 @@ import (
 // contiguously in the insertion log, so Mark-based delta windows stay
 // contiguous local row ranges.
 func (db *DB) MergeBuffers(bufs []*TupleBuffer, par int) int {
-	// Deterministic predicate order, with per-predicate staged totals for
-	// table pre-sizing. Relations are also created HERE, serially: db.rels
-	// growth must not race the per-predicate goroutines.
+	// Deterministic predicate order, with per-predicate distinct estimates
+	// for table pre-sizing: summing each buffer's local distinct count
+	// (rather than its raw staged-row count) keeps duplicate-heavy rounds
+	// from growing transient tables for rows that will never be inserted;
+	// an underestimate (cross-buffer-only hash collisions) merely falls
+	// back to tabInsert's normal growth. Relations are also created HERE,
+	// serially: db.rels growth must not race the per-predicate goroutines.
 	var preds []schema.PredID
 	staged := make(map[schema.PredID]int)
 	for _, b := range bufs {
@@ -38,11 +42,11 @@ func (db *DB) MergeBuffers(bufs []*TupleBuffer, par int) int {
 			continue
 		}
 		for _, p := range b.touched {
-			if staged[p] == 0 {
+			if _, seen := staged[p]; !seen {
 				preds = append(preds, p)
 				db.rel(p, b.bufs[p].arity)
 			}
-			staged[p] += b.bufs[p].rows()
+			staged[p] += b.bufs[p].distinct
 		}
 	}
 	if len(preds) == 0 {

@@ -38,6 +38,11 @@ type relation struct {
 	// over is the shared overflow table: ascending row lists of the keys
 	// that occur more than once, across all positions.
 	over [][]int32
+	// dead is the liveness bitmap (one bit per local row, words allocated
+	// on first kill; rows beyond the bitmap are live) and nDead the count
+	// of tombstoned rows. See tombstone.go.
+	dead  []uint64
+	nDead int
 }
 
 func newRelation(pred schema.PredID, arity int) *relation {
@@ -79,7 +84,9 @@ func (r *relation) equalRow(ri int32, args []term.Term) bool {
 	return true
 }
 
-// find returns the local row holding args, if present, given their hash.
+// find returns the LIVE local row holding args, if present, given their
+// hash. Tombstoned rows are unlinked from the table at kill time, so they
+// are never found; deleted-slot sentinels bridge probe chains.
 func (r *relation) find(h uint64, args []term.Term) (int32, bool) {
 	if len(r.tab) == 0 {
 		return 0, false
@@ -87,20 +94,23 @@ func (r *relation) find(h uint64, args []term.Term) (int32, bool) {
 	mask := uint64(len(r.tab) - 1)
 	for i := h & mask; ; i = (i + 1) & mask {
 		ri := r.tab[i]
-		if ri < 0 {
+		if ri == tabEmpty {
 			return 0, false
 		}
-		if r.hashes[ri] == h && r.equalRow(ri, args) {
+		if ri >= 0 && r.hashes[ri] == h && r.equalRow(ri, args) {
 			return ri, true
 		}
 	}
 }
 
 // tabInsert records local row ri (with fact hash h) in the dedup table,
-// growing it at 3/4 load. The caller has already established the row is
-// not present, and must not have appended the row's hash to the hashes
-// column yet: growTab rehashes every hashes entry, so an early append
-// would double-insert the row.
+// growing it at 3/4 load and reusing deleted-slot sentinels. The caller
+// has already established the row is not present. For a NEW row, the
+// row's hash must not have been appended to the hashes column yet: growTab
+// rehashes every hashes entry, so an early append would double-insert the
+// row (revive re-links an existing row, whose hash growTab re-places only
+// once). The load check counts every physical row — live, dead, and
+// deleted sentinels are all bounded by it — so the table never overfills.
 func (r *relation) tabInsert(h uint64, ri int32) {
 	if 4*(len(r.hashes)+1) > 3*len(r.tab) {
 		r.growTab()
@@ -141,14 +151,18 @@ func (r *relation) growTabTo(n int) {
 }
 
 // rebuildTab replaces the dedup table with one of n slots (a power of two)
-// and rehashes every row from the hashes column.
+// and rehashes every live row from the hashes column; tombstoned rows and
+// deleted-slot sentinels drop out of the rebuilt table.
 func (r *relation) rebuildTab(n int) {
 	tab := make([]int32, n)
 	for i := range tab {
-		tab[i] = -1
+		tab[i] = tabEmpty
 	}
 	mask := uint64(n - 1)
 	for ri, h := range r.hashes {
+		if r.isDead(int32(ri)) {
+			continue
+		}
 		i := h & mask
 		for tab[i] >= 0 {
 			i = (i + 1) & mask
@@ -171,8 +185,9 @@ func (r *relation) firstSince(since Mark) int {
 // lists, the global map, and the hashes column are shared cap-limited:
 // both sides only ever append, and an append on either side past a view's
 // capacity reallocates, so neither can see the other's new rows. The dedup
-// table (mutated in place by inserts) is copied outright — a flat memcpy,
-// no re-hashing or re-comparison — and the posting maps copy their 4-byte
+// table and the liveness bitmap (both mutated in place — by inserts and
+// tombstones respectively) are copied outright — flat memcpys, no
+// re-hashing or re-comparison — and the posting maps copy their 4-byte
 // codes (a code re-pointed by either side after the clone changes only
 // that side's map).
 func (r *relation) clone() *relation {
@@ -185,6 +200,8 @@ func (r *relation) clone() *relation {
 		tab:    append([]int32(nil), r.tab...),
 		idx:    make([]map[term.Term]int32, r.arity),
 		over:   make([][]int32, len(r.over)),
+		dead:   append([]uint64(nil), r.dead...),
+		nDead:  r.nDead,
 	}
 	for i, m := range r.idx {
 		nm := make(map[term.Term]int32, len(m))

@@ -76,6 +76,11 @@ type ScanPlan struct {
 	// occurrence per slot); Probe resets them to Unbound between rows and
 	// before returning, so the frame backtracks without copying.
 	binds []int
+	// allBound marks a ground existence check: every position is a
+	// constant or an already-bound slot, so the probe resolves through the
+	// relation's dedup table in O(1) instead of walking a posting list.
+	// The head-bound rederive plans of DRed end on such scans.
+	allBound bool
 	// constKeys / boundKeys are the argument positions usable for index
 	// selection: constants probe their predicate-local index directly,
 	// bound slots are resolved against the frame at probe time.
@@ -116,6 +121,13 @@ func CompileScan(pred schema.PredID, args []ScanArg) *ScanPlan {
 		}
 	}
 	sp.boundKeys = kept
+	sp.allBound = true
+	for _, a := range args {
+		if a.Mode != ArgConst && a.Mode != ArgBound {
+			sp.allBound = false
+			break
+		}
+	}
 	return sp
 }
 
@@ -172,6 +184,31 @@ func (db *DB) Probe(sp *ScanPlan, frame []term.Term, since Mark, shard, shards i
 	if lo >= hi {
 		return true
 	}
+	// Ground existence check: with every position constant or bound the
+	// scan matches at most one live row, resolved through the dedup table
+	// — no posting walk, no per-candidate comparisons. The window bound
+	// still applies (a find hit below the delta window is no match); the
+	// sharded path falls through so a hit is attributed to one shard by
+	// the range logic below.
+	if sp.allBound && shards <= 1 && len(sp.Args) <= 8 {
+		// The tuple lives in a stack buffer: Probe runs concurrently on a
+		// shared DB in the parallel evaluator, so no DB-level scratch.
+		var buf [8]term.Term
+		args := buf[:0]
+		for i := range sp.Args {
+			a := &sp.Args[i]
+			if a.Mode == ArgConst {
+				args = append(args, a.Const)
+			} else {
+				args = append(args, frame[a.Slot])
+			}
+		}
+		ri, ok := r.find(hashArgs(sp.Pred, args), args)
+		if !ok || int(ri) < lo {
+			return true
+		}
+		return fn()
+	}
 	// Access-path choice: the smallest applicable index posting vs the
 	// delta window itself. Postings span the whole relation; their
 	// in-window portion is cut by binary search below. indexed is tracked
@@ -190,8 +227,16 @@ func (db *DB) Probe(sp *ScanPlan, frame []term.Term, since Mark, shard, shards i
 			best, cand, indexed = c.size(), c, true
 		}
 	}
+	// hasDead gates the per-row liveness word test: pure-insert workloads
+	// (every fixpoint engine) pay one counter load per scan, nothing per
+	// row. Tombstoned rows stay in columns and postings until Compact, so
+	// every enumeration path filters them here.
+	hasDead := r.nDead != 0
 	if !indexed {
 		for ri := lo; ri < hi; ri++ {
+			if hasDead && r.isDead(int32(ri)) {
+				continue
+			}
 			ok := sp.matchRow(r.args(int32(ri)), frame)
 			cont := true
 			if ok {
@@ -211,6 +256,9 @@ func (db *DB) Probe(sp *ScanPlan, frame []term.Term, since Mark, shard, shards i
 		if cand.n == 0 || cand.one < int32(lo) || cand.one >= int32(hi) {
 			return true
 		}
+		if hasDead && r.isDead(cand.one) {
+			return true
+		}
 		ok := sp.matchRow(r.args(cand.one), frame)
 		cont := true
 		if ok {
@@ -227,6 +275,9 @@ func (db *DB) Probe(sp *ScanPlan, frame []term.Term, since Mark, shard, shards i
 		if ri >= int32(hi) {
 			break
 		}
+		if hasDead && r.isDead(ri) {
+			continue
+		}
 		ok := sp.matchRow(r.args(ri), frame)
 		cont := true
 		if ok {
@@ -240,6 +291,29 @@ func (db *DB) Probe(sp *ScanPlan, frame []term.Term, since Mark, shard, shards i
 		}
 	}
 	return true
+}
+
+// ProbeRow applies the scan plan to exactly one local row of its relation
+// — the seed-bound enumeration step of the compiled DRed delete plans: the
+// deleted (or just-revived) fact is pinned at the plan's delta position
+// and the remaining scans enumerate around it. Liveness is NOT checked:
+// the overestimate seeds with rows that are still live (tombstones land
+// only after the whole overestimate), and rederive propagation seeds with
+// rows it has just revived. Binding and reset behave exactly as in Probe.
+func (db *DB) ProbeRow(sp *ScanPlan, frame []term.Term, row int32, fn func() bool) bool {
+	r := db.relOf(sp.Pred)
+	if r == nil || int(row) >= r.rows() {
+		return true
+	}
+	ok := sp.matchRow(r.args(row), frame)
+	cont := true
+	if ok {
+		cont = fn()
+	}
+	for _, s := range sp.binds {
+		frame[s] = Unbound
+	}
+	return cont
 }
 
 // postingLowerBound returns the first index of the ascending posting list

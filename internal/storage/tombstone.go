@@ -1,0 +1,196 @@
+package storage
+
+import (
+	"math/bits"
+
+	"repro/internal/atom"
+	"repro/internal/schema"
+	"repro/internal/term"
+)
+
+// Tombstones: the in-place deletion layer over the columnar relations.
+//
+// A relation's rows are physically immutable, but each relation carries a
+// liveness bitmap (one bit per local row, words allocated on first kill):
+// deleting a fact flips its bit and unlinks it from the dedup table, and
+// every enumeration path — full scans, posting probes, the substitution
+// matchers, Facts/All/ActiveDomain — skips dead rows with a single word
+// test. Columns, postings, and the global insertion log keep their layout,
+// so marks stay contiguous local windows and clones keep sharing backings;
+// only the bitmap and the dedup table (both copied outright by clone) are
+// mutated in place. Physical reclamation is a separate, explicitly
+// requested step (DB.Compact) so steady-state deletes are O(affected
+// facts), never O(instance).
+
+// tab sentinel codes. A deleted slot bridges linear-probe chains: find
+// continues past it, insert may reuse it.
+const (
+	tabEmpty   int32 = -1
+	tabDeleted int32 = -2
+)
+
+// isDead reports whether local row ri is tombstoned. Rows beyond the
+// bitmap (inserted after the last kill) are live by construction.
+func (r *relation) isDead(ri int32) bool {
+	w := int(ri >> 6)
+	return w < len(r.dead) && r.dead[w]>>(uint(ri)&63)&1 != 0
+}
+
+// liveRows is the number of stored facts that are not tombstoned.
+func (r *relation) liveRows() int { return len(r.global) - r.nDead }
+
+// kill tombstones live local row ri: flips its liveness bit and unlinks it
+// from the dedup table (so the fact can be re-inserted as a fresh row).
+// Reports whether the row was live.
+func (r *relation) kill(ri int32) bool {
+	if r.isDead(ri) {
+		return false
+	}
+	for len(r.dead)*64 <= int(ri) {
+		r.dead = append(r.dead, 0)
+	}
+	r.dead[ri>>6] |= 1 << (uint(ri) & 63)
+	r.nDead++
+	r.tabDelete(r.hashes[ri], ri)
+	return true
+}
+
+// revive un-tombstones local row ri, re-linking it into the dedup table.
+// The caller must know no OTHER live row holds the same tuple (true for
+// DRed rederivation: the fact was live before the overestimate killed it,
+// and inserts between kill and revive go through find, which cannot see
+// the dead row — but CAN re-add the same tuple as a fresh row, so revive
+// is only sound within one Delete pass). Reports whether the row was dead.
+func (r *relation) revive(ri int32) bool {
+	if !r.isDead(ri) {
+		return false
+	}
+	// Re-link BEFORE clearing the liveness bit: if tabInsert grows the
+	// table, rebuildTab walks every row and skips dead ones — were the row
+	// already live there, the rebuild would place it and the insert below
+	// would place it a second time, leaving a stale duplicate link.
+	r.tabInsert(r.hashes[ri], ri)
+	r.dead[ri>>6] &^= 1 << (uint(ri) & 63)
+	r.nDead--
+	return true
+}
+
+// tabDelete unlinks local row ri (with fact hash h) from the dedup table,
+// leaving a bridge sentinel so probe chains through the slot stay
+// connected. A row never linked (absent chain) is a no-op.
+func (r *relation) tabDelete(h uint64, ri int32) {
+	if len(r.tab) == 0 {
+		return
+	}
+	mask := uint64(len(r.tab) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		switch r.tab[i] {
+		case ri:
+			r.tab[i] = tabDeleted
+			return
+		case tabEmpty:
+			return
+		}
+	}
+}
+
+// deadInRange counts tombstoned rows ri with lo <= ri < hi — the live-row
+// correction for Mark-window counts, a word-wise popcount over the bitmap.
+func (r *relation) deadInRange(lo, hi int) int {
+	if r.nDead == 0 || lo >= hi {
+		return 0
+	}
+	count := 0
+	for w := lo >> 6; w < len(r.dead) && w<<6 < hi; w++ {
+		word := r.dead[w]
+		if word == 0 {
+			continue
+		}
+		base := w << 6
+		if base < lo {
+			word &= ^uint64(0) << uint(lo-base)
+		}
+		if base+64 > hi {
+			word &= ^uint64(0) >> uint(base+64-hi)
+		}
+		count += bits.OnesCount64(word)
+	}
+	return count
+}
+
+// Tombstone marks the fact at the (pred, local row) handle deleted in
+// place: scans, probes, counts, and containment stop seeing it, but no
+// column moves and no store is rebuilt. Reports whether the row was live.
+func (db *DB) Tombstone(pred schema.PredID, row int32) bool {
+	r := db.relOf(pred)
+	if r == nil || int(row) >= r.rows() {
+		return false
+	}
+	if !r.kill(row) {
+		return false
+	}
+	db.dead++
+	return true
+}
+
+// Revive un-tombstones the fact at the handle — the DRed rederivation
+// path. Only sound while no equal live row exists (see relation.revive).
+// Reports whether the row was dead.
+func (db *DB) Revive(pred schema.PredID, row int32) bool {
+	r := db.relOf(pred)
+	if r == nil || int(row) >= r.rows() {
+		return false
+	}
+	if !r.revive(row) {
+		return false
+	}
+	db.dead--
+	return true
+}
+
+// FindRow returns the (pred, local row) handle of the live fact
+// pred(args...); tombstoned rows are never found. Handles stay valid until
+// the next Compact.
+func (db *DB) FindRow(pred schema.PredID, args []term.Term) (int32, bool) {
+	r := db.relOf(pred)
+	if r == nil {
+		return 0, false
+	}
+	return r.find(hashArgs(pred, args), args)
+}
+
+// FactAt materializes the fact at a handle, live or dead — deletion
+// worklists read the tuples of rows they have already tombstoned. The
+// atom's argument slice aliases the columnar backing.
+func (db *DB) FactAt(pred schema.PredID, row int32) atom.Atom {
+	return db.rels[pred].atomAt(row)
+}
+
+// FactArgs returns the argument tuple at a handle, live or dead, as a
+// cap-limited view of the columnar backing.
+func (db *DB) FactArgs(pred schema.PredID, row int32) []term.Term {
+	return db.rels[pred].args(row)
+}
+
+// DeadCount reports the number of tombstoned rows still physically stored
+// (reclaimable by Compact).
+func (db *DB) DeadCount() int { return db.dead }
+
+// PhysicalLen reports the number of physically stored rows, dead included
+// — equivalently the next global insertion index. Consumers keying
+// side tables by insertion index (chase provenance) must use this, not
+// Len, which counts live rows only.
+func (db *DB) PhysicalLen() int { return len(db.order) }
+
+// HashArgs exposes the store's fact hash over an unboxed (pred, args)
+// pair, so deletion-side indexes (the incremental engine's pending set)
+// key on the same hash the relations use instead of re-implementing it.
+func HashArgs(pred schema.PredID, args []term.Term) uint64 {
+	return hashArgs(pred, args)
+}
+
+// Alive reports whether the handle denotes a live row.
+func (db *DB) Alive(pred schema.PredID, row int32) bool {
+	r := db.relOf(pred)
+	return r != nil && int(row) < r.rows() && !r.isDead(row)
+}

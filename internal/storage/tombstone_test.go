@@ -1,0 +1,414 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/atom"
+	"repro/internal/logic"
+	"repro/internal/term"
+)
+
+// refLiveDB extends the reference list semantics of columnar_quick_test
+// with deletion: a deduplicated ordered list of LIVE atoms. Deleting
+// removes the atom from the list (order of survivors preserved);
+// re-inserting a deleted fact appends it at the end, exactly like the
+// columnar store (the old row stays dead, a fresh row is appended).
+type refLiveDB struct {
+	rows []atom.Atom
+	seen map[string]bool
+}
+
+func newRefLiveDB() *refLiveDB { return &refLiveDB{seen: make(map[string]bool)} }
+
+func (r *refLiveDB) insert(a atom.Atom) bool {
+	k := atom.SortKey(a)
+	if r.seen[k] {
+		return false
+	}
+	r.seen[k] = true
+	r.rows = append(r.rows, a.Clone())
+	return true
+}
+
+func (r *refLiveDB) delete(a atom.Atom) bool {
+	k := atom.SortKey(a)
+	if !r.seen[k] {
+		return false
+	}
+	delete(r.seen, k)
+	for i, x := range r.rows {
+		if x.Equal(a) {
+			r.rows = append(r.rows[:i], r.rows[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// checkLiveEquivalence asserts the columnar DB agrees with the reference
+// on Len, All (live insertion order), per-predicate Facts/CountPred,
+// Contains, substitution matching, and ActiveDomain.
+func checkLiveEquivalence(t *testing.T, prog *logic.Program, db *DB, ref *refLiveDB, label string) {
+	t.Helper()
+	if db.Len() != len(ref.rows) {
+		t.Fatalf("%s: Len = %d, want %d", label, db.Len(), len(ref.rows))
+	}
+	all := db.All()
+	if len(all) != len(ref.rows) {
+		t.Fatalf("%s: All = %d rows, want %d", label, len(all), len(ref.rows))
+	}
+	for i, a := range all {
+		if !a.Equal(ref.rows[i]) {
+			t.Fatalf("%s: All[%d] = %s, want %s", label, i,
+				a.String(prog.Store, prog.Reg), ref.rows[i].String(prog.Store, prog.Reg))
+		}
+		if !db.Contains(a) {
+			t.Fatalf("%s: Contains lost live row %d", label, i)
+		}
+	}
+	byPred := make(map[string][]atom.Atom)
+	for _, a := range ref.rows {
+		byPred[prog.Reg.Name(a.Pred)] = append(byPred[prog.Reg.Name(a.Pred)], a)
+	}
+	arities := map[string]int{"p": 2, "q": 1, "r": 3}
+	for _, name := range []string{"p", "q", "r"} {
+		id, ok := prog.Reg.Lookup(name)
+		if !ok {
+			continue
+		}
+		want := byPred[name]
+		got := db.Facts(id)
+		if len(got) != len(want) || db.CountPred(id) != len(want) {
+			t.Fatalf("%s: Facts(%s) = %d rows (CountPred %d), want %d",
+				label, name, len(got), db.CountPred(id), len(want))
+		}
+		for i := range got {
+			if !got[i].Equal(want[i]) {
+				t.Fatalf("%s: Facts(%s)[%d] out of live insertion order", label, name, i)
+			}
+		}
+		// Full-pattern matching must enumerate exactly the live rows.
+		vars := make([]term.Term, arities[name])
+		for j := range vars {
+			vars[j] = prog.Store.Var(fmt.Sprintf("V%d", j))
+		}
+		count := 0
+		db.MatchEach(atom.New(id, vars...), nil, func(atom.Subst) bool { count++; return true })
+		if count != len(want) {
+			t.Fatalf("%s: MatchEach(%s) = %d matches, want %d", label, name, count, len(want))
+		}
+	}
+	dom := db.ActiveDomain()
+	wantDom := make(map[term.Term]bool)
+	for _, a := range ref.rows {
+		for _, x := range a.Args {
+			wantDom[x] = true
+		}
+	}
+	if len(dom) != len(wantDom) {
+		t.Fatalf("%s: ActiveDomain size = %d, want %d", label, len(dom), len(wantDom))
+	}
+	for _, x := range dom {
+		if !wantDom[x] {
+			t.Fatalf("%s: dead-only term %v still in active domain", label, x)
+		}
+	}
+}
+
+// TestTombstoneObservationalEquivalence drives random interleaved
+// insert / tombstone / re-insert / Compact sequences into the columnar DB
+// and the reference live-list model, asserting observational equality
+// after every batch. This is the PR 2 property suite extended to
+// tombstoned relations.
+func TestTombstoneObservationalEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 8; trial++ {
+		prog := logic.NewProgram()
+		preds := []struct {
+			name  string
+			arity int
+		}{{"p", 2}, {"q", 1}, {"r", 3}}
+		db := NewDB()
+		ref := newRefLiveDB()
+		mk := func() atom.Atom {
+			pc := preds[rng.Intn(len(preds))]
+			id := prog.Reg.Intern(pc.name, pc.arity)
+			args := make([]term.Term, pc.arity)
+			for j := range args {
+				args[j] = prog.Store.Const(fmt.Sprintf("c%d", rng.Intn(10)))
+			}
+			return atom.New(id, args...)
+		}
+		for step := 0; step < 60; step++ {
+			switch {
+			case len(ref.rows) > 0 && rng.Intn(3) == 0:
+				// Tombstone a random live fact.
+				a := ref.rows[rng.Intn(len(ref.rows))]
+				row, ok := db.FindRow(a.Pred, a.Args)
+				if !ok {
+					t.Fatalf("trial %d step %d: live fact has no row", trial, step)
+				}
+				if !db.Tombstone(a.Pred, row) {
+					t.Fatalf("trial %d step %d: Tombstone on live row returned false", trial, step)
+				}
+				if db.Tombstone(a.Pred, row) {
+					t.Fatalf("trial %d step %d: double Tombstone returned true", trial, step)
+				}
+				if db.Contains(a) {
+					t.Fatalf("trial %d step %d: tombstoned fact still contained", trial, step)
+				}
+				ref.delete(a)
+			case rng.Intn(6) == 0 && db.DeadCount() > 0:
+				db.Compact(0.01) // aggressive: reclaim nearly any dead row
+			default:
+				a := mk()
+				want := ref.insert(a)
+				if got := db.Insert(a); got != want {
+					t.Fatalf("trial %d step %d: Insert = %v, reference says %v",
+						trial, step, got, want)
+				}
+			}
+			checkLiveEquivalence(t, prog, db, ref, fmt.Sprintf("trial %d step %d", trial, step))
+		}
+		// Final full compaction must change nothing observable.
+		db.Compact(0)
+		if db.DeadCount() != 0 {
+			t.Fatalf("trial %d: DeadCount = %d after full compact", trial, db.DeadCount())
+		}
+		checkLiveEquivalence(t, prog, db, ref, fmt.Sprintf("trial %d post-compact", trial))
+	}
+}
+
+// TestTombstoneMarkWindows: CountSince and Probe windows count live rows
+// only, for tombstones flipped before and inside the window.
+func TestTombstoneMarkWindows(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	prog := logic.NewProgram()
+	p := prog.Reg.Intern("p", 2)
+	db := NewDB()
+	mk := func(i int) atom.Atom {
+		return atom.New(p, prog.Store.Const(fmt.Sprintf("a%d", i)), prog.Store.Const(fmt.Sprintf("b%d", i)))
+	}
+	for i := 0; i < 100; i++ {
+		db.Insert(mk(i))
+	}
+	mark := db.Mark()
+	for i := 100; i < 200; i++ {
+		db.Insert(mk(i))
+	}
+	// Kill a random mix of rows on both sides of the mark.
+	liveInWindow := 100
+	for i := 0; i < 200; i += 1 + rng.Intn(4) {
+		row, ok := db.FindRow(p, mk(i).Args)
+		if !ok {
+			continue
+		}
+		db.Tombstone(p, row)
+		if i >= 100 {
+			liveInWindow--
+		}
+	}
+	if got := db.CountSince(p, mark); got != liveInWindow {
+		t.Fatalf("CountSince = %d, want %d live rows", got, liveInWindow)
+	}
+	sp := CompileScan(p, []ScanArg{{Mode: ArgBind, Slot: 0}, {Mode: ArgBind, Slot: 1}})
+	frame := NewFrame(2)
+	got := 0
+	db.Probe(sp, frame, mark, 0, 1, func() bool { got++; return true })
+	if got != liveInWindow {
+		t.Fatalf("Probe window = %d, want %d live rows", got, liveInWindow)
+	}
+	for _, shards := range []int{2, 3, 5} {
+		total := 0
+		for sh := 0; sh < shards; sh++ {
+			db.Probe(sp, frame, mark, sh, shards, func() bool { total++; return true })
+		}
+		if total != liveInWindow {
+			t.Fatalf("shards %d: partition = %d, want %d", shards, total, liveInWindow)
+		}
+	}
+}
+
+// TestTombstoneReviveRestores: revive undoes a kill — containment, counts,
+// and dedup (re-inserting a revived fact is a duplicate again).
+func TestTombstoneReviveRestores(t *testing.T) {
+	prog := logic.NewProgram()
+	p := prog.Reg.Intern("p", 1)
+	db := NewDB()
+	a := atom.New(p, prog.Store.Const("x"))
+	db.Insert(a)
+	row, _ := db.FindRow(p, a.Args)
+	db.Tombstone(p, row)
+	if db.Contains(a) || db.Len() != 0 || db.Alive(p, row) {
+		t.Fatalf("tombstoned fact still visible")
+	}
+	if !db.Revive(p, row) {
+		t.Fatalf("Revive on dead row returned false")
+	}
+	if db.Revive(p, row) {
+		t.Fatalf("double Revive returned true")
+	}
+	if !db.Contains(a) || db.Len() != 1 || !db.Alive(p, row) {
+		t.Fatalf("revived fact not visible")
+	}
+	if db.Insert(a) {
+		t.Fatalf("revived fact lost from dedup")
+	}
+}
+
+// TestTombstoneDedupAfterReinsert: a fact deleted and re-inserted occupies
+// a fresh row; the dead row stays skipped and dedup works on the new one.
+func TestTombstoneDedupAfterReinsert(t *testing.T) {
+	prog := logic.NewProgram()
+	p := prog.Reg.Intern("p", 1)
+	db := NewDB()
+	a := atom.New(p, prog.Store.Const("x"))
+	db.Insert(a)
+	row0, _ := db.FindRow(p, a.Args)
+	db.Tombstone(p, row0)
+	if !db.Insert(a) {
+		t.Fatalf("re-insert of tombstoned fact not accepted")
+	}
+	row1, ok := db.FindRow(p, a.Args)
+	if !ok || row1 == row0 {
+		t.Fatalf("re-insert landed on the dead row (row0=%d row1=%d ok=%v)", row0, row1, ok)
+	}
+	if db.Insert(a) {
+		t.Fatalf("duplicate accepted after re-insert")
+	}
+	if db.Len() != 1 || db.CountPred(p) != 1 {
+		t.Fatalf("Len/CountPred = %d/%d, want 1/1", db.Len(), db.CountPred(p))
+	}
+}
+
+// TestCompactCloneIsolation: tombstones flipped on one side of a clone
+// stay invisible to the other, and compacting one side leaves the other
+// intact (the rebuilt backings are fresh).
+func TestCompactCloneIsolation(t *testing.T) {
+	prog := logic.NewProgram()
+	p := prog.Reg.Intern("p", 1)
+	db := NewDB()
+	var atoms []atom.Atom
+	for i := 0; i < 100; i++ {
+		a := atom.New(p, prog.Store.Const(fmt.Sprintf("k%d", i)))
+		atoms = append(atoms, a)
+		db.Insert(a)
+	}
+	cl := db.Clone()
+	for i := 0; i < 100; i += 2 {
+		row, _ := cl.FindRow(p, atoms[i].Args)
+		cl.Tombstone(p, row)
+	}
+	if cl.Len() != 50 || db.Len() != 100 {
+		t.Fatalf("Len after one-sided tombstones: clone %d orig %d", cl.Len(), db.Len())
+	}
+	if n := cl.Compact(0.1); n != 50 {
+		t.Fatalf("Compact reclaimed %d, want 50", n)
+	}
+	if cl.Len() != 50 || cl.DeadCount() != 0 {
+		t.Fatalf("clone after compact: Len %d DeadCount %d", cl.Len(), cl.DeadCount())
+	}
+	for i, a := range atoms {
+		if !db.Contains(a) {
+			t.Fatalf("original lost fact %d after clone compacted", i)
+		}
+		if (i%2 == 0) == cl.Contains(a) {
+			t.Fatalf("clone fact %d visibility wrong after compact", i)
+		}
+	}
+	// Both sides keep working independently after the compact.
+	extra := atom.New(p, prog.Store.Const("fresh"))
+	if !cl.Insert(extra) || !db.Insert(extra) {
+		t.Fatalf("post-compact inserts rejected")
+	}
+	if cl.Len() != 51 || db.Len() != 101 {
+		t.Fatalf("post-compact Len: clone %d orig %d", cl.Len(), db.Len())
+	}
+}
+
+// TestReviveAtGrowthBoundary sweeps every relation size across the dedup
+// table's growth boundaries: a revive whose tabInsert triggers growTab
+// must not leave the row linked twice (rebuildTab re-placing an
+// already-live row plus the explicit insert), which would make a later
+// Tombstone clear only one link and resurrect the dead fact.
+func TestReviveAtGrowthBoundary(t *testing.T) {
+	prog := logic.NewProgram()
+	p := prog.Reg.Intern("p", 1)
+	for n := 1; n <= 100; n++ {
+		db := NewDB()
+		var atoms []atom.Atom
+		for i := 0; i < n; i++ {
+			a := atom.New(p, prog.Store.Const(fmt.Sprintf("k%d", i)))
+			atoms = append(atoms, a)
+			db.Insert(a)
+		}
+		for i := range atoms {
+			row, _ := db.FindRow(p, atoms[i].Args)
+			db.Tombstone(p, row)
+			db.Revive(p, row)
+			db.Tombstone(p, row)
+			if db.Contains(atoms[i]) {
+				t.Fatalf("n=%d row %d: fact contained after tombstone (stale dedup link from revive)", n, i)
+			}
+			db.Revive(p, row)
+			if !db.Contains(atoms[i]) {
+				t.Fatalf("n=%d row %d: fact lost after final revive", n, i)
+			}
+		}
+		r := db.relOf(p)
+		counts := make(map[int32]int)
+		for _, v := range r.tab {
+			if v >= 0 {
+				counts[v]++
+			}
+		}
+		if len(counts) != n {
+			t.Fatalf("n=%d: tab holds %d distinct rows", n, len(counts))
+		}
+		for ri, c := range counts {
+			if c != 1 {
+				t.Fatalf("n=%d: row %d linked %d times", n, ri, c)
+			}
+		}
+	}
+}
+
+// TestDedupTableLiveInvariant: after kills and revives, the dedup table
+// holds exactly the live rows, once each.
+func TestDedupTableLiveInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	prog := logic.NewProgram()
+	p := prog.Reg.Intern("p", 1)
+	db := NewDB()
+	for i := 0; i < 200; i++ {
+		db.Insert(atom.New(p, prog.Store.Const(fmt.Sprintf("k%d", i))))
+	}
+	r := db.relOf(p)
+	killed := make(map[int32]bool)
+	for step := 0; step < 300; step++ {
+		ri := int32(rng.Intn(200))
+		if killed[ri] {
+			db.Revive(p, ri)
+			delete(killed, ri)
+		} else {
+			db.Tombstone(p, ri)
+			killed[ri] = true
+		}
+		counts := make(map[int32]int)
+		for _, v := range r.tab {
+			if v >= 0 {
+				counts[v]++
+			}
+		}
+		if len(counts) != r.liveRows() {
+			t.Fatalf("step %d: tab holds %d rows, want %d live", step, len(counts), r.liveRows())
+		}
+		for ri, n := range counts {
+			if n != 1 || killed[ri] {
+				t.Fatalf("step %d: row %d count %d killed %v", step, ri, n, killed[ri])
+			}
+		}
+	}
+}
