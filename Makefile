@@ -4,10 +4,14 @@
 
 # Benchmarks tracked across PRs (the CHANGES.md before/after set).
 BENCH_PATTERN  ?= BenchmarkE8|BenchmarkE9|BenchmarkE10|BenchmarkP1|BenchmarkIncrementalDelete
-BENCH_OUT      ?= BENCH_pr4.json
+BENCH_OUT      ?= BENCH_pr5.json
 BENCH_TIME     ?= 10x
 # Sequential baseline for workers=N scaling entries (cmd/benchjson).
 BENCH_BASELINE ?= BenchmarkP1_PlanFixpointSeq
+# The service benchmarks (S1) run far more iterations: per-query costs
+# are microseconds, so 10x would be pure noise.
+BENCH_SVC_PATTERN ?= BenchmarkS1
+BENCH_SVC_TIME    ?= 300x
 
 # The parallel-scaling subset: the w1/w2/w4/w8 ladders plus their
 # sequential baselines.
@@ -27,9 +31,13 @@ vet:
 test:
 	go test ./...
 
+# Two passes land in one intermediate file so a failing benchmark run
+# stops the target instead of feeding benchjson a partial stream.
 bench:
-	go test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime $(BENCH_TIME) . \
-		| go run ./cmd/benchjson -baseline $(BENCH_BASELINE) -o $(BENCH_OUT)
+	go test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime $(BENCH_TIME) . > .bench.tmp
+	go test -run '^$$' -bench '$(BENCH_SVC_PATTERN)' -benchmem -benchtime $(BENCH_SVC_TIME) . >> .bench.tmp
+	go run ./cmd/benchjson -baseline $(BENCH_BASELINE) -o $(BENCH_OUT) .bench.tmp
+	@rm -f .bench.tmp
 	@echo wrote $(BENCH_OUT)
 
 bench-par:

@@ -1,0 +1,279 @@
+package repro
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/datalog"
+	"repro/internal/service"
+	"repro/internal/storage"
+	"repro/internal/term"
+	"repro/internal/workload"
+)
+
+// --------------------------------------------------------------------
+// S1 — the materialized reasoning service (internal/service): snapshot-
+// isolated concurrent query serving over the PR 2–4 storage machinery.
+//
+// QueryLatency is the acceptance gate: a pattern query through the full
+// service path (epoch acquire, cached ScanPlan, snapshot probe, name
+// rendering, release) must stay within ~10% of the identical probe +
+// render loop run directly against a standalone materialized DB — the
+// epoch machinery may not tax the read path.
+//
+// ServiceMixed is the throughput experiment: N reader goroutines issue
+// pattern queries while one writer continuously deletes and re-inserts
+// base facts (each update runs in-place DRed plus an epoch publish, i.e.
+// one storage snapshot + copy-on-write detaches). ns/op is per QUERY;
+// updates/query reports how much writer churn the readers absorbed.
+// Workloads: linear TC-256 and a generated full-Datalog iWarded
+// scenario. NOTE: this container pins one CPU, so reader parallelism
+// only measures scheduling overhead here; re-record on multi-core.
+// --------------------------------------------------------------------
+
+func serviceTC(b *testing.B, n int) *service.Service {
+	b.Helper()
+	res := mustParse(b, tcLinear)
+	base := workload.Chain(n).DB(res.Program, "e", "n")
+	svc := service.New(service.Options{})
+	if _, err := svc.LoadProgram(res.Program, base); err != nil {
+		b.Fatal(err)
+	}
+	return svc
+}
+
+func BenchmarkS1_QueryLatency(b *testing.B) {
+	const n = 256
+	b.Run("TC-256/service", func(b *testing.B) {
+		svc := serviceTC(b, n)
+		defer svc.Close()
+		req := &service.QueryRequest{Pred: "t", Args: []string{"n0", "_"}}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := svc.Query(req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(resp.Tuples) != n-1 {
+				b.Fatalf("t(n0,_) = %d tuples, want %d", len(resp.Tuples), n-1)
+			}
+		}
+	})
+	b.Run("TC-256/direct", func(b *testing.B) {
+		res := mustParse(b, tcLinear)
+		base := workload.Chain(n).DB(res.Program, "e", "n")
+		out, _, err := datalog.Eval(res.Program, base, datalog.Options{Stratify: true, BiasRecursiveAtom: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tID, _ := res.Program.Reg.Lookup("t")
+		c0, _ := res.Program.Store.HasConst("n0")
+		sp := storage.CompileScan(tID, []storage.ScanArg{
+			{Mode: storage.ArgBound, Slot: 0}, {Mode: storage.ArgBind, Slot: 1}})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// The same work the service performs per query, without the
+			// epoch/locking machinery: frame, probe, tuple copies, render.
+			frame := storage.NewFrame(2)
+			frame[0] = c0
+			var rows [][]term.Term
+			out.Probe(sp, frame, 0, 0, 1, func() bool {
+				tup := make([]term.Term, 2)
+				copy(tup, frame)
+				rows = append(rows, tup)
+				return true
+			})
+			tuples := make([][]string, len(rows))
+			for k, tup := range rows {
+				tuples[k] = res.Program.Store.Names(tup)
+			}
+			if len(tuples) != n-1 {
+				b.Fatalf("direct probe = %d tuples, want %d", len(tuples), n-1)
+			}
+		}
+	})
+	b.Run("TC-256/service-ground", func(b *testing.B) {
+		svc := serviceTC(b, n)
+		defer svc.Close()
+		req := &service.QueryRequest{Pred: "t", Args: []string{"n0", fmt.Sprintf("n%d", n-1)}}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := svc.Query(req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(resp.Tuples) != 1 {
+				b.Fatalf("ground lookup = %d tuples", len(resp.Tuples))
+			}
+		}
+	})
+	b.Run("TC-256/direct-ground", func(b *testing.B) {
+		res := mustParse(b, tcLinear)
+		base := workload.Chain(n).DB(res.Program, "e", "n")
+		out, _, err := datalog.Eval(res.Program, base, datalog.Options{Stratify: true, BiasRecursiveAtom: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tID, _ := res.Program.Reg.Lookup("t")
+		c0, _ := res.Program.Store.HasConst("n0")
+		cl, _ := res.Program.Store.HasConst(fmt.Sprintf("n%d", n-1))
+		sp := storage.CompileScan(tID, []storage.ScanArg{
+			{Mode: storage.ArgBound, Slot: 0}, {Mode: storage.ArgBound, Slot: 1}})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			frame := storage.NewFrame(2)
+			frame[0], frame[1] = c0, cl
+			var rows [][]term.Term
+			out.Probe(sp, frame, 0, 0, 1, func() bool {
+				tup := make([]term.Term, 2)
+				copy(tup, frame)
+				rows = append(rows, tup)
+				return true
+			})
+			tuples := make([][]string, len(rows))
+			for k, tup := range rows {
+				tuples[k] = res.Program.Store.Names(tup)
+			}
+			if len(tuples) != 1 {
+				b.Fatalf("direct ground = %d tuples", len(tuples))
+			}
+		}
+	})
+}
+
+// fullIWardedScenario picks the first generated iWarded scenario the
+// incremental engine can maintain (full single-head, no existentials).
+func fullIWardedScenario(b *testing.B) (*service.Service, *service.QueryRequest, []string) {
+	b.Helper()
+	suite, err := workload.GenSuite(workload.DefaultSuiteParams(24, 1905))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, sc := range suite {
+		svc := service.New(service.Options{})
+		if _, err := svc.LoadProgram(sc.Program, sc.DB); err != nil {
+			continue
+		}
+		// Pattern query over the scenario's principal predicate.
+		qp := sc.Query.Atoms[0].Pred
+		name := sc.Program.Reg.Name(qp)
+		args := make([]string, sc.Program.Reg.Arity(qp))
+		for i := range args {
+			args[i] = "_"
+		}
+		// Churn payloads: a few extensional facts rendered back to text.
+		var churn []string
+		for pred := range sc.Program.EDB() {
+			for _, f := range sc.DB.Facts(pred) {
+				var sb strings.Builder
+				sb.WriteString(sc.Program.Reg.Name(pred))
+				sb.WriteByte('(')
+				for i, t := range f.Args {
+					if i > 0 {
+						sb.WriteByte(',')
+					}
+					sb.WriteString(sc.Program.Store.Name(t))
+				}
+				sb.WriteString(").")
+				churn = append(churn, sb.String())
+				if len(churn) >= 8 {
+					break
+				}
+			}
+			if len(churn) >= 8 {
+				break
+			}
+		}
+		if len(churn) == 0 {
+			svc.Close()
+			continue
+		}
+		return svc, &service.QueryRequest{Pred: name, Args: args}, churn
+	}
+	b.Fatal("no full-Datalog iWarded scenario in the suite")
+	return nil, nil, nil
+}
+
+func BenchmarkS1_ServiceMixed(b *testing.B) {
+	type setup func(b *testing.B) (*service.Service, *service.QueryRequest, []string)
+	workloads := []struct {
+		name  string
+		setup setup
+	}{
+		{"TC-256", func(b *testing.B) (*service.Service, *service.QueryRequest, []string) {
+			svc := serviceTC(b, 256)
+			var churn []string
+			for k := 200; k < 208; k++ {
+				churn = append(churn, fmt.Sprintf("e(n%d,n%d).", k, k+1))
+			}
+			return svc, &service.QueryRequest{Pred: "t", Args: []string{"n0", "_"}}, churn
+		}},
+		{"iWarded", func(b *testing.B) (*service.Service, *service.QueryRequest, []string) {
+			return fullIWardedScenario(b)
+		}},
+	}
+	for _, wl := range workloads {
+		for _, readers := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("%s/readers=%d", wl.name, readers), func(b *testing.B) {
+				svc, req, churn := wl.setup(b)
+				defer svc.Close()
+				stop := make(chan struct{})
+				var updates atomic.Int64
+				var churnWG sync.WaitGroup
+				churnWG.Add(1)
+				go func() {
+					defer churnWG.Done()
+					for i := 0; ; i++ {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						fact := churn[i%len(churn)]
+						if _, err := svc.Delete(fact); err != nil {
+							b.Error(err)
+							return
+						}
+						if _, err := svc.Insert(fact); err != nil {
+							b.Error(err)
+							return
+						}
+						updates.Add(2)
+					}
+				}()
+				b.ReportAllocs()
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				per := b.N / readers
+				for r := 0; r < readers; r++ {
+					cnt := per
+					if r == 0 {
+						cnt += b.N - per*readers
+					}
+					wg.Add(1)
+					go func(cnt int) {
+						defer wg.Done()
+						for i := 0; i < cnt; i++ {
+							if _, err := svc.Query(req); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}(cnt)
+				}
+				wg.Wait()
+				b.StopTimer()
+				close(stop)
+				churnWG.Wait()
+				b.ReportMetric(float64(updates.Load())/float64(b.N), "updates/query")
+			})
+		}
+	}
+}

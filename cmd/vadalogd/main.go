@@ -1,0 +1,234 @@
+// Command vadalogd is the reasoning daemon of the reproduction: a
+// long-lived HTTP front end over internal/service that materializes a
+// Datalog program once and serves concurrent queries against
+// snapshot-isolated epochs while incremental updates stream in.
+//
+// Usage:
+//
+//	vadalogd [-addr :8077] [-adaptive] [-csv-batch 16384] [file.vada ...]
+//
+// Files given on the command line are loaded (rules + facts, one shared
+// naming context) before the server starts accepting requests; without
+// files the server starts empty and a program is loaded over HTTP.
+//
+// Endpoints (request and response bodies are JSON unless noted):
+//
+//	POST /load     {"program": "t(X,Y) :- e(X,Y). ... e(a,b)."}
+//	               -> {"epoch": N, "facts": M}
+//	               Replaces the served program and materializes it.
+//	POST /load/csv?pred=e   body: CSV rows (text/csv)
+//	               -> {"epoch": N, "staged": M}
+//	               Streams one relation of base facts through the
+//	               columnar bulk-load path (buffers + MergeBuffers).
+//	POST /query    {"pred": "t", "args": ["a", "_"]}        (pattern)
+//	               {"query": "?(X) :- t(a,X).", "limit": 100} (rule/CQ)
+//	               -> {"epoch": N, "columns": 2, "tuples": [["a","b"], ...]}
+//	               Runs lock-free against the current epoch's snapshot.
+//	POST /insert   {"facts": "e(b,c). e(c,d)."} -> {"epoch": N}
+//	POST /delete   {"facts": "e(a,b)."}         -> {"epoch": N}
+//	GET  /stats    -> service + maintenance counters
+//	GET  /healthz  -> 200 "ok"
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: in-flight queries
+// finish against their pinned snapshots, then the listener closes.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "vadalogd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("vadalogd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8077", "listen address")
+	adaptive := fs.Bool("adaptive", false, "adaptive join-order selection in materialization fixpoints")
+	csvBatch := fs.Int("csv-batch", 0, "rows per staged buffer on the CSV bulk-load path (0: default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	svc := service.New(service.Options{Adaptive: *adaptive, CSVBatch: *csvBatch})
+	if files := fs.Args(); len(files) > 0 {
+		var sb strings.Builder
+		for _, f := range files {
+			b, err := os.ReadFile(f)
+			if err != nil {
+				return err
+			}
+			sb.Write(b)
+			sb.WriteByte('\n')
+		}
+		epoch, err := svc.Load(sb.String())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "vadalogd: loaded %d file(s), epoch %d, %d facts\n",
+			len(files), epoch, svc.Stats().Facts)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: newHandler(svc)}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "vadalogd: listening on %s\n", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case sig := <-sigc:
+		fmt.Fprintf(out, "vadalogd: %v, shutting down\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return err
+		}
+		svc.Close()
+		fmt.Fprintln(out, "vadalogd: bye")
+		return nil
+	}
+}
+
+// newHandler wires the service endpoints. Split out so tests drive the
+// daemon in-process through httptest.
+func newHandler(svc *service.Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /load", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Program string `json:"program"`
+		}
+		if !decode(w, r, &req) {
+			return
+		}
+		epoch, err := svc.Load(req.Program)
+		if err != nil {
+			fail(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		reply(w, map[string]any{"epoch": epoch, "facts": svc.Stats().Facts})
+	})
+	mux.HandleFunc("POST /load/csv", func(w http.ResponseWriter, r *http.Request) {
+		pred := r.URL.Query().Get("pred")
+		if pred == "" {
+			fail(w, http.StatusBadRequest, errors.New("missing ?pred="))
+			return
+		}
+		staged, epoch, err := svc.LoadCSV(pred, r.Body)
+		if err != nil {
+			fail(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		reply(w, map[string]any{"epoch": epoch, "staged": staged})
+	})
+	mux.HandleFunc("POST /query", func(w http.ResponseWriter, r *http.Request) {
+		var req service.QueryRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		resp, err := svc.Query(&req)
+		if err != nil {
+			code := http.StatusUnprocessableEntity
+			if errors.Is(err, service.ErrNotLoaded) {
+				code = http.StatusConflict
+			}
+			fail(w, code, err)
+			return
+		}
+		reply(w, resp)
+	})
+	update := func(apply func(string) (uint64, error)) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			var req struct {
+				Facts string `json:"facts"`
+			}
+			if !decode(w, r, &req) {
+				return
+			}
+			epoch, err := apply(req.Facts)
+			if err != nil {
+				code := http.StatusUnprocessableEntity
+				if errors.Is(err, service.ErrNotLoaded) {
+					code = http.StatusConflict
+				}
+				fail(w, code, err)
+				return
+			}
+			reply(w, map[string]any{"epoch": epoch})
+		}
+	}
+	mux.HandleFunc("POST /insert", update(svc.Insert))
+	mux.HandleFunc("POST /delete", update(svc.Delete))
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		reply(w, svc.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ok\n")
+	})
+	return logRecover(mux)
+}
+
+// logRecover turns handler panics into 500s so one bad request cannot
+// take the daemon down.
+func logRecover(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				log.Printf("vadalogd: panic serving %s %s: %v", r.Method, r.URL.Path, p)
+				fail(w, http.StatusInternalServerError, fmt.Errorf("internal error: %v", p))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+func decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	dec := json.NewDecoder(io.LimitReader(r.Body, 64<<20))
+	if err := dec.Decode(into); err != nil {
+		fail(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func reply(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		log.Printf("vadalogd: encode response: %v", err)
+	}
+}
+
+func fail(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

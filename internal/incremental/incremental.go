@@ -171,6 +171,47 @@ func (e *Engine) Insert(facts ...atom.Atom) error {
 	return nil
 }
 
+// InsertBulk asserts base facts staged in columnar tuple buffers — the
+// streaming bulk-load path (relio.LoadBuffered feeds it batch by batch).
+// Buffers land through storage.DB.MergeBuffers on both stores (one
+// pre-sized dedup grow per relation, cached hashes, no per-fact probe
+// pair), then one semi-naive delta fixpoint propagates the whole batch.
+// Buffers are read-only here; the caller may Reset and refill them.
+func (e *Engine) InsertBulk(bufs []*storage.TupleBuffer) (int, error) {
+	for _, b := range bufs {
+		if b == nil {
+			continue
+		}
+		for _, p := range b.Touched() {
+			if e.intensional[p] {
+				return 0, fmt.Errorf("incremental: %s is intensional; only base facts can be bulk-loaded", e.prog.Reg.Name(p))
+			}
+		}
+	}
+	mark := e.db.Mark()
+	// The extensional slice of db equals base, so the two merges accept
+	// exactly the same rows.
+	added := e.db.MergeBuffers(bufs, 1)
+	e.base.MergeBuffers(bufs, 1)
+	e.stats.Inserted += added
+	if added > 0 {
+		e.stats.DerivedNew += e.deltaFixpoint(mark)
+	}
+	return added, nil
+}
+
+// Compact retries physical reclamation outside an update — the service
+// calls this after a snapshot epoch drains, when the pins that made a
+// Delete's own compaction defer are (mostly) gone. Relations still
+// pinned by the currently served epoch are copied out rather than
+// deferred again, so dead rows cannot accumulate under continuous query
+// load. Returns rows reclaimed.
+func (e *Engine) Compact() int {
+	n := e.db.CompactAll(CompactFraction) + e.base.CompactAll(CompactFraction)
+	e.stats.Compacted += n
+	return n
+}
+
 // deltaFixpoint runs semi-naive rounds starting from the facts inserted at
 // or after mark, returning the number of facts derived.
 func (e *Engine) deltaFixpoint(mark storage.Mark) int {

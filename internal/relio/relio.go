@@ -22,8 +22,8 @@ import (
 	"sort"
 	"strings"
 
-	"repro/internal/atom"
 	"repro/internal/logic"
+	"repro/internal/schema"
 	"repro/internal/storage"
 	"repro/internal/term"
 )
@@ -41,44 +41,80 @@ func LoadFile(prog *logic.Program, db *storage.DB, path, pred string) (int, erro
 	return Load(prog, db, f, pred)
 }
 
-// Load is LoadFile over an arbitrary reader.
+// Load is LoadFile over an arbitrary reader: the streaming path of
+// LoadBuffered with every batch merged straight into the database.
 func Load(prog *logic.Program, db *storage.DB, r io.Reader, pred string) (int, error) {
+	added := 0
+	_, err := LoadBuffered(prog, r, pred, 0, func(b *storage.TupleBuffer) error {
+		added += db.MergeBuffers([]*storage.TupleBuffer{b}, 1)
+		return nil
+	})
+	return added, err
+}
+
+// LoadBuffered streams one CSV relation into columnar staging buffers —
+// the bulk-load path of the reasoning service. Rows are appended to a
+// storage.TupleBuffer (hashed once at append, no per-fact atom or
+// argument slice); every batch rows, land is invoked with the filled
+// buffer and the buffer is Reset for reuse, so arbitrarily large
+// instances stream through constant memory. land typically merges via
+// storage.DB.MergeBuffers or incremental.Engine-style bulk insertion; a
+// land error aborts the load. Returns the number of rows staged
+// (duplicates included — the merge dedups).
+func LoadBuffered(prog *logic.Program, r io.Reader, pred string, batch int, land func(*storage.TupleBuffer) error) (int, error) {
+	if batch <= 0 {
+		batch = 1 << 14
+	}
 	cr := csv.NewReader(r)
 	cr.Comment = '#'
 	cr.TrimLeadingSpace = true
-	added := 0
+	cr.ReuseRecord = true
+	buf := storage.NewTupleBuffer()
+	staged := 0
 	arity := -1
+	var pid schema.PredID
+	var args []term.Term
 	for line := 1; ; line++ {
 		rec, err := cr.Read()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			return added, fmt.Errorf("%s: %w", pred, err)
+			return staged, fmt.Errorf("%s: %w", pred, err)
 		}
 		if arity == -1 {
 			arity = len(rec)
 			if arity == 0 {
-				return added, fmt.Errorf("%s: empty row", pred)
+				return staged, fmt.Errorf("%s: empty row", pred)
 			}
 			if !prog.Reg.CheckArity(pred, arity) {
 				id, _ := prog.Reg.Lookup(pred)
-				return added, fmt.Errorf("%s: csv has %d columns but predicate is already used with arity %d",
+				return staged, fmt.Errorf("%s: csv has %d columns but predicate is already used with arity %d",
 					pred, arity, prog.Reg.Arity(id))
 			}
+			pid = prog.Reg.Intern(pred, arity)
+			args = make([]term.Term, arity)
 		} else if len(rec) != arity {
-			return added, fmt.Errorf("%s: row %d has %d columns, want %d", pred, line, len(rec), arity)
+			return staged, fmt.Errorf("%s: row %d has %d columns, want %d", pred, line, len(rec), arity)
 		}
-		pid := prog.Reg.Intern(pred, arity)
-		args := make([]term.Term, arity)
 		for i, v := range rec {
 			args[i] = prog.Store.Const(strings.TrimSpace(v))
 		}
-		if db.Insert(atom.New(pid, args...)) {
-			added++
+		buf.Append(pid, args)
+		staged++
+		if buf.Len() >= batch {
+			if err := land(buf); err != nil {
+				return staged, err
+			}
+			buf.Reset()
 		}
 	}
-	return added, nil
+	if buf.Len() > 0 {
+		if err := land(buf); err != nil {
+			return staged, err
+		}
+	}
+	return staged, nil
 }
 
 // LoadDir loads every *.csv file of a directory; the file's base name is

@@ -1,0 +1,220 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/datalog"
+	"repro/internal/logic"
+	"repro/internal/parser"
+	"repro/internal/schema"
+	"repro/internal/storage"
+	"repro/internal/term"
+)
+
+// DefaultLimit bounds result sets when the request does not set one.
+const DefaultLimit = 100000
+
+// QueryRequest describes one query. Two forms:
+//
+//   - Pattern: Pred names a predicate, Args gives one entry per argument
+//     position — "_" (or "") for a free position, any other string for a
+//     bound constant. Compiles to a single cached ScanPlan; a fully
+//     bound pattern resolves through the dedup-table ground-lookup fast
+//     path in O(1).
+//   - Rule query: Query holds surface syntax with exactly one query and
+//     optionally view rules evaluated on the fly, e.g.
+//     "tc(X,Y) :- e(X,Y). tc(X,Z) :- e(X,Y), tc(Y,Z). ?(X) :- tc(a,X)."
+//     View rules compile through plan.Cached and run over a private
+//     clone of the epoch snapshot; a bare "?(..) :- body." conjunctive
+//     query evaluates directly against the snapshot.
+//
+// Query takes precedence when both are set.
+type QueryRequest struct {
+	Pred  string   `json:"pred,omitempty"`
+	Args  []string `json:"args,omitempty"`
+	Query string   `json:"query,omitempty"`
+	Limit int      `json:"limit,omitempty"`
+}
+
+// QueryResponse is one query's answer, tagged with the epoch it was
+// served from.
+type QueryResponse struct {
+	Epoch     uint64     `json:"epoch"`
+	Columns   int        `json:"columns"`
+	Tuples    [][]string `json:"tuples"`
+	Truncated bool       `json:"truncated,omitempty"`
+	// Bool is set for boolean rule queries (no output variables).
+	Bool *bool `json:"bool,omitempty"`
+}
+
+// planKey identifies a cached pattern plan: the predicate plus the set of
+// bound positions. The constants themselves live in the per-query frame
+// (bound positions compile to ArgBound slots), so one plan serves every
+// constant combination of the same shape.
+type planKey struct {
+	pred schema.PredID
+	mask uint64
+}
+
+// Query evaluates one request against the current epoch's snapshot.
+func (s *Service) Query(req *QueryRequest) (*QueryResponse, error) {
+	e, err := s.acquire()
+	if err != nil {
+		return nil, err
+	}
+	defer e.release()
+	s.queries.Add(1)
+	limit := req.Limit
+	if limit <= 0 || limit > DefaultLimit {
+		limit = DefaultLimit
+	}
+	if req.Query != "" {
+		return s.ruleQuery(e, req.Query, limit)
+	}
+	return s.patternQuery(e, req, limit)
+}
+
+// patternQuery runs the compiled-ScanPlan path: resolve the predicate and
+// the bound constants (read lock on the naming context), fetch or compile
+// the (pred, mask) plan, fill a frame, probe the snapshot.
+func (s *Service) patternQuery(e *epoch, req *QueryRequest, limit int) (*QueryResponse, error) {
+	prog := e.gen.prog
+	s.nameMu.RLock()
+	pid, ok := prog.Reg.Lookup(req.Pred)
+	if !ok {
+		s.nameMu.RUnlock()
+		return nil, fmt.Errorf("service: unknown predicate %q", req.Pred)
+	}
+	arity := prog.Reg.Arity(pid)
+	if len(req.Args) != arity {
+		s.nameMu.RUnlock()
+		return nil, fmt.Errorf("service: %s has arity %d, got %d args", req.Pred, arity, len(req.Args))
+	}
+	if arity > 64 {
+		s.nameMu.RUnlock()
+		return nil, errors.New("service: pattern arity exceeds 64")
+	}
+	var mask uint64
+	frame := storage.NewFrame(arity)
+	for i, v := range req.Args {
+		if v == "" || v == "_" {
+			continue
+		}
+		c, known := prog.Store.HasConst(v)
+		if !known {
+			// A constant the instance has never seen matches nothing.
+			s.nameMu.RUnlock()
+			return &QueryResponse{Epoch: e.seq, Columns: arity, Tuples: [][]string{}}, nil
+		}
+		mask |= 1 << uint(i)
+		frame[i] = c
+	}
+	s.nameMu.RUnlock()
+
+	plan := s.patternPlan(e.gen, pid, mask, arity)
+	sdb := e.snap.DB()
+	var rows [][]term.Term
+	truncated := false
+	sdb.Probe(plan, frame, 0, 0, 1, func() bool {
+		if len(rows) >= limit {
+			truncated = true
+			return false
+		}
+		tup := make([]term.Term, arity)
+		copy(tup, frame)
+		rows = append(rows, tup)
+		return true
+	})
+	return s.render(e, arity, rows, truncated, nil)
+}
+
+// patternPlan returns the generation's cached scan plan for the shape,
+// compiling it on first use. Bound positions read the frame (ArgBound),
+// free positions bind it (ArgBind); slot i is position i.
+func (s *Service) patternPlan(g *generation, pid schema.PredID, mask uint64, arity int) *storage.ScanPlan {
+	k := planKey{pred: pid, mask: mask}
+	g.planMu.RLock()
+	p, ok := g.plans[k]
+	g.planMu.RUnlock()
+	if ok {
+		return p
+	}
+	args := make([]storage.ScanArg, arity)
+	for i := 0; i < arity; i++ {
+		if mask&(1<<uint(i)) != 0 {
+			args[i] = storage.ScanArg{Mode: storage.ArgBound, Slot: i}
+		} else {
+			args[i] = storage.ScanArg{Mode: storage.ArgBind, Slot: i}
+		}
+	}
+	p = storage.CompileScan(pid, args)
+	g.planMu.Lock()
+	g.plans[k] = p
+	g.planMu.Unlock()
+	return p
+}
+
+// ruleQuery parses "view rules + one query" source against the
+// generation's naming context and evaluates it over the epoch snapshot.
+func (s *Service) ruleQuery(e *epoch, src string, limit int) (*QueryResponse, error) {
+	prog := e.gen.prog
+	// Parsing interns constants and variables: write lock, kept apart
+	// from the served rule set via a scratch program.
+	tmp := &logic.Program{Store: prog.Store, Reg: prog.Reg}
+	s.nameMu.Lock()
+	res, err := parser.ParseInto(tmp, src)
+	s.nameMu.Unlock()
+	if err != nil {
+		return nil, fmt.Errorf("service: query: %w", err)
+	}
+	if len(res.Queries) != 1 {
+		return nil, fmt.Errorf("service: query text must contain exactly one query, got %d", len(res.Queries))
+	}
+	if len(res.Facts) > 0 {
+		return nil, errors.New("service: query text must not contain facts")
+	}
+	q := res.Queries[0]
+	sdb := e.snap.DB()
+	if len(tmp.TGDs) > 0 {
+		// Rule-defined view: materialize the view rules over a private
+		// clone of the snapshot (compiled through plan.Cached), then
+		// evaluate the query against the result.
+		out, _, err := datalog.Eval(tmp, sdb, datalog.Options{
+			Stratify: true, BiasRecursiveAtom: true, Adaptive: s.opt.Adaptive,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("service: view: %w", err)
+		}
+		sdb = out
+	}
+	answers := sdb.EvalCQ(q)
+	if q.IsBoolean() {
+		ok := len(answers) > 0
+		return &QueryResponse{Epoch: e.seq, Bool: &ok, Tuples: [][]string{}}, nil
+	}
+	truncated := false
+	if len(answers) > limit {
+		answers, truncated = answers[:limit], true
+	}
+	return s.render(e, len(q.Output), answers, truncated, nil)
+}
+
+// render converts result tuples to strings under the naming-context read
+// lock.
+func (s *Service) render(e *epoch, columns int, rows [][]term.Term, truncated bool, boolAns *bool) (*QueryResponse, error) {
+	st := e.gen.prog.Store
+	out := make([][]string, len(rows))
+	s.nameMu.RLock()
+	for i, tup := range rows {
+		out[i] = st.Names(tup)
+	}
+	s.nameMu.RUnlock()
+	return &QueryResponse{
+		Epoch:     e.seq,
+		Columns:   columns,
+		Tuples:    out,
+		Truncated: truncated,
+		Bool:      boolAns,
+	}, nil
+}

@@ -1,0 +1,351 @@
+// Package service implements the long-lived reasoning service of the
+// reproduction: a program is materialized once (through the compiled-plan
+// pipeline) and then served to many concurrent readers while a single
+// writer applies incremental updates.
+//
+// Concurrency model — snapshot isolation over epochs:
+//
+//   - Every write transaction (Load, LoadCSV, Insert, Delete) runs under
+//     the writer mutex, applies through internal/incremental (semi-naive
+//     insertion deltas, in-place DRed deletion), and then PUBLISHES a new
+//     epoch: a storage.Snapshot of the materialization plus a sequence
+//     number.
+//   - Queries acquire the current epoch (one atomic load + one atomic
+//     increment), evaluate lock-free against its snapshot — the snapshot
+//     is a frozen storage.DB, so the whole ScanPlan/Probe machinery,
+//     including the ground-lookup fast path, runs unchanged — and release
+//     it. Readers never block the writer and never observe in-flight
+//     inserts, deletes, or compaction moves.
+//   - An epoch is refcounted: the publisher holds one reference, each
+//     in-flight query one more. When a retired epoch's count drops to
+//     zero its snapshot releases its storage pins and the service
+//     schedules a compaction retry (storage defers reclaiming pinned
+//     relations; the retry copies out anything still pinned by the
+//     current epoch).
+//
+// The naming context (term.Store / schema.Registry) is the one structure
+// shared between readers and the writer that the storage layer does not
+// version: the service guards it with a read-write mutex held briefly
+// around query parsing/rendering (read side) and update parsing (write
+// side). Evaluation itself never touches the naming context.
+//
+// The service maintains full single-head Datalog programs (the FULL1
+// class materialized by internal/incremental); warded programs with
+// existentials remain on the batch CLI (cmd/vadalog).
+package service
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/incremental"
+	"repro/internal/logic"
+	"repro/internal/parser"
+	"repro/internal/relio"
+	"repro/internal/storage"
+)
+
+// ErrNotLoaded is returned by queries and updates before a program is
+// loaded.
+var ErrNotLoaded = errors.New("service: no program loaded")
+
+// Options configures the service.
+type Options struct {
+	// Adaptive enables per-round adaptive join-order selection in the
+	// materialization fixpoints (datalog.Options.Adaptive).
+	Adaptive bool
+	// CSVBatch is the row count per staged buffer of the bulk-load path
+	// (0: relio's default).
+	CSVBatch int
+}
+
+// Service is a materialized reasoning service. Create with New, load a
+// program with Load, then serve concurrent Query calls interleaved with
+// Insert/Delete/LoadCSV updates. Safe for concurrent use: queries run
+// lock-free against epoch snapshots; updates serialize on an internal
+// writer mutex.
+type Service struct {
+	opt Options
+
+	// mu is the single-writer lock: Load, LoadCSV, Insert, Delete, and
+	// compaction retries serialize here. Queries never take it.
+	mu  sync.Mutex
+	gen *generation
+	eng *incremental.Engine
+
+	// nameMu guards the shared naming context. Readers hold the read
+	// side while parsing query constants and rendering result tuples;
+	// the writer holds the write side while parsing updates (interning).
+	nameMu sync.RWMutex
+
+	// cur is the published epoch; nil until the first Load.
+	cur atomic.Pointer[epoch]
+	seq atomic.Uint64
+
+	// compactPending is set when a retired epoch fully drains; the next
+	// write transaction retries physical reclamation.
+	compactPending atomic.Bool
+
+	queries atomic.Uint64
+	drained atomic.Uint64
+}
+
+// generation is the program-scoped state shared by every epoch published
+// since one Load: the naming context and the pattern-query plan cache
+// (predicate IDs are generation-local, so plans must never leak across a
+// reload — epochs of the old generation keep resolving and rendering
+// against their own generation until they drain).
+type generation struct {
+	prog *logic.Program
+	// plans caches compiled pattern-query scan plans by (pred, bound
+	// mask); see query.go. An RWMutex-guarded map rather than sync.Map:
+	// the read path is one RLock and one map probe with no key boxing,
+	// keeping the ground-lookup fast path in the hundreds of
+	// nanoseconds.
+	planMu sync.RWMutex
+	plans  map[planKey]*storage.ScanPlan
+}
+
+// epoch is one published snapshot of one generation.
+type epoch struct {
+	svc  *Service
+	gen  *generation
+	seq  uint64
+	snap *storage.Snapshot
+	// refs counts the publisher (1) plus every in-flight query. The
+	// publisher's reference drops when the epoch is retired by the next
+	// publish (or Close); the last release triggers pin release and a
+	// compaction retry.
+	refs atomic.Int64
+}
+
+func (e *epoch) release() {
+	if e.refs.Add(-1) == 0 {
+		e.snap.Release()
+		e.svc.drained.Add(1)
+		e.svc.compactPending.Store(true)
+	}
+}
+
+// acquire pins the current epoch for one query. The transient +1 on an
+// epoch that concurrently drained is undone and retried; in the benign
+// window where a just-retired epoch is still acquired, readers serve a
+// slightly stale but fully consistent snapshot (released backings stay
+// immutable and GC-reachable — pins are a reclamation hint, never a
+// memory-safety requirement).
+func (s *Service) acquire() (*epoch, error) {
+	for {
+		e := s.cur.Load()
+		if e == nil {
+			return nil, ErrNotLoaded
+		}
+		if e.refs.Add(1) > 1 {
+			return e, nil
+		}
+		e.refs.Add(-1) // drained between Load and Add; retry on the fresh epoch
+	}
+}
+
+// New returns an empty service.
+func New(opt Options) *Service {
+	return &Service{opt: opt}
+}
+
+// publish snapshots the current materialization as the next epoch and
+// retires the previous one. Caller holds mu.
+func (s *Service) publish() uint64 {
+	e := &epoch{svc: s, gen: s.gen, seq: s.seq.Add(1), snap: s.eng.DB().Snapshot()}
+	e.refs.Store(1)
+	if old := s.cur.Swap(e); old != nil {
+		old.release()
+	}
+	return e.seq
+}
+
+// maybeCompact retries physical reclamation if a drained epoch requested
+// it. Caller holds mu.
+func (s *Service) maybeCompact() {
+	if s.eng != nil && s.compactPending.Swap(false) {
+		s.eng.Compact()
+	}
+}
+
+// Load parses and materializes a program (rules and facts in the vadalog
+// surface syntax), replacing any previously loaded one, and publishes the
+// first epoch of the new generation. The program must be full single-head
+// Datalog without negation (the class internal/incremental maintains).
+// Embedded queries are ignored — the service answers queries over HTTP,
+// not from the program text. Returns the published epoch.
+func (s *Service) Load(src string) (uint64, error) {
+	res, err := parser.Parse(src)
+	if err != nil {
+		return 0, fmt.Errorf("service: load: %w", err)
+	}
+	db := storage.NewDB()
+	db.InsertAll(res.Facts)
+	return s.LoadProgram(res.Program, db)
+}
+
+// LoadProgram is the embedding entry point of Load: materialize an
+// already-parsed program over the given base facts (the DB is cloned by
+// the engine; the caller keeps ownership) and publish the first epoch of
+// a fresh generation.
+func (s *Service) LoadProgram(prog *logic.Program, base *storage.DB) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := prog.Validate(); err != nil {
+		return 0, fmt.Errorf("service: load: %w", err)
+	}
+	eng, err := incremental.New(prog, base)
+	if err != nil {
+		return 0, fmt.Errorf("service: load: %w", err)
+	}
+	// A fresh generation: in-flight queries of the previous one keep
+	// their epoch's generation pointer, so they resolve and render
+	// against the old naming context until they drain.
+	s.gen = &generation{prog: prog, plans: make(map[planKey]*storage.ScanPlan)}
+	s.eng = eng
+	return s.publish(), nil
+}
+
+// LoadCSV bulk-loads one relation of base facts from CSV through the
+// streaming path: rows stage into columnar tuple buffers
+// (relio.LoadBuffered) and land batch by batch via the engine's
+// MergeBuffers-based InsertBulk, each batch followed by one delta
+// fixpoint. Holds the naming-context write lock for the duration of the
+// stream (rows intern constants), so queries queue behind large loads —
+// the administrative trade-off of the bulk path. Returns rows staged and
+// the published epoch.
+//
+// The load is batch-committed, not transactional: on a mid-stream error
+// (ragged row, arity conflict) the batches already landed stay applied,
+// and an epoch containing them is still published so the partial state
+// is visible and tagged immediately — the returned error and epoch
+// report exactly what committed.
+func (s *Service) LoadCSV(pred string, r io.Reader) (int, uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.eng == nil {
+		return 0, 0, ErrNotLoaded
+	}
+	s.maybeCompact()
+	landed := 0
+	s.nameMu.Lock()
+	staged, err := relio.LoadBuffered(s.gen.prog, r, pred, s.opt.CSVBatch, func(b *storage.TupleBuffer) error {
+		n, err := s.eng.InsertBulk([]*storage.TupleBuffer{b})
+		landed += n
+		return err
+	})
+	s.nameMu.Unlock()
+	var seq uint64
+	if landed > 0 || err == nil {
+		seq = s.publish()
+	}
+	if err != nil {
+		return staged, seq, fmt.Errorf("service: load csv: %w", err)
+	}
+	return staged, seq, nil
+}
+
+// parseFacts parses an update payload ("e(a,b). e(b,c).") against the
+// loaded program's naming context, rejecting rules and queries.
+func (s *Service) parseFacts(src string) (*parser.Result, error) {
+	// A scratch program sharing the naming context: parsed TGDs must not
+	// leak into the served rule set.
+	tmp := &logic.Program{Store: s.gen.prog.Store, Reg: s.gen.prog.Reg}
+	s.nameMu.Lock()
+	res, err := parser.ParseInto(tmp, src)
+	s.nameMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if len(tmp.TGDs) > 0 || len(res.Queries) > 0 {
+		return nil, errors.New("update payload must contain facts only")
+	}
+	return res, nil
+}
+
+// Insert asserts base facts (surface syntax, facts only) and publishes
+// the resulting epoch.
+func (s *Service) Insert(src string) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.eng == nil {
+		return 0, ErrNotLoaded
+	}
+	s.maybeCompact()
+	res, err := s.parseFacts(src)
+	if err != nil {
+		return 0, fmt.Errorf("service: insert: %w", err)
+	}
+	if err := s.eng.Insert(res.Facts...); err != nil {
+		return 0, fmt.Errorf("service: insert: %w", err)
+	}
+	return s.publish(), nil
+}
+
+// Delete retracts base facts (DRed maintenance) and publishes the
+// resulting epoch.
+func (s *Service) Delete(src string) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.eng == nil {
+		return 0, ErrNotLoaded
+	}
+	s.maybeCompact()
+	res, err := s.parseFacts(src)
+	if err != nil {
+		return 0, fmt.Errorf("service: delete: %w", err)
+	}
+	if err := s.eng.Delete(res.Facts...); err != nil {
+		return 0, fmt.Errorf("service: delete: %w", err)
+	}
+	return s.publish(), nil
+}
+
+// Stats is a point-in-time service report.
+type Stats struct {
+	Loaded        bool              `json:"loaded"`
+	Epoch         uint64            `json:"epoch"`
+	Facts         int               `json:"facts"`
+	Queries       uint64            `json:"queries"`
+	EpochsDrained uint64            `json:"epochs_drained"`
+	Engine        incremental.Stats `json:"engine"`
+}
+
+// Stats reports the current epoch, the live fact count of its snapshot,
+// and the accumulated maintenance counters.
+func (s *Service) Stats() Stats {
+	st := Stats{
+		Queries:       s.queries.Load(),
+		EpochsDrained: s.drained.Load(),
+	}
+	if e, err := s.acquire(); err == nil {
+		st.Loaded = true
+		st.Epoch = e.seq
+		st.Facts = e.snap.DB().Len()
+		e.release()
+	}
+	s.mu.Lock()
+	if s.eng != nil {
+		st.Engine = s.eng.Stats()
+	}
+	s.mu.Unlock()
+	return st
+}
+
+// Close retires the current epoch. Queries in flight finish against
+// their pinned snapshots; new queries fail with ErrNotLoaded. Callers
+// (the HTTP server) drain handlers before Close returns the service to
+// an unloaded state.
+func (s *Service) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old := s.cur.Swap(nil); old != nil {
+		old.release()
+	}
+	s.eng = nil
+}

@@ -125,6 +125,11 @@ func (b *TupleBuffer) Append(pred schema.PredID, args []term.Term) {
 // Len reports the number of staged tuples (duplicates included).
 func (b *TupleBuffer) Len() int { return b.rows }
 
+// Touched returns the predicates holding at least one staged tuple, in
+// first-append order. Read-only; bulk consumers (the incremental engine's
+// InsertBulk) use it to validate staged predicates before merging.
+func (b *TupleBuffer) Touched() []schema.PredID { return b.touched }
+
 // Reset empties the buffer, keeping every backing array for reuse (the
 // distinct-estimate set is zeroed in place — a flat memclr).
 func (b *TupleBuffer) Reset() {

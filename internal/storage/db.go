@@ -35,6 +35,24 @@ type DB struct {
 	// dead is the total number of tombstoned rows across relations; Len and
 	// the per-window counts report live rows only.
 	dead int
+	// holes counts insertion-log entries whose rows were physically
+	// reclaimed by a localized Compact (row == holeRow): neither live nor
+	// tombstoned, skipped by every log walk. The log itself is squashed
+	// only once holes dominate (see compact.go).
+	holes int
+	// frozen marks a snapshot view: every mutating operation panics.
+	frozen bool
+}
+
+// holeRow is the rowRef.row sentinel of a reclaimed insertion-log entry.
+const holeRow int32 = -1
+
+// mutable panics when the DB is a frozen snapshot view — the guard on
+// every mutating entry point.
+func (db *DB) mutable() {
+	if db.frozen {
+		panic("storage: mutating a frozen snapshot view")
+	}
 }
 
 // rowRef locates one fact: the relation of pred, local row index row.
@@ -83,12 +101,16 @@ func (db *DB) Insert(a atom.Atom) bool {
 // insertion path the compiled-plan executors drive with their head
 // scratch buffers.
 func (db *DB) InsertArgs(pred schema.PredID, args []term.Term) bool {
+	db.mutable()
 	for _, t := range args {
 		if t.IsVar() {
 			panic("storage: inserting non-ground atom")
 		}
 	}
 	r := db.rel(pred, len(args))
+	if r.shared {
+		r.detach()
+	}
 	h := hashArgs(pred, args)
 	if _, ok := r.find(h, args); ok {
 		return false
@@ -136,7 +158,7 @@ func (db *DB) ContainsArgs(pred schema.PredID, args []term.Term) bool {
 }
 
 // Len reports the number of live stored atoms (tombstoned rows excluded).
-func (db *DB) Len() int { return len(db.order) - db.dead }
+func (db *DB) Len() int { return len(db.order) - db.dead - db.holes }
 
 // CountPred reports the number of live atoms with the given predicate.
 func (db *DB) CountPred(p schema.PredID) int {
@@ -181,6 +203,9 @@ func (db *DB) Facts(p schema.PredID) []atom.Atom {
 func (db *DB) All() []atom.Atom {
 	out := make([]atom.Atom, 0, db.Len())
 	for _, ref := range db.order {
+		if ref.row == holeRow {
+			continue
+		}
 		r := db.rels[ref.pred]
 		if r.nDead != 0 && r.isDead(ref.row) {
 			continue
@@ -202,6 +227,7 @@ func (db *DB) Clone() *DB {
 		rels:  make([]*relation, len(db.rels)),
 		order: db.order[:len(db.order):len(db.order)],
 		dead:  db.dead,
+		holes: db.holes,
 	}
 	for p, r := range db.rels {
 		if r != nil {

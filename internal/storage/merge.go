@@ -28,6 +28,7 @@ import (
 // contiguously in the insertion log, so Mark-based delta windows stay
 // contiguous local row ranges.
 func (db *DB) MergeBuffers(bufs []*TupleBuffer, par int) int {
+	db.mutable()
 	// Deterministic predicate order, with per-predicate distinct estimates
 	// for table pre-sizing: summing each buffer's local distinct count
 	// (rather than its raw staged-row count) keeps duplicate-heavy rounds
@@ -56,6 +57,9 @@ func (db *DB) MergeBuffers(bufs []*TupleBuffer, par int) int {
 	mergeOne := func(pi int) {
 		p := preds[pi]
 		r := db.rels[p]
+		if r.shared {
+			r.detach()
+		}
 		base := r.rows()
 		r.growTabTo(base + staged[p])
 		for _, b := range bufs {

@@ -1,6 +1,8 @@
 package storage
 
 import (
+	"sync/atomic"
+
 	"repro/internal/atom"
 	"repro/internal/schema"
 	"repro/internal/term"
@@ -43,6 +45,15 @@ type relation struct {
 	// of tombstoned rows. See tombstone.go.
 	dead  []uint64
 	nDead int
+	// shared marks that a live snapshot captured the in-place-mutated
+	// structures (tab, idx, over's outer slice, dead); the next mutator
+	// must detach (copy them) before writing. pins counts live snapshots
+	// referencing this relation's backings: Compact defers pinned
+	// relations. pins is atomic because snapshots release from reader
+	// goroutines; shared is only touched on the writer side. See
+	// snapshot.go.
+	shared bool
+	pins   atomic.Int32
 }
 
 func newRelation(pred schema.PredID, arity int) *relation {

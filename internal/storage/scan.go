@@ -333,8 +333,13 @@ func postingLowerBound(rows []int32, lo int32) int {
 
 // Row returns the stored atom at the given insertion index. Compiled plans
 // use insertion indexes for provenance; Row panics on out-of-range input
-// exactly like a slice access.
+// exactly like a slice access, and on indexes whose row a localized
+// Compact reclaimed (provenance consumers never delete, so they never
+// see holes).
 func (db *DB) Row(i int) atom.Atom {
 	ref := db.order[i]
+	if ref.row == holeRow {
+		panic("storage: Row at a compacted insertion-log hole")
+	}
 	return db.rels[ref.pred].atomAt(ref.row)
 }

@@ -1,0 +1,148 @@
+package storage
+
+import (
+	"sync/atomic"
+
+	"repro/internal/term"
+)
+
+// Snapshots: epoch-pinned read-only views of a live instance.
+//
+// A snapshot is the storage substrate of the reasoning service: many
+// reader goroutines evaluate queries lock-free against a snapshot while a
+// single writer keeps applying inserts, tombstones, and compaction to the
+// originating DB. The mechanism is the cap-limited-sharing discipline that
+// already makes Clone cheap, taken one step further:
+//
+//   - The append-only columns (cols, global, hashes, the insertion log)
+//     are captured as cap-limited views. The writer's appends land at
+//     indexes the view can never reach, so they need no coordination.
+//   - The in-place-mutated structures — the dedup table, the posting maps,
+//     the overflow table's outer slice, the liveness bitmap — are SHARED
+//     at capture time and copy-on-write on the writer's side: the first
+//     mutating operation on a relation after a snapshot captured it
+//     replaces them with private copies (relation.detach) before writing.
+//     The snapshot keeps the originals, which are immutable from then on.
+//
+// Snapshot() itself therefore costs O(#relations) header copies; the
+// writer pays one detach — O(dedup table + posting keys) — per (snapshot
+// epoch, relation it actually mutates). Relations untouched by an epoch's
+// updates are never copied at all.
+//
+// Each captured relation also carries an atomic pin count. Compact defers
+// relations with live pins instead of reclaiming them, so a long-running
+// reader never holds the double-memory cost of a rewrite-under-pin; the
+// caller re-runs Compact after snapshots release (see Compact).
+
+// Snapshot is a read-only view of a DB at one instant. The view is
+// reachable through DB(): a frozen *storage.DB on which every read path —
+// Probe, MatchEach, EvalCQ, Facts, All, Contains — works unchanged, and
+// every mutating path panics. Snapshots are safe for concurrent readers;
+// Release must be called exactly once when no reader uses the view
+// anymore (the service refcounts its epochs for this).
+type Snapshot struct {
+	db       *DB
+	pinned   []*relation
+	released atomic.Bool
+}
+
+// Snapshot captures the current state of the instance. The returned view
+// observes exactly the facts live at this instant, regardless of later
+// inserts, tombstones, or compaction on the receiver. Snapshotting a
+// snapshot is a programming error (panic); Clone a snapshot instead to
+// get a private mutable copy.
+func (db *DB) Snapshot() *Snapshot {
+	if db.frozen {
+		panic("storage: Snapshot of a frozen snapshot view")
+	}
+	out := &DB{
+		rels:   make([]*relation, len(db.rels)),
+		order:  db.order[:len(db.order):len(db.order)],
+		dead:   db.dead,
+		holes:  db.holes,
+		frozen: true,
+	}
+	s := &Snapshot{db: out, pinned: make([]*relation, 0, len(db.rels))}
+	for p, r := range db.rels {
+		if r == nil {
+			continue
+		}
+		// Mark the live relation shared — its next in-place mutation must
+		// detach — and pin it against physical reclamation.
+		r.shared = true
+		r.pins.Add(1)
+		s.pinned = append(s.pinned, r)
+		out.rels[p] = r.view()
+	}
+	return s
+}
+
+// DB returns the frozen view. All read APIs of storage.DB apply; mutating
+// it panics. Clone() of the view yields a normal private mutable DB (the
+// rule-defined-view query path evaluates programs over such clones).
+func (s *Snapshot) DB() *DB { return s.db }
+
+// Release unpins the snapshot's relations, allowing Compact on the source
+// DB to reclaim them. Idempotent; reading the view after Release is a
+// use-after-free in spirit (the backings stay valid only until the source
+// compacts them away — callers must not race Release with readers).
+func (s *Snapshot) Release() {
+	if s.released.Swap(true) {
+		return
+	}
+	for _, r := range s.pinned {
+		r.pins.Add(-1)
+	}
+}
+
+// view captures the relation's current state as an immutable relation
+// struct: append-only columns cap-limited, in-place-mutated structures
+// shared (the source detaches before its next mutation, so what the view
+// holds never changes).
+func (r *relation) view() *relation {
+	return &relation{
+		pred:   r.pred,
+		arity:  r.arity,
+		cols:   r.cols[:len(r.cols):len(r.cols)],
+		global: r.global[:len(r.global):len(r.global)],
+		hashes: r.hashes[:len(r.hashes):len(r.hashes)],
+		tab:    r.tab,
+		idx:    r.idx,
+		over:   r.over,
+		dead:   r.dead,
+		nDead:  r.nDead,
+	}
+}
+
+// detach gives the relation private copies of every structure a snapshot
+// may share and the writer mutates in place: the dedup table, the posting
+// maps, the overflow table's outer slice, and the liveness bitmap. The
+// append-only columns stay shared (appends are invisible to cap-limited
+// views). Called by every in-place mutator when r.shared is set; runs at
+// most once per (snapshot, relation).
+func (r *relation) detach() {
+	r.tab = append([]int32(nil), r.tab...)
+	nidx := make([]map[term.Term]int32, len(r.idx))
+	for i, m := range r.idx {
+		nm := make(map[term.Term]int32, len(m))
+		for t, v := range m {
+			nm[t] = v
+		}
+		nidx[i] = nm
+	}
+	r.idx = nidx
+	r.over = append([][]int32(nil), r.over...)
+	r.dead = append([]uint64(nil), r.dead...)
+	r.shared = false
+}
+
+// pinnedLive reports whether any relation of the DB is pinned by a live
+// snapshot — the guard that defers insertion-log squashing.
+func (db *DB) pinnedLive() bool {
+	for _, r := range db.rels {
+		if r != nil && r.pins.Load() > 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -122,9 +122,13 @@ func (r *relation) deadInRange(lo, hi int) int {
 // place: scans, probes, counts, and containment stop seeing it, but no
 // column moves and no store is rebuilt. Reports whether the row was live.
 func (db *DB) Tombstone(pred schema.PredID, row int32) bool {
+	db.mutable()
 	r := db.relOf(pred)
 	if r == nil || int(row) >= r.rows() {
 		return false
+	}
+	if r.shared {
+		r.detach()
 	}
 	if !r.kill(row) {
 		return false
@@ -137,9 +141,13 @@ func (db *DB) Tombstone(pred schema.PredID, row int32) bool {
 // path. Only sound while no equal live row exists (see relation.revive).
 // Reports whether the row was dead.
 func (db *DB) Revive(pred schema.PredID, row int32) bool {
+	db.mutable()
 	r := db.relOf(pred)
 	if r == nil || int(row) >= r.rows() {
 		return false
+	}
+	if r.shared {
+		r.detach()
 	}
 	if !r.revive(row) {
 		return false
