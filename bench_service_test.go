@@ -2,10 +2,13 @@ package repro
 
 import (
 	"fmt"
+	"io"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/datalog"
 	"repro/internal/service"
@@ -199,6 +202,112 @@ func fullIWardedScenario(b *testing.B) (*service.Service, *service.QueryRequest,
 	}
 	b.Fatal("no full-Datalog iWarded scenario in the suite")
 	return nil, nil, nil
+}
+
+// --------------------------------------------------------------------
+// S2 — load/query interference: pattern-query latency while a bulk CSV
+// stream is landing through the pipelined LoadCSV path. The "idle"
+// variant is the reference latency with no writer; "streaming" runs the
+// same queries while a background LoadCSV continuously parses, interns,
+// and batch-merges rows of an unused extensional predicate (every row
+// interns two fresh constants, so the naming context is under constant
+// concurrent write). The acceptance bar for the pipelined path is
+// streaming latency within ~3x idle — under the old whole-stream naming
+// lock, streaming queries serialized behind the entire load instead.
+// NOTE: this container pins one CPU; on it, "streaming" measures the
+// per-batch critical sections and interning contention only, not true
+// core-parallel overlap — re-record on multi-core.
+// --------------------------------------------------------------------
+
+// csvRowGen generates distinct two-column CSV rows until stopped, then
+// EOF. It feeds LoadCSV an endless stream without any disk or goroutine
+// of its own — the parser pulls rows as fast as it can intern them.
+type csvRowGen struct {
+	stop *atomic.Bool
+	i    int
+	rem  []byte
+}
+
+func (g *csvRowGen) Read(p []byte) (int, error) {
+	if len(g.rem) == 0 {
+		if g.stop.Load() {
+			return 0, io.EOF
+		}
+		for k := 0; k < 64; k++ {
+			g.rem = fmt.Appendf(g.rem, "x%d,y%d\n", g.i, g.i)
+			g.i++
+		}
+	}
+	n := copy(p, g.rem)
+	g.rem = g.rem[n:]
+	return n, nil
+}
+
+func BenchmarkS2_LoadInterference(b *testing.B) {
+	const n = 256
+	req := &service.QueryRequest{Pred: "t", Args: []string{"n0", "_"}}
+	query := func(b *testing.B, svc *service.Service) {
+		resp, err := svc.Query(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(resp.Tuples) != n-1 {
+			b.Fatalf("t(n0,_) = %d tuples, want %d", len(resp.Tuples), n-1)
+		}
+	}
+	b.Run("TC-256/idle", func(b *testing.B) {
+		svc := serviceTC(b, n)
+		defer svc.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			query(b, svc)
+		}
+	})
+	b.Run("TC-256/streaming", func(b *testing.B) {
+		res := mustParse(b, tcLinear)
+		base := workload.Chain(n).DB(res.Program, "e", "n")
+		// Small batches keep load landings interleaving with the timed
+		// queries instead of one giant deferred merge at EOF.
+		svc := service.New(service.Options{CSVBatch: 2048})
+		if _, err := svc.LoadProgram(res.Program, base); err != nil {
+			b.Fatal(err)
+		}
+		defer svc.Close()
+		first := svc.Stats().Epoch
+		var stop atomic.Bool
+		gen := &csvRowGen{stop: &stop}
+		type result struct {
+			staged int
+			err    error
+		}
+		done := make(chan result, 1)
+		go func() {
+			staged, _, err := svc.LoadCSV("bulk", gen)
+			done <- result{staged, err}
+		}()
+		// Wait until the stream is genuinely mid-flight (first batch
+		// published) so every timed query races a live load.
+		deadline := time.Now().Add(10 * time.Second)
+		for svc.Stats().Epoch == first {
+			if time.Now().After(deadline) {
+				b.Fatal("bulk load never landed a batch")
+			}
+			runtime.Gosched()
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			query(b, svc)
+		}
+		b.StopTimer()
+		stop.Store(true)
+		lr := <-done
+		if lr.err != nil {
+			b.Fatal(lr.err)
+		}
+		b.ReportMetric(float64(lr.staged)/float64(b.N), "loadrows/query")
+	})
 }
 
 func BenchmarkS1_ServiceMixed(b *testing.B) {

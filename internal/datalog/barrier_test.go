@@ -1,0 +1,141 @@
+package datalog
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/atom"
+	"repro/internal/parser"
+	"repro/internal/storage"
+)
+
+// tcNonLinear is the non-linear transitive closure: the recursive rule
+// joins two atoms over the growing predicate, so a round's own output
+// re-enters the round's joins under direct insertion.
+const tcNonLinear = `
+t(X,Y) :- e(X,Y).
+t(X,Z) :- t(X,Y), t(Y,Z).
+`
+
+// TestBarrierMatchesDefault: on non-linear programs the barrier fixpoint
+// derives exactly the same instance as the direct-insert fixpoint, across
+// stratification and bias settings and random edge sets.
+func TestBarrierMatchesDefault(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + rng.Intn(8)
+		src := tcNonLinear + `
+s(X) :- t(X,X).
+u(X,Z) :- s(X), t(X,Z).
+`
+		r, err := parser.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db := storage.NewDB()
+		e, _ := r.Program.Reg.Lookup("e")
+		for i := 0; i < n*2; i++ {
+			a := r.Program.Store.Const(fmt.Sprintf("v%d", rng.Intn(n)))
+			b := r.Program.Store.Const(fmt.Sprintf("v%d", rng.Intn(n)))
+			db.Insert(atom.New(e, a, b))
+		}
+		base := Options{Stratify: trial%2 == 0, BiasRecursiveAtom: trial%3 == 0}
+		plain, _, err := Eval(r.Program, db, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		withBarrier := base
+		withBarrier.Barrier = true
+		barrier, _, err := Eval(r.Program, db, withBarrier)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if barrier.Len() != plain.Len() {
+			t.Fatalf("trial %d: barrier %d facts, default %d", trial, barrier.Len(), plain.Len())
+		}
+		for _, f := range plain.All() {
+			if !barrier.Contains(f) {
+				t.Fatalf("trial %d: barrier missing %v", trial, f)
+			}
+		}
+	}
+}
+
+// TestBarrierCutsProbesOnNonLinear: on a non-linear closure over a chain,
+// freezing the instance at round boundaries must strictly reduce probe
+// work — the same facts are derived, but each is probed in one window
+// instead of two.
+func TestBarrierCutsProbesOnNonLinear(t *testing.T) {
+	var facts string
+	for i := 0; i < 48; i++ {
+		facts += fmt.Sprintf("e(n%d,n%d).\n", i, i+1)
+	}
+	r, db := load(t, tcNonLinear+facts)
+	_, plain, err := Eval(r.Program, db, Options{Stratify: true, BiasRecursiveAtom: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, barrier, err := Eval(r.Program, db, Options{Stratify: true, BiasRecursiveAtom: true, Barrier: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if barrier.Derived != plain.Derived {
+		t.Fatalf("derived diverged: barrier %d, default %d", barrier.Derived, plain.Derived)
+	}
+	if barrier.Probes >= plain.Probes {
+		t.Fatalf("barrier did not cut probes: barrier=%d default=%d", barrier.Probes, plain.Probes)
+	}
+	t.Logf("probes: default=%d barrier=%d (%.1f%% cut)",
+		plain.Probes, barrier.Probes, 100*float64(plain.Probes-barrier.Probes)/float64(plain.Probes))
+}
+
+// TestBarrierLinearStrataUnchanged: linear strata keep the direct-insert
+// path — with Barrier set, a linear program runs the identical schedule
+// (same rounds, same probes).
+func TestBarrierLinearStrataUnchanged(t *testing.T) {
+	var facts string
+	for i := 0; i < 30; i++ {
+		facts += fmt.Sprintf("e(n%d,n%d).\n", i, i+1)
+	}
+	r, db := load(t, tcLinear+facts)
+	_, plain, err := Eval(r.Program, db, Options{Stratify: true, BiasRecursiveAtom: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, barrier, err := Eval(r.Program, db, Options{Stratify: true, BiasRecursiveAtom: true, Barrier: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if barrier.Rounds != plain.Rounds || barrier.Probes != plain.Probes {
+		t.Fatalf("linear stratum took the barrier path: rounds %d/%d probes %d/%d",
+			barrier.Rounds, plain.Rounds, barrier.Probes, plain.Probes)
+	}
+}
+
+// TestBarrierWithNegation: the barrier path preserves stratified-negation
+// semantics — negated atoms range over closed lower strata, so checking
+// them against the frozen instance is equivalent.
+func TestBarrierWithNegation(t *testing.T) {
+	src := tcNonLinear + `
+iso(X) :- node(X), !t(X,X).
+node(a). node(b). node(c). node(d).
+e(a,b). e(b,c). e(c,a).
+`
+	r, db := load(t, src)
+	plain, _, err := Eval(r.Program, db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	barrier, _, err := Eval(r.Program, db, Options{Barrier: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Len() != barrier.Len() {
+		t.Fatalf("negation under barrier diverged: %d vs %d", barrier.Len(), plain.Len())
+	}
+	iso, _ := r.Program.Reg.Lookup("iso")
+	if n := barrier.CountPred(iso); n != 1 { // only d is off the cycle
+		t.Fatalf("iso count = %d, want 1", n)
+	}
+}

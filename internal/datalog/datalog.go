@@ -33,6 +33,19 @@ type Options struct {
 	// joined in written order after the delta atom, without connectivity
 	// reordering.
 	BiasRecursiveAtom bool
+	// Barrier stages each round's derivations in a columnar tuple buffer
+	// and lands them in one bulk merge at the round boundary instead of
+	// inserting them mid-round. The delta window of a round is then
+	// EXACTLY the previous round's output — disjoint from the round's own
+	// derivations, which under direct insertion extend the window while
+	// the round still runs and get re-probed both in their own round and
+	// the next. Engaged only on non-linear strata (some rule joins two or
+	// more atoms over the stratum's growing predicates), where the
+	// double-probing is quadratic in the delta; linear strata keep the
+	// direct-insert path, whose windows are already cheap. The fixpoint is
+	// unchanged — a derivation deferred one round still lands — only round
+	// counts and probe counts move.
+	Barrier bool
 	// Adaptive re-picks each rule's join-order variant every round from
 	// current predicate cardinalities (plan.ChooseAlt over the plans'
 	// precompiled alternatives — the ROADMAP "index swap"): when a delta
@@ -177,6 +190,10 @@ func (e *evaluator) evalStratified() {
 // predicate is in the set (stratified mode); nil means any body atom can be
 // a delta position.
 func (e *evaluator) fixpoint(rules []int, growing map[schema.PredID]bool) {
+	if e.opt.Barrier && e.nonLinear(rules, growing) {
+		e.fixpointBarrier(rules, growing)
+		return
+	}
 	mark := storage.Mark(0)
 	for round := 1; ; round++ {
 		e.stats.Rounds++
@@ -194,6 +211,75 @@ func (e *evaluator) fixpoint(rules []int, growing map[schema.PredID]bool) {
 			}
 		}
 		added := e.db.Len() - before
+		e.stats.Derived += added
+		if added > e.stats.PeakDelta {
+			e.stats.PeakDelta = added
+		}
+		mark = next
+		if added == 0 {
+			return
+		}
+	}
+}
+
+// nonLinear reports whether some rule of the group joins >= 2 body atoms
+// over the group's growing predicates — the shape where a round's own
+// output re-enters the round's joins through the non-delta positions. For
+// an unstratified fixpoint (growing nil) the head predicates of the group
+// stand in for the growing set.
+func (e *evaluator) nonLinear(rules []int, growing map[schema.PredID]bool) bool {
+	if growing == nil {
+		growing = make(map[schema.PredID]bool, len(rules))
+		for _, ri := range rules {
+			growing[e.prog.TGDs[ri].Head[0].Pred] = true
+		}
+	}
+	for _, ri := range rules {
+		n := 0
+		for _, b := range e.prog.TGDs[ri].Body {
+			if growing[b.Pred] {
+				n++
+			}
+		}
+		if n >= 2 {
+			return true
+		}
+	}
+	return false
+}
+
+// fixpointBarrier is the Options.Barrier variant of fixpoint: rounds
+// stage head images into a tuple buffer and land them in one MergeBuffers
+// at the round boundary, so every join of round r probes an instance
+// frozen at the end of round r-1 and the delta window [mark, next) is
+// disjoint from the round's own output.
+func (e *evaluator) fixpointBarrier(rules []int, growing map[schema.PredID]bool) {
+	buf := storage.NewTupleBuffer()
+	mark := storage.Mark(0)
+	for round := 1; ; round++ {
+		e.stats.Rounds++
+		next := e.db.Mark()
+		for _, ri := range rules {
+			t := e.prog.TGDs[ri]
+			deltas := e.deltaPositions(t, growing, round)
+			for _, di := range deltas {
+				alt := 0
+				if e.opt.Adaptive {
+					alt = plan.ChooseAlt(e.db, e.plans.Rules[ri], di, mark)
+				}
+				ex := e.exec(ri)
+				hasNeg := len(ex.Rule.Neg) > 0
+				ex.RunAlt(e.db, di, alt, mark, 0, 1, func() bool {
+					if hasNeg && ex.Blocked(e.db) {
+						return true
+					}
+					ex.HeadAppend(0, buf)
+					return true
+				})
+			}
+		}
+		added := e.db.MergeBuffers([]*storage.TupleBuffer{buf}, 1)
+		buf.Reset()
 		e.stats.Derived += added
 		if added > e.stats.PeakDelta {
 			e.stats.PeakDelta = added

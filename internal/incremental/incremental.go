@@ -30,6 +30,7 @@ package incremental
 import (
 	"fmt"
 	"math/bits"
+	"runtime"
 
 	"repro/internal/analysis"
 	"repro/internal/atom"
@@ -190,9 +191,12 @@ func (e *Engine) InsertBulk(bufs []*storage.TupleBuffer) (int, error) {
 	}
 	mark := e.db.Mark()
 	// The extensional slice of db equals base, so the two merges accept
-	// exactly the same rows.
-	added := e.db.MergeBuffers(bufs, 1)
-	e.base.MergeBuffers(bufs, 1)
+	// exactly the same rows. Large batches engage the sharded
+	// intra-relation merge when cores are available; the result is
+	// deterministic for any par.
+	par := runtime.GOMAXPROCS(0)
+	added := e.db.MergeBuffers(bufs, par)
+	e.base.MergeBuffers(bufs, par)
 	e.stats.Inserted += added
 	if added > 0 {
 		e.stats.DerivedNew += e.deltaFixpoint(mark)

@@ -1,0 +1,199 @@
+package intern
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestMapArenaSequentialIDs: single-threaded interning through a Map+Arena
+// pair assigns dense sequential IDs in first-intern order, and both
+// directions agree.
+func TestMapArenaSequentialIDs(t *testing.T) {
+	m := NewMap()
+	a := NewArena[string]()
+	for i := 0; i < 5000; i++ {
+		name := fmt.Sprintf("n%d", i)
+		id, isNew := m.Intern(name, func() uint32 { return a.Append(name) })
+		if !isNew || id != uint32(i) {
+			t.Fatalf("intern %q: got (%d,%v), want (%d,true)", name, id, isNew, i)
+		}
+	}
+	for i := 0; i < 5000; i++ {
+		name := fmt.Sprintf("n%d", i)
+		id, isNew := m.Intern(name, func() uint32 { panic("alloc on re-intern") })
+		if isNew || id != uint32(i) {
+			t.Fatalf("re-intern %q: got (%d,%v), want (%d,false)", name, id, isNew, i)
+		}
+		if got, ok := a.Get(uint32(i)); !ok || got != name {
+			t.Fatalf("arena get %d: got (%q,%v), want %q", i, got, ok, name)
+		}
+	}
+	if a.Len() != 5000 {
+		t.Fatalf("arena len = %d, want 5000", a.Len())
+	}
+	if _, ok := a.Get(5000); ok {
+		t.Fatal("arena get past end succeeded")
+	}
+	if _, ok := m.Lookup("nope"); ok {
+		t.Fatal("lookup of unknown name succeeded")
+	}
+}
+
+// TestMapConcurrentIntern: G goroutines intern overlapping name sets; every
+// name ends with exactly one stable ID, IDs are a permutation of 0..n-1,
+// and lookups during interning never observe a wrong binding. Run with
+// -race.
+func TestMapConcurrentIntern(t *testing.T) {
+	const (
+		workers = 8
+		names   = 2000
+	)
+	m := NewMap()
+	a := NewArena[string]()
+	got := make([]map[string]uint32, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			mine := make(map[string]uint32, names)
+			// Each worker walks the shared name set from a different offset,
+			// so shard contention and first-intern races are maximized.
+			for i := 0; i < names; i++ {
+				name := fmt.Sprintf("k%d", (i*7+w*names/workers)%names)
+				id, _ := m.Intern(name, func() uint32 { return a.Append(name) })
+				if prev, ok := mine[name]; ok && prev != id {
+					t.Errorf("worker %d: %q changed ID %d -> %d", w, name, prev, id)
+					return
+				}
+				mine[name] = id
+				// The inverse direction must already serve the new ID.
+				if back, ok := a.Get(id); !ok || back != name {
+					t.Errorf("worker %d: arena(%d) = (%q,%v), want %q", w, id, back, ok, name)
+					return
+				}
+			}
+			got[w] = mine
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if a.Len() != names {
+		t.Fatalf("arena len = %d, want %d", a.Len(), names)
+	}
+	seen := make(map[uint32]string, names)
+	for w := 1; w < workers; w++ {
+		for name, id := range got[w] {
+			if got[0][name] != id {
+				t.Fatalf("workers disagree on %q: %d vs %d", name, got[0][name], id)
+			}
+		}
+	}
+	for name, id := range got[0] {
+		if other, dup := seen[id]; dup {
+			t.Fatalf("ID %d assigned to both %q and %q", id, other, name)
+		}
+		seen[id] = name
+		if int(id) >= names {
+			t.Fatalf("ID %d out of dense range [0,%d)", id, names)
+		}
+	}
+}
+
+// TestCloneIndependence: a clone shares history but diverges from the
+// moment of the copy — new interns on either side are invisible to the
+// other, while pre-clone IDs resolve identically on both.
+func TestCloneIndependence(t *testing.T) {
+	m := NewMap()
+	a := NewArena[string]()
+	intern := func(mm *Map, aa *Arena[string], name string) uint32 {
+		id, _ := mm.Intern(name, func() uint32 { return aa.Append(name) })
+		return id
+	}
+	// Enough names to fill past one chunk, so the clone shares full chunks
+	// and copies a partial tail.
+	for i := 0; i < chunkLen+100; i++ {
+		intern(m, a, fmt.Sprintf("c%d", i))
+	}
+	m2, a2 := m.Clone(), a.Clone()
+	idA := intern(m, a, "only-original")
+	idB := intern(m2, a2, "only-clone")
+	if idA != idB || idA != uint32(chunkLen+100) {
+		t.Fatalf("post-clone IDs diverged from sequence: %d vs %d", idA, idB)
+	}
+	if v, _ := a.Get(idA); v != "only-original" {
+		t.Fatalf("original arena: got %q", v)
+	}
+	if v, _ := a2.Get(idB); v != "only-clone" {
+		t.Fatalf("clone arena: got %q", v)
+	}
+	if _, ok := m2.Lookup("only-original"); ok {
+		t.Fatal("clone sees original's post-clone intern")
+	}
+	if _, ok := m.Lookup("only-clone"); ok {
+		t.Fatal("original sees clone's post-clone intern")
+	}
+	for i := 0; i < chunkLen+100; i++ {
+		name := fmt.Sprintf("c%d", i)
+		if id, ok := m2.Lookup(name); !ok || id != uint32(i) {
+			t.Fatalf("clone lookup %q: (%d,%v)", name, id, ok)
+		}
+		if v, ok := a2.Get(uint32(i)); !ok || v != name {
+			t.Fatalf("clone arena %d: (%q,%v)", i, v, ok)
+		}
+	}
+}
+
+// TestCloneUnderConcurrentIntern: cloning while another goroutine interns
+// must yield a self-consistent prefix (every ID below the clone's length
+// resolves, and lookups through the clone agree with the source). Run with
+// -race.
+func TestCloneUnderConcurrentIntern(t *testing.T) {
+	m := NewMap()
+	a := NewArena[string]()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			name := fmt.Sprintf("g%d", i)
+			m.Intern(name, func() uint32 { return a.Append(name) })
+		}
+	}()
+	for k := 0; k < 50; k++ {
+		a2 := a.Clone()
+		n := a2.Len()
+		check := func(i int) {
+			want := fmt.Sprintf("g%d", i)
+			if v, ok := a2.Get(uint32(i)); !ok || v != want {
+				t.Errorf("clone %d: arena(%d) = (%q,%v), want %q", k, i, v, ok, want)
+			}
+		}
+		// Verify a bounded sample rather than the whole prefix: the
+		// interner keeps growing the arena, so full-prefix checks turn
+		// quadratic (minutes under -race). The head exercises shared full
+		// chunks, the tail the partial-chunk deep copy — the two regimes
+		// a racing clone can get wrong.
+		head := min(n, 512)
+		for i := 0; i < head; i++ {
+			check(i)
+		}
+		for i := max(head, n-512); i < n; i++ {
+			check(i)
+		}
+		if t.Failed() {
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -62,6 +62,22 @@ func Load(prog *logic.Program, db *storage.DB, r io.Reader, pred string) (int, e
 // land error aborts the load. Returns the number of rows staged
 // (duplicates included — the merge dedups).
 func LoadBuffered(prog *logic.Program, r io.Reader, pred string, batch int, land func(*storage.TupleBuffer) error) (int, error) {
+	return LoadBufferedSwap(prog, r, pred, batch, func(b *storage.TupleBuffer) (*storage.TupleBuffer, error) {
+		if err := land(b); err != nil {
+			return nil, err
+		}
+		b.Reset()
+		return b, nil
+	})
+}
+
+// LoadBufferedSwap is LoadBuffered with buffer EXCHANGE instead of reuse:
+// swap receives each filled buffer and returns the (reset) buffer to fill
+// next. Handing ownership back and forth is what lets a pipelined caller
+// overlap parsing and interning of the next batch with merging the
+// previous one — the parser keeps filling the swapped-in buffer while a
+// merger goroutine owns the swapped-out one. A swap error aborts the load.
+func LoadBufferedSwap(prog *logic.Program, r io.Reader, pred string, batch int, swap func(*storage.TupleBuffer) (*storage.TupleBuffer, error)) (int, error) {
 	if batch <= 0 {
 		batch = 1 << 14
 	}
@@ -103,14 +119,15 @@ func LoadBuffered(prog *logic.Program, r io.Reader, pred string, batch int, land
 		buf.Append(pid, args)
 		staged++
 		if buf.Len() >= batch {
-			if err := land(buf); err != nil {
+			next, err := swap(buf)
+			if err != nil {
 				return staged, err
 			}
-			buf.Reset()
+			buf = next
 		}
 	}
 	if buf.Len() > 0 {
-		if err := land(buf); err != nil {
+		if _, err := swap(buf); err != nil {
 			return staged, err
 		}
 	}

@@ -1,0 +1,91 @@
+package schema
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentIntern: parallel interning of overlapping predicate sets
+// yields stable unique dense IDs with correct arities. Run with -race.
+func TestConcurrentIntern(t *testing.T) {
+	const (
+		workers = 8
+		preds   = 500
+	)
+	r := NewRegistry()
+	got := make([]map[string]PredID, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			mine := make(map[string]PredID, preds)
+			for i := 0; i < preds; i++ {
+				k := (i*11 + w*preds/workers) % preds
+				name, arity := fmt.Sprintf("p%d", k), k%5+1
+				id := r.Intern(name, arity)
+				if prev, ok := mine[name]; ok && prev != id {
+					t.Errorf("worker %d: %q changed ID %d -> %d", w, name, prev, id)
+					return
+				}
+				mine[name] = id
+				if a := r.Arity(id); a != arity {
+					t.Errorf("worker %d: Arity(%q) = %d, want %d", w, name, a, arity)
+					return
+				}
+				if n := r.Name(id); n != name {
+					t.Errorf("worker %d: Name(%d) = %q, want %q", w, id, n, name)
+					return
+				}
+			}
+			got[w] = mine
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if r.Len() != preds {
+		t.Fatalf("Len = %d, want %d", r.Len(), preds)
+	}
+	seen := make(map[PredID]bool, preds)
+	for w := 1; w < workers; w++ {
+		for name, id := range got[w] {
+			if got[0][name] != id {
+				t.Fatalf("workers disagree on %q: %d vs %d", name, got[0][name], id)
+			}
+		}
+	}
+	for name, id := range got[0] {
+		if seen[id] {
+			t.Fatalf("ID %d assigned twice", id)
+		}
+		seen[id] = true
+		if int(id) >= preds {
+			t.Fatalf("ID %d outside dense range [0,%d)", id, preds)
+		}
+		if lid, ok := r.Lookup(name); !ok || lid != id {
+			t.Fatalf("Lookup(%q) = (%d,%v), want %d", name, lid, ok, id)
+		}
+	}
+}
+
+// TestArityConflictStillPanics: the concurrent registry preserves the
+// arity-conflict panic on re-intern with a different arity.
+func TestArityConflictStillPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Intern("q", 2)
+	if r.CheckArity("q", 3) {
+		t.Fatal("CheckArity accepted conflicting arity")
+	}
+	if !r.CheckArity("q", 2) || !r.CheckArity("unseen", 7) {
+		t.Fatal("CheckArity rejected a consistent arity")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intern with conflicting arity did not panic")
+		}
+	}()
+	r.Intern("q", 3)
+}

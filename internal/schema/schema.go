@@ -6,6 +6,8 @@ package schema
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/intern"
 )
 
 // PredID identifies an interned predicate.
@@ -19,31 +21,32 @@ type Position struct {
 	Index int
 }
 
+// predInfo is one interned predicate's record in the arena.
+type predInfo struct {
+	name  string
+	arity int
+}
+
 // Registry interns predicates. All atoms of one session share one Registry.
-// Not safe for concurrent mutation.
+// Safe for concurrent use (the same striped-map-plus-arena substrate as
+// term.Store): concurrent Intern of the same name yields one stable ID,
+// and IDs stay DENSE and sequential in first-intern order — the storage
+// layer and the tuple buffers index dense arrays by PredID.
 type Registry struct {
-	names   []string
-	arities []int
-	ids     map[string]PredID
+	ids   *intern.Map
+	preds *intern.Arena[predInfo]
 }
 
 // NewRegistry returns an empty predicate registry.
 func NewRegistry() *Registry {
-	return &Registry{ids: make(map[string]PredID)}
+	return &Registry{ids: intern.NewMap(), preds: intern.NewArena[predInfo]()}
 }
 
 // Clone returns an independent copy; predicate IDs remain valid across
-// the copy (see term.Store.Clone for the rationale).
+// the copy (see term.Store.Clone for the rationale and cost — immutable
+// map shards and full arena chunks are shared).
 func (r *Registry) Clone() *Registry {
-	out := &Registry{
-		names:   append([]string(nil), r.names...),
-		arities: append([]int(nil), r.arities...),
-		ids:     make(map[string]PredID, len(r.ids)),
-	}
-	for k, v := range r.ids {
-		out.ids[k] = v
-	}
-	return out
+	return &Registry{ids: r.ids.Clone(), preds: r.preds.Clone()}
 }
 
 // Intern returns the ID of the predicate name/arity, creating it if needed.
@@ -51,50 +54,52 @@ func (r *Registry) Clone() *Registry {
 // different arity is an error surfaced via panic, because it indicates a
 // malformed program (the parser reports this condition gracefully first).
 func (r *Registry) Intern(name string, arity int) PredID {
-	if id, ok := r.ids[name]; ok {
-		if r.arities[id] != arity {
+	id, isNew := r.ids.Intern(name, func() uint32 {
+		return r.preds.Append(predInfo{name: name, arity: arity})
+	})
+	if !isNew {
+		if got, _ := r.preds.Get(id); got.arity != arity {
 			panic(fmt.Sprintf("schema: predicate %s used with arities %d and %d",
-				name, r.arities[id], arity))
+				name, got.arity, arity))
 		}
-		return id
 	}
-	id := PredID(len(r.names))
-	r.names = append(r.names, name)
-	r.arities = append(r.arities, arity)
-	r.ids[name] = id
-	return id
+	return PredID(id)
 }
 
 // Lookup reports the ID of a predicate name, if interned.
 func (r *Registry) Lookup(name string) (PredID, bool) {
-	id, ok := r.ids[name]
-	return id, ok
+	id, ok := r.ids.Lookup(name)
+	return PredID(id), ok
 }
 
 // CheckArity reports whether name is either unknown or interned with arity.
 func (r *Registry) CheckArity(name string, arity int) bool {
-	id, ok := r.ids[name]
-	return !ok || r.arities[id] == arity
+	id, ok := r.ids.Lookup(name)
+	if !ok {
+		return true
+	}
+	info, _ := r.preds.Get(id)
+	return info.arity == arity
 }
 
 // Name returns the name of an interned predicate.
 func (r *Registry) Name(id PredID) string {
-	if int(id) < len(r.names) {
-		return r.names[id]
+	if info, ok := r.preds.Get(uint32(id)); ok {
+		return info.name
 	}
 	return fmt.Sprintf("pred#%d", id)
 }
 
 // Arity returns the arity of an interned predicate.
 func (r *Registry) Arity(id PredID) int {
-	if int(id) < len(r.arities) {
-		return r.arities[id]
+	if info, ok := r.preds.Get(uint32(id)); ok {
+		return info.arity
 	}
 	return -1
 }
 
 // Len reports the number of interned predicates.
-func (r *Registry) Len() int { return len(r.names) }
+func (r *Registry) Len() int { return r.preds.Len() }
 
 // Positions returns pos({P}) — all argument positions of predicate id.
 func (r *Registry) Positions(id PredID) []Position {
@@ -110,7 +115,7 @@ func (r *Registry) Positions(id PredID) []Position {
 // order (by predicate ID, then index).
 func (r *Registry) AllPositions() []Position {
 	var out []Position
-	for id := range r.names {
+	for id, n := 0, r.Len(); id < n; id++ {
 		out = append(out, r.Positions(PredID(id))...)
 	}
 	return out
@@ -124,7 +129,10 @@ func (r *Registry) PositionString(p Position) string {
 // SortedNames returns all interned predicate names sorted alphabetically;
 // useful for deterministic reports.
 func (r *Registry) SortedNames() []string {
-	out := append([]string(nil), r.names...)
+	out := make([]string, 0, r.Len())
+	for id, n := 0, r.Len(); id < n; id++ {
+		out = append(out, r.Name(PredID(id)))
+	}
 	sort.Strings(out)
 	return out
 }

@@ -76,23 +76,20 @@ func (s *Service) Query(req *QueryRequest) (*QueryResponse, error) {
 }
 
 // patternQuery runs the compiled-ScanPlan path: resolve the predicate and
-// the bound constants (read lock on the naming context), fetch or compile
-// the (pred, mask) plan, fill a frame, probe the snapshot.
+// the bound constants (lock-free reads against the concurrent naming
+// context), fetch or compile the (pred, mask) plan, fill a frame, probe
+// the snapshot.
 func (s *Service) patternQuery(e *epoch, req *QueryRequest, limit int) (*QueryResponse, error) {
 	prog := e.gen.prog
-	s.nameMu.RLock()
 	pid, ok := prog.Reg.Lookup(req.Pred)
 	if !ok {
-		s.nameMu.RUnlock()
 		return nil, fmt.Errorf("service: unknown predicate %q", req.Pred)
 	}
 	arity := prog.Reg.Arity(pid)
 	if len(req.Args) != arity {
-		s.nameMu.RUnlock()
 		return nil, fmt.Errorf("service: %s has arity %d, got %d args", req.Pred, arity, len(req.Args))
 	}
 	if arity > 64 {
-		s.nameMu.RUnlock()
 		return nil, errors.New("service: pattern arity exceeds 64")
 	}
 	var mask uint64
@@ -104,13 +101,11 @@ func (s *Service) patternQuery(e *epoch, req *QueryRequest, limit int) (*QueryRe
 		c, known := prog.Store.HasConst(v)
 		if !known {
 			// A constant the instance has never seen matches nothing.
-			s.nameMu.RUnlock()
 			return &QueryResponse{Epoch: e.seq, Columns: arity, Tuples: [][]string{}}, nil
 		}
 		mask |= 1 << uint(i)
 		frame[i] = c
 	}
-	s.nameMu.RUnlock()
 
 	plan := s.patternPlan(e.gen, pid, mask, arity)
 	sdb := e.snap.DB()
@@ -159,12 +154,10 @@ func (s *Service) patternPlan(g *generation, pid schema.PredID, mask uint64, ari
 // generation's naming context and evaluates it over the epoch snapshot.
 func (s *Service) ruleQuery(e *epoch, src string, limit int) (*QueryResponse, error) {
 	prog := e.gen.prog
-	// Parsing interns constants and variables: write lock, kept apart
-	// from the served rule set via a scratch program.
+	// Parsing interns constants and variables — concurrent-safe, so no
+	// lock; a scratch program keeps parsed TGDs out of the served rules.
 	tmp := &logic.Program{Store: prog.Store, Reg: prog.Reg}
-	s.nameMu.Lock()
 	res, err := parser.ParseInto(tmp, src)
-	s.nameMu.Unlock()
 	if err != nil {
 		return nil, fmt.Errorf("service: query: %w", err)
 	}
@@ -200,16 +193,14 @@ func (s *Service) ruleQuery(e *epoch, src string, limit int) (*QueryResponse, er
 	return s.render(e, len(q.Output), answers, truncated, nil)
 }
 
-// render converts result tuples to strings under the naming-context read
-// lock.
+// render converts result tuples to strings; the naming context supports
+// concurrent reads, so rendering never blocks a streaming load.
 func (s *Service) render(e *epoch, columns int, rows [][]term.Term, truncated bool, boolAns *bool) (*QueryResponse, error) {
 	st := e.gen.prog.Store
 	out := make([][]string, len(rows))
-	s.nameMu.RLock()
 	for i, tup := range rows {
 		out[i] = st.Names(tup)
 	}
-	s.nameMu.RUnlock()
 	return &QueryResponse{
 		Epoch:     e.seq,
 		Columns:   columns,

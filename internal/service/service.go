@@ -23,11 +23,14 @@
 //     relations; the retry copies out anything still pinned by the
 //     current epoch).
 //
-// The naming context (term.Store / schema.Registry) is the one structure
-// shared between readers and the writer that the storage layer does not
-// version: the service guards it with a read-write mutex held briefly
-// around query parsing/rendering (read side) and update parsing (write
-// side). Evaluation itself never touches the naming context.
+// The naming context (term.Store / schema.Registry) is shared between
+// readers and the writer WITHOUT service-level locking: both stores are
+// concurrent-safe (striped interning with lock-free read paths, see
+// internal/intern), so query parsing/rendering and bulk-load interning
+// proceed in parallel. Bulk CSV loads are pipelined: batches parse and
+// intern OFF the writer lock and land through short per-batch InsertBulk
+// critical sections, each publishing an epoch — queries interleave with
+// a streaming load instead of queueing behind it.
 //
 // The service maintains full single-head Datalog programs (the FULL1
 // class materialized by internal/incremental); warded programs with
@@ -70,16 +73,12 @@ type Options struct {
 type Service struct {
 	opt Options
 
-	// mu is the single-writer lock: Load, LoadCSV, Insert, Delete, and
-	// compaction retries serialize here. Queries never take it.
+	// mu is the single-writer lock: Load, batch landings of LoadCSV,
+	// Insert, Delete, and compaction retries serialize here. Queries
+	// never take it, and a streaming LoadCSV holds it only per batch.
 	mu  sync.Mutex
 	gen *generation
 	eng *incremental.Engine
-
-	// nameMu guards the shared naming context. Readers hold the read
-	// side while parsing query constants and rendering result tuples;
-	// the writer holds the write side while parsing updates (interning).
-	nameMu sync.RWMutex
 
 	// cur is the published epoch; nil until the first Load.
 	cur atomic.Pointer[epoch]
@@ -212,53 +211,126 @@ func (s *Service) LoadProgram(prog *logic.Program, base *storage.DB) (uint64, er
 }
 
 // LoadCSV bulk-loads one relation of base facts from CSV through the
-// streaming path: rows stage into columnar tuple buffers
-// (relio.LoadBuffered) and land batch by batch via the engine's
-// MergeBuffers-based InsertBulk, each batch followed by one delta
-// fixpoint. Holds the naming-context write lock for the duration of the
-// stream (rows intern constants), so queries queue behind large loads —
-// the administrative trade-off of the bulk path. Returns rows staged and
-// the published epoch.
+// streaming path, PIPELINED so queries interleave with the load:
+//
+//   - a parser stage (this goroutine) reads, splits, and interns rows
+//     into a columnar tuple buffer entirely OUTSIDE the writer lock —
+//     interning is concurrent-safe, so in-flight queries keep parsing
+//     and rendering against the same naming context;
+//   - a merger goroutine lands each filled buffer under a SHORT writer
+//     critical section (the engine's MergeBuffers-based InsertBulk plus
+//     one delta fixpoint) and publishes an epoch per batch, so readers
+//     see load progress batch by batch instead of one epoch at the end;
+//   - two buffers rotate between the stages (relio.LoadBufferedSwap):
+//     batch k+1 parses while batch k merges.
+//
+// Returns rows staged and the last published epoch.
 //
 // The load is batch-committed, not transactional: on a mid-stream error
-// (ragged row, arity conflict) the batches already landed stay applied,
-// and an epoch containing them is still published so the partial state
-// is visible and tagged immediately — the returned error and epoch
-// report exactly what committed.
+// (ragged row, arity conflict) the batches already landed stay applied
+// and published — the returned error and epoch report exactly what
+// committed. A Load replacing the program mid-stream aborts the rest of
+// the stream; epochs of the old generation stay consistent.
 func (s *Service) LoadCSV(pred string, r io.Reader) (int, uint64, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.eng == nil {
+		s.mu.Unlock()
 		return 0, 0, ErrNotLoaded
 	}
 	s.maybeCompact()
-	landed := 0
-	s.nameMu.Lock()
-	staged, err := relio.LoadBuffered(s.gen.prog, r, pred, s.opt.CSVBatch, func(b *storage.TupleBuffer) error {
+	gen := s.gen
+	s.mu.Unlock()
+
+	var (
+		landed  int
+		lastSeq uint64
+	)
+	// apply lands one staged batch and publishes the epoch containing it.
+	apply := func(b *storage.TupleBuffer) error {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.eng == nil || s.gen != gen {
+			return errors.New("program replaced mid-stream")
+		}
 		n, err := s.eng.InsertBulk([]*storage.TupleBuffer{b})
+		if err != nil {
+			return err
+		}
 		landed += n
-		return err
-	})
-	s.nameMu.Unlock()
-	var seq uint64
-	if landed > 0 || err == nil {
-		seq = s.publish()
+		lastSeq = s.publish()
+		return nil
+	}
+
+	var (
+		filled   = make(chan *storage.TupleBuffer, 2)
+		recycled = make(chan *storage.TupleBuffer, 2)
+		stop     = make(chan struct{}) // closed on first merge error
+		mergeErr error
+		wg       sync.WaitGroup
+	)
+	recycled <- storage.NewTupleBuffer()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for b := range filled {
+			if mergeErr == nil {
+				if mergeErr = apply(b); mergeErr != nil {
+					close(stop)
+				}
+			}
+			b.Reset()
+			select {
+			case recycled <- b:
+			default:
+			}
+		}
+	}()
+	errAborted := errors.New("load aborted")
+	staged, perr := relio.LoadBufferedSwap(gen.prog, r, pred, s.opt.CSVBatch,
+		func(b *storage.TupleBuffer) (*storage.TupleBuffer, error) {
+			select {
+			case filled <- b:
+			case <-stop:
+				return nil, errAborted
+			}
+			select {
+			case nb := <-recycled:
+				return nb, nil
+			case <-stop:
+				return nil, errAborted
+			}
+		})
+	close(filled)
+	wg.Wait()
+	err := mergeErr
+	if err == nil && perr != nil {
+		err = perr
+	}
+	if err == nil && lastSeq == 0 {
+		// Nothing landed (empty stream or all-duplicate batches that never
+		// filled a buffer): still bump an epoch so the caller gets a
+		// sequence number tagging the (unchanged) state, as the
+		// non-pipelined path did.
+		s.mu.Lock()
+		if s.eng != nil && s.gen == gen {
+			lastSeq = s.publish()
+		}
+		s.mu.Unlock()
 	}
 	if err != nil {
-		return staged, seq, fmt.Errorf("service: load csv: %w", err)
+		return staged, lastSeq, fmt.Errorf("service: load csv: %w", err)
 	}
-	return staged, seq, nil
+	return staged, lastSeq, nil
 }
 
 // parseFacts parses an update payload ("e(a,b). e(b,c).") against the
-// loaded program's naming context, rejecting rules and queries.
+// loaded program's naming context (concurrent-safe interning — no lock),
+// rejecting rules and queries.
 func (s *Service) parseFacts(src string) (*parser.Result, error) {
 	// A scratch program sharing the naming context: parsed TGDs must not
 	// leak into the served rule set.
 	tmp := &logic.Program{Store: s.gen.prog.Store, Reg: s.gen.prog.Reg}
-	s.nameMu.Lock()
 	res, err := parser.ParseInto(tmp, src)
-	s.nameMu.Unlock()
 	if err != nil {
 		return nil, err
 	}

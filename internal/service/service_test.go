@@ -2,10 +2,12 @@ package service
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/datalog"
 	"repro/internal/parser"
@@ -197,6 +199,85 @@ func TestServiceLoadCSVBulk(t *testing.T) {
 	// Bulk load of an intensional predicate is rejected.
 	if _, _, err := svc.LoadCSV("t", strings.NewReader("x,y\n")); err == nil {
 		t.Fatalf("intensional bulk load accepted")
+	}
+}
+
+// TestServiceQueryDuringCSVLoad: the pipelined bulk path must not block
+// readers — queries issued while a /load/csv stream is mid-flight (some
+// batches landed, the pipe still open) complete against a published
+// epoch, and the stream's remaining batches land afterwards. With the
+// old whole-stream naming lock this test would deadlock: the query's
+// parse/render would wait on a lock held until the pipe closes.
+func TestServiceQueryDuringCSVLoad(t *testing.T) {
+	svc := New(Options{CSVBatch: 8})
+	first := mustLoad(t, svc, tcProgram+"e(seed0,seed1).\n")
+	defer svc.Close()
+
+	pr, pw := io.Pipe()
+	type loadResult struct {
+		staged int
+		seq    uint64
+		err    error
+	}
+	done := make(chan loadResult, 1)
+	go func() {
+		staged, seq, err := svc.LoadCSV("e", pr)
+		done <- loadResult{staged, seq, err}
+	}()
+
+	// First batches: enough rows to land at least one batch and publish.
+	var b strings.Builder
+	for i := 0; i < 24; i++ {
+		fmt.Fprintf(&b, "m%d,m%d\n", i, i+1)
+	}
+	if _, err := pw.Write([]byte(b.String())); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for svc.Stats().Epoch == first {
+		if time.Now().After(deadline) {
+			t.Fatal("no epoch published while the CSV stream is open")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Mid-stream queries: pattern, ground fast path, and a rule query
+	// that parses (interns) against the naming context the loader is
+	// concurrently interning into.
+	resp := mustQuery(t, svc, &QueryRequest{Pred: "t", Args: []string{"seed0", "_"}})
+	if len(resp.Tuples) != 1 {
+		t.Fatalf("mid-stream t(seed0,_): %d tuples, want 1", len(resp.Tuples))
+	}
+	resp = mustQuery(t, svc, &QueryRequest{Pred: "e", Args: []string{"m0", "m1"}})
+	if len(resp.Tuples) != 1 {
+		t.Fatalf("mid-stream ground e(m0,m1) not visible in published epoch")
+	}
+	resp = mustQuery(t, svc, &QueryRequest{Query: `? :- t(m0,m8).`})
+	if resp.Bool == nil || !*resp.Bool {
+		t.Fatalf("mid-stream rule query: %v", resp.Bool)
+	}
+
+	// Finish the stream and check the final state.
+	b.Reset()
+	for i := 24; i < 80; i++ {
+		fmt.Fprintf(&b, "m%d,m%d\n", i, i+1)
+	}
+	if _, err := pw.Write([]byte(b.String())); err != nil {
+		t.Fatal(err)
+	}
+	if err := pw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	res := <-done
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	if res.staged != 80 || res.seq == 0 {
+		t.Fatalf("staged %d rows at epoch %d", res.staged, res.seq)
+	}
+	resp = mustQuery(t, svc, &QueryRequest{Pred: "t", Args: []string{"m0", "m80"}})
+	if len(resp.Tuples) != 1 {
+		t.Fatalf("final closure missing m0->m80")
 	}
 }
 

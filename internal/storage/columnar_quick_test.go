@@ -222,6 +222,16 @@ func TestColumnarCandidatesSelectivity(t *testing.T) {
 	}
 }
 
+// tabEntries flattens the partitioned dedup table into one slot slice, so
+// invariant checks keep treating it as a single logical table.
+func (r *relation) tabEntries() []int32 {
+	var out []int32
+	for s := 0; s < relShards; s++ {
+		out = append(out, r.tabs[s]...)
+	}
+	return out
+}
+
 // TestDedupTableInvariant: every local row appears in the dedup table
 // exactly once, across growth epochs (including the rows that trigger
 // growth) and in clones.
@@ -233,14 +243,14 @@ func TestDedupTableInvariant(t *testing.T) {
 		r := d.relOf(p)
 		counts := make(map[int32]int)
 		empty := 0
-		for _, ri := range r.tab {
+		for _, ri := range r.tabEntries() {
 			if ri < 0 {
 				empty++
 				continue
 			}
 			counts[ri]++
 		}
-		if len(counts) != r.rows() || empty != len(r.tab)-r.rows() {
+		if len(counts) != r.rows() || empty != len(r.tabEntries())-r.rows() {
 			t.Fatalf("%s: tab holds %d distinct rows (+%d empty) for %d rows",
 				label, len(counts), empty, r.rows())
 		}

@@ -85,7 +85,12 @@ func (db *DB) compact(minDeadFrac float64, respectPins bool) int {
 				newOrder[g] = rowRef{pred: r.pred, row: nrow}
 			}
 			if len(nr.hashes) > 0 {
+				// Pre-size the dedup sub-tables, then link every packed row
+				// (all live by construction) — one rehash total.
 				nr.growTabTo(len(nr.hashes))
+				for ri := range nr.hashes {
+					nr.tabInsert(nr.hashes[ri], int32(ri))
+				}
 			}
 			db.rels[p] = nr
 		}

@@ -116,9 +116,6 @@ func (db *DB) InsertArgs(pred schema.PredID, args []term.Term) bool {
 		return false
 	}
 	ri := int32(r.rows())
-	// Table first: growTab rehashes from the hashes column, so the new
-	// row's hash must not be appended yet or growth would place the row
-	// twice.
 	r.tabInsert(h, ri)
 	r.cols = append(r.cols, args...)
 	r.global = append(r.global, int32(len(db.order)))

@@ -1,10 +1,12 @@
 package storage
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/schema"
+	"repro/internal/term"
 )
 
 // MergeBuffers folds staged worker buffers into the instance, returning
@@ -14,21 +16,33 @@ import (
 //   - dedup reuses the hashes cached at append time — no tuple is ever
 //     re-hashed — and catches duplicates against the base instance, within
 //     one buffer, and across buffers in the same probe;
-//   - each relation's dedup table is pre-sized for its worst case (base
-//     rows plus every staged tuple) in ONE rehash, instead of growing
-//     power-of-two by power-of-two under per-row Insert;
+//   - each relation's dedup sub-tables are pre-sized for the worst case
+//     (base rows plus every staged tuple) in ONE rehash, instead of
+//     growing power-of-two by power-of-two under per-row Insert;
 //   - relations are independent, so distinct predicates merge concurrently
-//     (up to par goroutines) — only the global insertion log is stitched
-//     serially, after every relation has settled.
+//     (up to par goroutines), and a relation with a LARGE staged set is
+//     additionally folded with intra-relation parallelism over its hash
+//     sub-shards (see mergeSharded) — heavy single-predicate rounds, the
+//     common case in transitive-closure-shaped fixpoints and bulk CSV
+//     loads, no longer serialize on one goroutine. Only the global
+//     insertion log is stitched serially, after every relation settles.
 //
 // The result is deterministic regardless of par and of which worker staged
 // which tuple into which buffer: predicates are folded in first-touched
 // order across the buffers (ties by buffer order), and within a predicate
-// tuples keep (buffer, append) order. Accepted rows of one predicate land
-// contiguously in the insertion log, so Mark-based delta windows stay
-// contiguous local row ranges.
+// tuples keep (buffer, append) order — the sharded path partitions the
+// DECISION which tuples are new by fact hash, but appends acceptances in
+// exactly the serial order.
 func (db *DB) MergeBuffers(bufs []*TupleBuffer, par int) int {
 	db.mutable()
+	// Parallelism beyond the cores actually available buys nothing and
+	// still pays the sharded path's bitmap/scratch setup: a caller asking
+	// for 8-way merges on a 1-core box (worker counts are a scheduling
+	// knob, not a hardware probe) gets the serial fold it would have
+	// wanted. The result is identical either way.
+	if n := runtime.GOMAXPROCS(0); par > n {
+		par = n
+	}
 	// Deterministic predicate order, with per-predicate distinct estimates
 	// for table pre-sizing: summing each buffer's local distinct count
 	// (rather than its raw staged-row count) keeps duplicate-heavy rounds
@@ -84,29 +98,26 @@ func (db *DB) MergeBuffers(bufs []*TupleBuffer, par int) int {
 		}
 		accepted[pi] = len(r.hashes) - base
 	}
-	if par > len(preds) {
-		par = len(preds)
-	}
-	if par > 1 {
-		var next atomic.Int32
-		var wg sync.WaitGroup
-		for w := 0; w < par; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					pi := int(next.Add(1)) - 1
-					if pi >= len(preds) {
-						return
-					}
-					mergeOne(pi)
-				}
-			}()
-		}
-		wg.Wait()
-	} else {
+	if par <= 1 {
 		for pi := range preds {
 			mergeOne(pi)
+		}
+	} else {
+		// Big relations take the sharded path (worth its bitmap and
+		// scratch-table setup only past a threshold); the rest merge
+		// whole-relation-at-a-time on the worker pool as before.
+		var small, big []int
+		for pi, p := range preds {
+			if staged[p] >= shardedMergeRows {
+				big = append(big, pi)
+			} else {
+				small = append(small, pi)
+			}
+		}
+		runPool(par, len(small), func(k int) { mergeOne(small[k]) })
+		for _, pi := range big {
+			p := preds[pi]
+			accepted[pi] = db.mergeSharded(p, bufs, staged[p], par)
 		}
 	}
 	// Stitch the insertion log: accepted rows enter in predicate order,
@@ -123,4 +134,222 @@ func (db *DB) MergeBuffers(bufs []*TupleBuffer, par int) int {
 		added += accepted[pi]
 	}
 	return added
+}
+
+// shardedMergeRows is the staged-distinct threshold past which one
+// relation's fold fans out across its hash sub-shards.
+const shardedMergeRows = 2048
+
+// mergeSharded folds all buffers' tuples of ONE predicate with
+// intra-relation parallelism, in three phases:
+//
+//	A (parallel by hash sub-shard): decide acceptance. Each job owns the
+//	  sub-shard's staged tuples outright — equal tuples hash equal, so
+//	  cross-buffer duplicates meet in the same job — probing the base
+//	  sub-table read-only and tracking in-flight staged tuples in a local
+//	  scratch set. Accepted (buffer, row) pairs are marked in bitmaps.
+//	B (serial): append accepted rows to the columns in (buffer, append)
+//	  order — byte-identical to the serial merge's layout.
+//	C (parallel by sub-shard): link the new rows into the dedup
+//	  sub-tables (one job per hash shard) and the posting sub-indexes
+//	  (one job per position × term shard). Jobs write disjoint
+//	  structures; the columns they read are settled.
+//
+// Returns the number of accepted rows; the caller stitches the insertion
+// log.
+func (db *DB) mergeSharded(p schema.PredID, bufs []*TupleBuffer, estimate, par int) int {
+	r := db.rels[p]
+	if r.shared {
+		r.detach()
+	}
+	base := len(r.hashes)
+	r.growTabTo(base + estimate)
+	// Phase A.
+	accept := make([][]uint64, len(bufs))
+	for bi, b := range bufs {
+		if b == nil || int(p) >= len(b.bufs) || b.bufs[p] == nil || b.bufs[p].rows() == 0 {
+			continue
+		}
+		accept[bi] = make([]uint64, (b.bufs[p].rows()+63)/64)
+	}
+	runPool(par, relShards, func(s int) {
+		pend := newPendSet(estimate >> relShardBits)
+		for bi, b := range bufs {
+			if accept[bi] == nil {
+				continue
+			}
+			pb := b.bufs[p]
+			for k, n := 0, pb.rows(); k < n; k++ {
+				h := pb.hashes[k]
+				if hashShard(h) != s {
+					continue
+				}
+				args := pb.args(k)
+				if _, ok := r.find(h, args); ok {
+					continue
+				}
+				if !pend.add(h, bi, k, args, bufs, p) {
+					continue
+				}
+				accept[bi][k>>6] |= 1 << (uint(k) & 63)
+			}
+		}
+	})
+	// Phase B.
+	for bi, b := range bufs {
+		if accept[bi] == nil {
+			continue
+		}
+		pb := b.bufs[p]
+		for k, n := 0, pb.rows(); k < n; k++ {
+			if accept[bi][k>>6]>>(uint(k)&63)&1 == 0 {
+				continue
+			}
+			r.cols = append(r.cols, pb.args(k)...)
+			r.hashes = append(r.hashes, pb.hashes[k])
+		}
+	}
+	// Phase C.
+	n := len(r.hashes)
+	jobs := relShards + r.arity*relShards
+	arity := r.arity
+	runPool(par, jobs, func(j int) {
+		if j < relShards {
+			for ri := base; ri < n; ri++ {
+				if h := r.hashes[ri]; hashShard(h) == j {
+					r.tabInsert(h, int32(ri))
+				}
+			}
+			return
+		}
+		j -= relShards
+		pos, s := j>>relShardBits, j&(relShards-1)
+		for ri := base; ri < n; ri++ {
+			if t := r.cols[ri*arity+pos]; termShard(t) == s {
+				r.idxAdd(pos, t, int32(ri))
+			}
+		}
+	})
+	return n - base
+}
+
+// pendSet is a phase-A scratch set of in-flight accepted tuples: an
+// open-addressed table of (hash, buffer, row) entries compared by full
+// tuple equality through the staging buffers. One per sub-shard job,
+// thrown away after the phase.
+type pendSet struct {
+	keys []uint64
+	refs []int64 // packed (buffer index << 32 | row); -1 = empty
+	n    int
+}
+
+func newPendSet(hint int) *pendSet {
+	sz := 16
+	for 4*hint > 3*sz {
+		sz *= 2
+	}
+	ps := &pendSet{keys: make([]uint64, sz), refs: make([]int64, sz)}
+	for i := range ps.refs {
+		ps.refs[i] = -1
+	}
+	return ps
+}
+
+// add records the tuple staged at (buffer bi, row k) — with fact hash h
+// and argument view args — unless an equal tuple is already pending.
+// Reports whether the tuple was new.
+func (ps *pendSet) add(h uint64, bi, k int, args []term.Term, bufs []*TupleBuffer, p schema.PredID) bool {
+	if 4*(ps.n+1) > 3*len(ps.keys) {
+		ps.grow()
+	}
+	mask := uint64(len(ps.keys) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		ref := ps.refs[i]
+		if ref < 0 {
+			ps.keys[i] = h
+			ps.refs[i] = int64(bi)<<32 | int64(k)
+			ps.n++
+			return true
+		}
+		if ps.keys[i] == h && equalBufRow(ref, args, bufs, p) {
+			return false
+		}
+	}
+}
+
+// equalBufRow compares the tuple stored at ref against args.
+func equalBufRow(ref int64, args []term.Term, bufs []*TupleBuffer, p schema.PredID) bool {
+	bi, k := int(ref>>32), int(ref&0xFFFFFFFF)
+	row := bufs[bi].bufs[p].args(k)
+	for i := range row {
+		if row[i] != args[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// grow doubles the table, re-placing entries by stored hash.
+func (ps *pendSet) grow() {
+	oldKeys, oldRefs := ps.keys, ps.refs
+	sz := 2 * len(oldKeys)
+	ps.keys = make([]uint64, sz)
+	ps.refs = make([]int64, sz)
+	for i := range ps.refs {
+		ps.refs[i] = -1
+	}
+	mask := uint64(sz - 1)
+	for i, ref := range oldRefs {
+		if ref < 0 {
+			continue
+		}
+		h := oldKeys[i]
+		j := h & mask
+		for ps.refs[j] >= 0 {
+			j = (j + 1) & mask
+		}
+		ps.keys[j] = h
+		ps.refs[j] = ref
+	}
+}
+
+// runPool runs f(0..n-1) across up to par goroutines (the caller's
+// goroutine included) with an atomic work cursor. f must be safe for the
+// jobs' mutual concurrency; runPool returns when every job finished.
+func runPool(par, n int, f func(int)) {
+	if n == 0 {
+		return
+	}
+	if par > n {
+		par = n
+	}
+	if par <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int32
+	var wg sync.WaitGroup
+	for w := 1; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	for {
+		i := int(next.Add(1)) - 1
+		if i >= n {
+			break
+		}
+		f(i)
+	}
+	wg.Wait()
 }

@@ -3,6 +3,7 @@ package storage
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/atom"
@@ -199,5 +200,102 @@ func TestTupleBufferReset(t *testing.T) {
 	}
 	if db.CountPred(p) != 0 {
 		t.Fatalf("stale p rows survived the reset")
+	}
+}
+
+// TestMergeShardedMatchesSerial: past the sharded-merge threshold the
+// intra-relation parallel fold must be byte-identical to the serial merge
+// — same accepted set, same insertion order, same indexes — including
+// cross-buffer duplicates, duplicates against a base instance with
+// tombstoned rows, and a snapshot forcing detach mid-merge.
+func TestMergeShardedMatchesSerial(t *testing.T) {
+	// MergeBuffers clamps par to GOMAXPROCS; raise it so the sharded path
+	// actually runs even when this test executes on a single-CPU box
+	// without a -cpu flag.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	rng := rand.New(rand.NewSource(41))
+	st, p, q := mergeFixture()
+	consts := make([]term.Term, 400)
+	for i := range consts {
+		consts[i] = st.Const(fmt.Sprintf("k%d", i))
+	}
+	tuple := func() []term.Term {
+		return []term.Term{consts[rng.Intn(len(consts))], consts[rng.Intn(len(consts))]}
+	}
+	base := NewDB()
+	for i := 0; i < 3000; i++ {
+		base.InsertArgs(p, tuple())
+	}
+	// Tombstone a slice of the base: dead rows must be re-insertable.
+	for ri := int32(0); ri < 200; ri++ {
+		base.Tombstone(p, ri)
+	}
+	nb := 4
+	bufs := make([]*TupleBuffer, nb)
+	for bi := range bufs {
+		b := NewTupleBuffer()
+		for i := 0; i < 4000; i++ {
+			b.Append(p, tuple()) // far past shardedMergeRows, heavy duplication
+			if i%5 == 0 {
+				b.Append(q, []term.Term{consts[rng.Intn(len(consts))]})
+			}
+		}
+		bufs[bi] = b
+	}
+	serial := base.Clone()
+	wantAdded := serial.MergeBuffers(bufs, 1)
+	for _, par := range []int{2, 4, 8} {
+		got := base.Clone()
+		// A live snapshot marks every relation shared: the sharded path
+		// must detach before phase C mutates sub-tables and postings.
+		snap := got.Snapshot()
+		added := got.MergeBuffers(bufs, par)
+		if added != wantAdded {
+			t.Fatalf("par %d: added = %d, want %d", par, added, wantAdded)
+		}
+		if got.Len() != serial.Len() {
+			t.Fatalf("par %d: Len = %d, want %d", par, got.Len(), serial.Len())
+		}
+		gotAll, wantAll := got.All(), serial.All()
+		for i := range wantAll {
+			if !wantAll[i].Equal(gotAll[i]) {
+				t.Fatalf("par %d: order[%d] = %v, want %v", par, i, gotAll[i], wantAll[i])
+			}
+		}
+		// Index integrity: every merged fact resolves through the dedup
+		// table to the same global log position as under the serial merge
+		// (dead base rows make log positions differ from All() positions).
+		for i, a := range gotAll {
+			gi, ok := got.IndexOf(a)
+			wi, wok := serial.IndexOf(a)
+			if !ok || !wok || gi != wi {
+				t.Fatalf("par %d: IndexOf(All[%d]) = %d,%v, want %d,%v", par, i, gi, ok, wi, wok)
+			}
+		}
+		// The snapshot still sees exactly the pre-merge state.
+		if snap.DB().Len() != base.Len() {
+			t.Fatalf("par %d: snapshot Len = %d, want %d", par, snap.DB().Len(), base.Len())
+		}
+		snap.Release()
+		// Dedup-table invariant on the merged result.
+		r := got.relOf(p)
+		counts := make(map[int32]int)
+		for _, v := range r.tabEntries() {
+			if v >= 0 {
+				counts[v]++
+			}
+		}
+		if len(counts) != r.liveRows() {
+			t.Fatalf("par %d: tab holds %d rows, want %d live", par, len(counts), r.liveRows())
+		}
+		for ri, c := range counts {
+			if c != 1 {
+				t.Fatalf("par %d: row %d linked %d times", par, ri, c)
+			}
+		}
+		// Re-merge must be a no-op at any par.
+		if again := got.MergeBuffers(bufs, par); again != 0 {
+			t.Fatalf("par %d: re-merge added %d", par, again)
+		}
 	}
 }

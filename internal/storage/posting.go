@@ -2,33 +2,47 @@ package storage
 
 import "repro/internal/term"
 
-// Index postings with an inline first row.
+// Index postings with an inline first row, hash-partitioned per position.
 //
-// idx[i] maps a term to an int32 code: a non-negative code IS the single
-// local row holding the term at position i (stored inline — no slice, no
-// allocation), while a negative code -(k+1) points at entry k of the
-// relation's shared overflow table, which holds the ascending row list of
-// keys occurring more than once. On high-selectivity positions (wide
-// domains, near-key columns) most keys occur once, so the per-key slice
-// allocation of a map[term.Term][]int32 representation disappears, the map
-// value shrinks to 4 bytes, and — unlike a struct-valued posting map —
-// steady-state updates of hot keys touch the map only once: the overflow
-// row list is appended in place through the table, never re-stored.
+// idx[i].m[s] maps a term (of sub-shard s = termShard(t)) to an int32
+// code: a non-negative code IS the single local row holding the term at
+// position i (stored inline — no slice, no allocation), while a negative
+// code -(k+1) points at entry k of the sub-shard's overflow table
+// idx[i].over[s], which holds the ascending row list of keys occurring
+// more than once. On high-selectivity positions (wide domains, near-key
+// columns) most keys occur once, so the per-key slice allocation of a
+// map[term.Term][]int32 representation disappears, the map value shrinks
+// to 4 bytes, and — unlike a struct-valued posting map — steady-state
+// updates of hot keys touch the map only once: the overflow row list is
+// appended in place through the table, never re-stored.
+//
+// The (position, term sub-shard) partitioning makes posting maintenance
+// decomposable: the sharded bulk-merge path updates all arity*relShards
+// sub-indexes of one relation concurrently, each job owning its sub-map
+// and its sub-overflow outright.
 
 // idxAdd records that local row ri holds term t at position i. Rows arrive
 // in insertion order, so every posting stays ascending without comparison.
+// Safe to call concurrently for terms of DISTINCT (position, term shard)
+// pairs — each call touches only its own sub-map and sub-overflow.
 func (r *relation) idxAdd(i int, t term.Term, ri int32) {
-	m := r.idx[i]
+	px := &r.idx[i]
+	s := termShard(t)
+	m := px.m[s]
+	if m == nil {
+		m = make(map[term.Term]int32)
+		px.m[s] = m
+	}
 	v, ok := m[t]
 	switch {
 	case !ok:
 		m[t] = ri
 	case v >= 0:
-		r.over = append(r.over, []int32{v, ri})
-		m[t] = -int32(len(r.over))
+		px.over[s] = append(px.over[s], []int32{v, ri})
+		m[t] = -int32(len(px.over[s]))
 	default:
 		k := -v - 1
-		r.over[k] = append(r.over[k], ri)
+		px.over[s][k] = append(px.over[s][k], ri)
 	}
 }
 
@@ -47,14 +61,16 @@ func (c candSet) size() int { return c.n }
 // key with n == 0 cannot occur; absent keys yield the empty set — the most
 // selective outcome a probe can hit.
 func (r *relation) posting(i int, t term.Term) candSet {
-	v, ok := r.idx[i][t]
+	px := &r.idx[i]
+	s := termShard(t)
+	v, ok := px.m[s][t]
 	if !ok {
 		return candSet{}
 	}
 	if v >= 0 {
 		return candSet{n: 1, one: v}
 	}
-	rows := r.over[-v-1]
+	rows := px.over[s][-v-1]
 	return candSet{n: len(rows), rows: rows}
 }
 

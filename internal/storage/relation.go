@@ -8,12 +8,51 @@ import (
 	"repro/internal/term"
 )
 
+// Relation partitioning. Each relation's in-place-mutated index structures
+// — the dedup table and the per-position posting maps with their overflow
+// lists — are hash-partitioned into relShards sub-shards:
+//
+//   - the dedup table splits by the TOP bits of the fact hash (the probe
+//     position uses the low bits, so the two selections are independent);
+//   - each position's posting map splits by a mixed term key.
+//
+// Partitioning changes no observable behavior — a fact's sub-shard is a
+// pure function of its hash, so find/insert/delete simply operate on a
+// table an eighth the size — but it makes the write paths decomposable:
+// the bulk-merge path (MergeBuffers) folds one large relation with up to
+// relShards-way parallelism on disjoint sub-tables, and grow/rebuild work
+// per sub-table instead of stopping the world on one big array.
+const (
+	relShardBits = 3
+	relShards    = 1 << relShardBits
+)
+
+// hashShard selects a fact's dedup sub-table from its hash top bits.
+func hashShard(h uint64) int { return int(h >> (64 - relShardBits)) }
+
+// termShard selects a posting sub-map for term t. The fib-mix spreads the
+// dense low-entropy term IDs across shards.
+func termShard(t term.Term) int {
+	return int((t.Key() * 0x9E3779B97F4A7C15) >> (64 - relShardBits))
+}
+
+// posIndex is one argument position's partitioned posting index: m[s] maps
+// a term (with termShard s) to its posting code — the single local row
+// holding it (inline, non-negative) or -(k+1) for entry k of over[s], the
+// sub-shard's overflow table of ascending row lists (see posting.go).
+// Sub-maps allocate lazily on first insert.
+type posIndex struct {
+	m    [relShards]map[term.Term]int32
+	over [relShards][][]int32
+}
+
 // relation is the columnar store for one predicate: a flat, arity-strided
-// backing array of terms, a predicate-local dedup table, and one
-// term-keyed index per argument position. Every structure is local to the
-// predicate, so growth, dedup chains, and index postings never interleave
-// across predicates — the compact record layout the Vadalog pipeline
-// (Bellomarini et al., VLDB 2018) builds its throughput on.
+// backing array of terms, a partitioned predicate-local dedup table, and
+// one partitioned term-keyed index per argument position. Every structure
+// is local to the predicate, so growth, dedup chains, and index postings
+// never interleave across predicates — the compact record layout the
+// Vadalog pipeline (Bellomarini et al., VLDB 2018) builds its throughput
+// on.
 type relation struct {
 	pred  schema.PredID
 	arity int
@@ -26,46 +65,39 @@ type relation struct {
 	// range [firstSince(mark), rows()), resolved by binary search.
 	global []int32
 	// hashes holds each row's fact hash: dedup probes compare hashes
-	// before touching the columns, and table growth rehashes without
-	// re-reading the rows.
+	// before touching the columns, and sub-table rebuilds re-place rows
+	// without re-reading the columns.
 	hashes []uint64
-	// tab is the predicate-local dedup table: an open-addressed
-	// (linear-probing, power-of-two) hash set of local rows. Inserting a
-	// fact costs no allocation beyond amortized table growth.
-	tab []int32
-	// idx[i] maps the term at position i to its posting code: the single
-	// local row holding it (inline, non-negative) or -(k+1) for entry k of
-	// over (see posting.go).
-	idx []map[term.Term]int32
-	// over is the shared overflow table: ascending row lists of the keys
-	// that occur more than once, across all positions.
-	over [][]int32
+	// tabs is the partitioned dedup table: per hash sub-shard, an
+	// open-addressed (linear-probing, power-of-two) hash set of local
+	// rows. tabUsed[s] counts occupied slots of sub-table s (live rows
+	// plus deleted-slot sentinels) — the load-factor input.
+	tabs    [relShards][]int32
+	tabUsed [relShards]int32
+	// idx[i] is position i's partitioned posting index.
+	idx []posIndex
 	// dead is the liveness bitmap (one bit per local row, words allocated
 	// on first kill; rows beyond the bitmap are live) and nDead the count
 	// of tombstoned rows. See tombstone.go.
 	dead  []uint64
 	nDead int
 	// shared marks that a live snapshot captured the in-place-mutated
-	// structures (tab, idx, over's outer slice, dead); the next mutator
-	// must detach (copy them) before writing. pins counts live snapshots
-	// referencing this relation's backings: Compact defers pinned
-	// relations. pins is atomic because snapshots release from reader
-	// goroutines; shared is only touched on the writer side. See
+	// structures (tabs, idx, the overflow outer slices, dead); the next
+	// mutator must detach (copy them) before writing. pins counts live
+	// snapshots referencing this relation's backings: Compact defers
+	// pinned relations. pins is atomic because snapshots release from
+	// reader goroutines; shared is only touched on the writer side. See
 	// snapshot.go.
 	shared bool
 	pins   atomic.Int32
 }
 
 func newRelation(pred schema.PredID, arity int) *relation {
-	r := &relation{
+	return &relation{
 		pred:  pred,
 		arity: arity,
-		idx:   make([]map[term.Term]int32, arity),
+		idx:   make([]posIndex, arity),
 	}
-	for i := range r.idx {
-		r.idx[i] = make(map[term.Term]int32)
-	}
-	return r
 }
 
 // rows is the number of stored facts.
@@ -97,14 +129,16 @@ func (r *relation) equalRow(ri int32, args []term.Term) bool {
 
 // find returns the LIVE local row holding args, if present, given their
 // hash. Tombstoned rows are unlinked from the table at kill time, so they
-// are never found; deleted-slot sentinels bridge probe chains.
+// are never found; deleted-slot sentinels bridge probe chains. Probes
+// touch exactly one sub-table — the fact's hash shard.
 func (r *relation) find(h uint64, args []term.Term) (int32, bool) {
-	if len(r.tab) == 0 {
+	tab := r.tabs[hashShard(h)]
+	if len(tab) == 0 {
 		return 0, false
 	}
-	mask := uint64(len(r.tab) - 1)
+	mask := uint64(len(tab) - 1)
 	for i := h & mask; ; i = (i + 1) & mask {
-		ri := r.tab[i]
+		ri := tab[i]
 		if ri == tabEmpty {
 			return 0, false
 		}
@@ -114,73 +148,84 @@ func (r *relation) find(h uint64, args []term.Term) (int32, bool) {
 	}
 }
 
-// tabInsert records local row ri (with fact hash h) in the dedup table,
-// growing it at 3/4 load and reusing deleted-slot sentinels. The caller
-// has already established the row is not present. For a NEW row, the
-// row's hash must not have been appended to the hashes column yet: growTab
-// rehashes every hashes entry, so an early append would double-insert the
-// row (revive re-links an existing row, whose hash growTab re-places only
-// once). The load check counts every physical row — live, dead, and
-// deleted sentinels are all bounded by it — so the table never overfills.
+// tabInsert records local row ri (with fact hash h) in its dedup
+// sub-table, growing that sub-table at 3/4 load and reusing deleted-slot
+// sentinels. The caller has already established the row is not present.
+// Safe to call concurrently for rows of DISTINCT hash shards (the sharded
+// merge path): each call touches only its own sub-table and used counter.
 func (r *relation) tabInsert(h uint64, ri int32) {
-	if 4*(len(r.hashes)+1) > 3*len(r.tab) {
-		r.growTab()
+	s := hashShard(h)
+	if 4*(int(r.tabUsed[s])+1) > 3*len(r.tabs[s]) {
+		r.growTab(s)
 	}
-	mask := uint64(len(r.tab) - 1)
+	tab := r.tabs[s]
+	mask := uint64(len(tab) - 1)
 	i := h & mask
-	for r.tab[i] >= 0 {
+	for tab[i] >= 0 {
 		i = (i + 1) & mask
 	}
-	r.tab[i] = ri
+	if tab[i] == tabEmpty {
+		r.tabUsed[s]++
+	}
+	tab[i] = ri
 }
 
-// growTab doubles (or initializes) the dedup table and rehashes every row
-// from the hashes column.
-func (r *relation) growTab() {
-	n := 2 * len(r.tab)
+// growTab doubles (or initializes) sub-table s.
+func (r *relation) growTab(s int) {
+	n := 2 * len(r.tabs[s])
 	if n < 16 {
 		n = 16
 	}
-	r.rebuildTab(n)
+	r.rebuildShard(s, n)
 }
 
-// growTabTo sizes the dedup table so that n rows fit under 3/4 load in ONE
-// rehash — the bulk-merge path pre-sizes for base rows plus every buffered
-// tuple instead of growing power-of-two by power-of-two mid-merge.
+// growTabTo sizes every dedup sub-table so that n total rows (spread
+// uniformly by the hash top bits) fit under 3/4 load in ONE rehash — the
+// bulk-merge path pre-sizes for base rows plus every staged tuple instead
+// of growing power-of-two by power-of-two mid-merge. A skewed or
+// underestimated shard merely falls back to tabInsert's normal growth.
 func (r *relation) growTabTo(n int) {
-	want := len(r.tab)
-	if want < 16 {
-		want = 16
+	perShard := n>>relShardBits + 1
+	for s := 0; s < relShards; s++ {
+		want := len(r.tabs[s])
+		if want < 16 {
+			want = 16
+		}
+		for 4*perShard > 3*want {
+			want *= 2
+		}
+		if want != len(r.tabs[s]) {
+			r.rebuildShard(s, want)
+		}
 	}
-	for 4*n > 3*want {
-		want *= 2
-	}
-	if want == len(r.tab) {
-		return
-	}
-	r.rebuildTab(want)
 }
 
-// rebuildTab replaces the dedup table with one of n slots (a power of two)
-// and rehashes every live row from the hashes column; tombstoned rows and
-// deleted-slot sentinels drop out of the rebuilt table.
-func (r *relation) rebuildTab(n int) {
+// rebuildShard replaces dedup sub-table s with one of n slots (a power of
+// two), re-placing its LINKED rows from the old sub-table. Tombstoned rows
+// were unlinked at kill time and deleted-slot sentinels are dropped, so
+// the rebuilt table holds exactly the live linked set — rebuilding costs
+// O(sub-table), never O(relation).
+func (r *relation) rebuildShard(s, n int) {
+	old := r.tabs[s]
 	tab := make([]int32, n)
 	for i := range tab {
 		tab[i] = tabEmpty
 	}
 	mask := uint64(n - 1)
-	for ri, h := range r.hashes {
-		if r.isDead(int32(ri)) {
+	used := int32(0)
+	for _, ri := range old {
+		if ri < 0 {
 			continue
 		}
-		i := h & mask
-		for tab[i] >= 0 {
+		i := r.hashes[ri] & mask
+		for tab[i] != tabEmpty {
 			i = (i + 1) & mask
 		}
-		tab[i] = int32(ri)
+		tab[i] = ri
+		used++
 	}
-	r.tab = tab
+	r.tabs[s] = tab
+	r.tabUsed[s] = used
 }
 
 // firstSince returns the first local row whose global insertion index is at
@@ -196,33 +241,45 @@ func (r *relation) firstSince(since Mark) int {
 // lists, the global map, and the hashes column are shared cap-limited:
 // both sides only ever append, and an append on either side past a view's
 // capacity reallocates, so neither can see the other's new rows. The dedup
-// table and the liveness bitmap (both mutated in place — by inserts and
-// tombstones respectively) are copied outright — flat memcpys, no
-// re-hashing or re-comparison — and the posting maps copy their 4-byte
+// sub-tables and the liveness bitmap (both mutated in place — by inserts
+// and tombstones respectively) are copied outright — flat memcpys, no
+// re-hashing or re-comparison — and the posting sub-maps copy their 4-byte
 // codes (a code re-pointed by either side after the clone changes only
 // that side's map).
 func (r *relation) clone() *relation {
 	out := &relation{
-		pred:   r.pred,
-		arity:  r.arity,
-		cols:   r.cols[:len(r.cols):len(r.cols)],
-		global: r.global[:len(r.global):len(r.global)],
-		hashes: r.hashes[:len(r.hashes):len(r.hashes)],
-		tab:    append([]int32(nil), r.tab...),
-		idx:    make([]map[term.Term]int32, r.arity),
-		over:   make([][]int32, len(r.over)),
-		dead:   append([]uint64(nil), r.dead...),
-		nDead:  r.nDead,
+		pred:    r.pred,
+		arity:   r.arity,
+		cols:    r.cols[:len(r.cols):len(r.cols)],
+		global:  r.global[:len(r.global):len(r.global)],
+		hashes:  r.hashes[:len(r.hashes):len(r.hashes)],
+		tabUsed: r.tabUsed,
+		idx:     make([]posIndex, r.arity),
+		dead:    append([]uint64(nil), r.dead...),
+		nDead:   r.nDead,
 	}
-	for i, m := range r.idx {
-		nm := make(map[term.Term]int32, len(m))
-		for t, v := range m {
-			nm[t] = v
+	for s := 0; s < relShards; s++ {
+		if r.tabs[s] != nil {
+			out.tabs[s] = append([]int32(nil), r.tabs[s]...)
 		}
-		out.idx[i] = nm
 	}
-	for k, rows := range r.over {
-		out.over[k] = rows[:len(rows):len(rows)]
+	for i := range r.idx {
+		for s := 0; s < relShards; s++ {
+			if m := r.idx[i].m[s]; m != nil {
+				nm := make(map[term.Term]int32, len(m))
+				for t, v := range m {
+					nm[t] = v
+				}
+				out.idx[i].m[s] = nm
+			}
+			if ov := r.idx[i].over[s]; ov != nil {
+				nov := make([][]int32, len(ov))
+				for k, rows := range ov {
+					nov[k] = rows[:len(rows):len(rows)]
+				}
+				out.idx[i].over[s] = nov
+			}
+		}
 	}
 	return out
 }

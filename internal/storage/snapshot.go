@@ -101,37 +101,51 @@ func (s *Snapshot) Release() {
 // holds never changes).
 func (r *relation) view() *relation {
 	return &relation{
-		pred:   r.pred,
-		arity:  r.arity,
-		cols:   r.cols[:len(r.cols):len(r.cols)],
-		global: r.global[:len(r.global):len(r.global)],
-		hashes: r.hashes[:len(r.hashes):len(r.hashes)],
-		tab:    r.tab,
-		idx:    r.idx,
-		over:   r.over,
-		dead:   r.dead,
-		nDead:  r.nDead,
+		pred:    r.pred,
+		arity:   r.arity,
+		cols:    r.cols[:len(r.cols):len(r.cols)],
+		global:  r.global[:len(r.global):len(r.global)],
+		hashes:  r.hashes[:len(r.hashes):len(r.hashes)],
+		tabs:    r.tabs,
+		tabUsed: r.tabUsed,
+		idx:     r.idx,
+		dead:    r.dead,
+		nDead:   r.nDead,
 	}
 }
 
 // detach gives the relation private copies of every structure a snapshot
-// may share and the writer mutates in place: the dedup table, the posting
-// maps, the overflow table's outer slice, and the liveness bitmap. The
-// append-only columns stay shared (appends are invisible to cap-limited
-// views). Called by every in-place mutator when r.shared is set; runs at
-// most once per (snapshot, relation).
+// may share and the writer mutates in place: the dedup sub-tables, the
+// posting sub-maps, the overflow outer slices, and the liveness bitmap.
+// The append-only columns stay shared (appends are invisible to
+// cap-limited views). Called by every in-place mutator when r.shared is
+// set; runs at most once per (snapshot, relation).
+//
+// The idx slice itself is replaced (not copied element-wise in place)
+// because a view shares the []posIndex backing array: mutating a posIndex
+// through the shared backing would leak into the view.
 func (r *relation) detach() {
-	r.tab = append([]int32(nil), r.tab...)
-	nidx := make([]map[term.Term]int32, len(r.idx))
-	for i, m := range r.idx {
-		nm := make(map[term.Term]int32, len(m))
-		for t, v := range m {
-			nm[t] = v
+	for s := 0; s < relShards; s++ {
+		if r.tabs[s] != nil {
+			r.tabs[s] = append([]int32(nil), r.tabs[s]...)
 		}
-		nidx[i] = nm
+	}
+	nidx := make([]posIndex, len(r.idx))
+	for i := range r.idx {
+		for s := 0; s < relShards; s++ {
+			if m := r.idx[i].m[s]; m != nil {
+				nm := make(map[term.Term]int32, len(m))
+				for t, v := range m {
+					nm[t] = v
+				}
+				nidx[i].m[s] = nm
+			}
+			if ov := r.idx[i].over[s]; ov != nil {
+				nidx[i].over[s] = append([][]int32(nil), ov...)
+			}
+		}
 	}
 	r.idx = nidx
-	r.over = append([][]int32(nil), r.over...)
 	r.dead = append([]uint64(nil), r.dead...)
 	r.shared = false
 }

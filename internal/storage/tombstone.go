@@ -65,28 +65,25 @@ func (r *relation) revive(ri int32) bool {
 	if !r.isDead(ri) {
 		return false
 	}
-	// Re-link BEFORE clearing the liveness bit: if tabInsert grows the
-	// table, rebuildTab walks every row and skips dead ones — were the row
-	// already live there, the rebuild would place it and the insert below
-	// would place it a second time, leaving a stale duplicate link.
 	r.tabInsert(r.hashes[ri], ri)
 	r.dead[ri>>6] &^= 1 << (uint(ri) & 63)
 	r.nDead--
 	return true
 }
 
-// tabDelete unlinks local row ri (with fact hash h) from the dedup table,
-// leaving a bridge sentinel so probe chains through the slot stay
-// connected. A row never linked (absent chain) is a no-op.
+// tabDelete unlinks local row ri (with fact hash h) from its dedup
+// sub-table, leaving a bridge sentinel so probe chains through the slot
+// stay connected. A row never linked (absent chain) is a no-op.
 func (r *relation) tabDelete(h uint64, ri int32) {
-	if len(r.tab) == 0 {
+	tab := r.tabs[hashShard(h)]
+	if len(tab) == 0 {
 		return
 	}
-	mask := uint64(len(r.tab) - 1)
+	mask := uint64(len(tab) - 1)
 	for i := h & mask; ; i = (i + 1) & mask {
-		switch r.tab[i] {
+		switch tab[i] {
 		case ri:
-			r.tab[i] = tabDeleted
+			tab[i] = tabDeleted
 			return
 		case tabEmpty:
 			return

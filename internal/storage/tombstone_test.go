@@ -359,7 +359,7 @@ func TestReviveAtGrowthBoundary(t *testing.T) {
 		}
 		r := db.relOf(p)
 		counts := make(map[int32]int)
-		for _, v := range r.tab {
+		for _, v := range r.tabEntries() {
 			if v >= 0 {
 				counts[v]++
 			}
@@ -397,7 +397,7 @@ func TestDedupTableLiveInvariant(t *testing.T) {
 			killed[ri] = true
 		}
 		counts := make(map[int32]int)
-		for _, v := range r.tab {
+		for _, v := range r.tabEntries() {
 			if v >= 0 {
 				counts[v]++
 			}
