@@ -24,6 +24,12 @@
 //	               {"query": "?(X) :- t(a,X).", "limit": 100} (rule/CQ)
 //	               -> {"epoch": N, "columns": 2, "tuples": [["a","b"], ...]}
 //	               Runs lock-free against the current epoch's snapshot.
+//	               The response STREAMS: tuples are written (and flushed)
+//	               as the enumeration produces them, so the first bytes
+//	               arrive before the full answer set exists, and a client
+//	               that disconnects mid-stream cancels the enumeration
+//	               server-side. The body shape is unchanged — one JSON
+//	               object — only its delivery is incremental.
 //	POST /insert   {"facts": "e(b,c). e(c,d)."} -> {"epoch": N}
 //	POST /delete   {"facts": "e(a,b)."}         -> {"epoch": N}
 //	GET  /stats    -> service + maintenance counters
@@ -153,16 +159,24 @@ func newHandler(svc *service.Service) http.Handler {
 		if !decode(w, r, &req) {
 			return
 		}
-		resp, err := svc.Query(&req)
-		if err != nil {
-			code := http.StatusUnprocessableEntity
-			if errors.Is(err, service.ErrNotLoaded) {
-				code = http.StatusConflict
+		sink := &jsonSink{w: w}
+		sink.flusher, _ = w.(http.Flusher)
+		// The request context cancels when the client disconnects; the
+		// service checks it inside the enumeration loops, so an abandoned
+		// stream stops consuming the snapshot promptly.
+		if err := svc.QueryStream(r.Context(), &req, sink); err != nil {
+			if !sink.begun {
+				code := http.StatusUnprocessableEntity
+				if errors.Is(err, service.ErrNotLoaded) {
+					code = http.StatusConflict
+				}
+				fail(w, code, err)
+				return
 			}
-			fail(w, code, err)
-			return
+			// Status and partial body are already on the wire; the
+			// truncated (invalid) JSON tells the client the stream died.
+			log.Printf("vadalogd: query stream aborted: %v", err)
 		}
-		reply(w, resp)
 	})
 	update := func(apply func(string) (uint64, error)) http.HandlerFunc {
 		return func(w http.ResponseWriter, r *http.Request) {
@@ -194,6 +208,76 @@ func newHandler(svc *service.Service) http.Handler {
 		io.WriteString(w, "ok\n")
 	})
 	return logRecover(mux)
+}
+
+// flushEvery is how many streamed tuples pass between explicit flushes
+// of the /query response (the first flush happens right after the
+// header, so clients see bytes before the enumeration finishes).
+const flushEvery = 1024
+
+// jsonSink writes a QueryResponse-shaped JSON object incrementally: the
+// header fields and the opening of "tuples" on Begin, one array element
+// per Row, the closing brace with the trailing flags on End. The result
+// decodes exactly like the former one-shot response; only delivery
+// changed. Write errors (client gone) propagate back into the service,
+// which stops the enumeration.
+type jsonSink struct {
+	w       http.ResponseWriter
+	flusher http.Flusher
+	begun   bool
+	rows    int
+}
+
+func (s *jsonSink) Begin(epoch uint64, columns int) error {
+	s.w.Header().Set("Content-Type", "application/json")
+	s.begun = true
+	if _, err := fmt.Fprintf(s.w, `{"epoch":%d,"columns":%d,"tuples":[`, epoch, columns); err != nil {
+		return err
+	}
+	s.flush()
+	return nil
+}
+
+func (s *jsonSink) Row(tuple []string) error {
+	b, err := json.Marshal(tuple)
+	if err != nil {
+		return err
+	}
+	if s.rows > 0 {
+		b = append(b, 0)
+		copy(b[1:], b)
+		b[0] = ','
+	}
+	if _, err := s.w.Write(b); err != nil {
+		return err
+	}
+	s.rows++
+	if s.rows%flushEvery == 0 {
+		s.flush()
+	}
+	return nil
+}
+
+func (s *jsonSink) End(truncated bool, boolAns *bool) error {
+	tail := "]"
+	if truncated {
+		tail += `,"truncated":true`
+	}
+	if boolAns != nil {
+		tail += fmt.Sprintf(`,"bool":%v`, *boolAns)
+	}
+	tail += "}\n"
+	if _, err := io.WriteString(s.w, tail); err != nil {
+		return err
+	}
+	s.flush()
+	return nil
+}
+
+func (s *jsonSink) flush() {
+	if s.flusher != nil {
+		s.flusher.Flush()
+	}
 }
 
 // logRecover turns handler panics into 500s so one bad request cannot

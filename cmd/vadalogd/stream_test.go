@@ -1,0 +1,176 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// chainProgram builds a transitive-closure program over an n-node chain —
+// n(n-1)/2 closure tuples, enough to span many flush windows.
+func chainProgram(n int) string {
+	var b strings.Builder
+	b.WriteString("t(X,Y) :- e(X,Y).\nt(X,Z) :- e(X,Y), t(Y,Z).\n")
+	for i := 0; i+1 < n; i++ {
+		fmt.Fprintf(&b, "e(n%d,n%d).\n", i, i+1)
+	}
+	return b.String()
+}
+
+// TestQueryResponseStreams: a large result arrives incrementally — bytes
+// of the body are readable before the terminating brace — and the full
+// body still decodes as one QueryResponse with every tuple.
+func TestQueryResponseStreams(t *testing.T) {
+	svc := service.New(service.Options{})
+	ts := httptest.NewServer(newHandler(svc))
+	defer ts.Close()
+	defer svc.Close()
+	const n = 128 // 8128 closure tuples, several flush windows of 1024
+	if _, err := svc.Load(chainProgram(n)); err != nil {
+		t.Fatal(err)
+	}
+
+	body, _ := json.Marshal(service.QueryRequest{Query: "?(X,Y) :- t(X,Y)."})
+	resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+
+	// Read the first chunk only: it must hold the header and some tuples
+	// but not the body's end — proof the response didn't materialize
+	// before the first byte.
+	br := bufio.NewReaderSize(resp.Body, 64<<10)
+	first := make([]byte, 16<<10)
+	nr, err := io.ReadFull(br, first)
+	if err != nil {
+		t.Fatalf("first chunk: %d bytes, err %v", nr, err)
+	}
+	if !bytes.HasPrefix(first, []byte(`{"epoch":`)) {
+		t.Fatalf("stream prefix: %.60q", first)
+	}
+	if bytes.Contains(first, []byte("}\n")) {
+		t.Fatal("response ended within the first 16KiB — not streamed")
+	}
+
+	rest, err := io.ReadAll(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qr service.QueryResponse
+	if err := json.Unmarshal(append(first[:nr], rest...), &qr); err != nil {
+		t.Fatalf("streamed body does not decode: %v", err)
+	}
+	if want := n * (n - 1) / 2; len(qr.Tuples) != want {
+		t.Fatalf("%d tuples, want %d", len(qr.Tuples), want)
+	}
+	if qr.Columns != 2 || qr.Truncated {
+		t.Fatalf("header: %+v", qr)
+	}
+}
+
+// TestQueryClientDisconnectCancelsEnumeration: a client closing mid-body
+// aborts the server-side enumeration (Stats.Aborted increments) and the
+// daemon keeps serving.
+func TestQueryClientDisconnectCancelsEnumeration(t *testing.T) {
+	svc := service.New(service.Options{})
+	ts := httptest.NewServer(newHandler(svc))
+	defer ts.Close()
+	defer svc.Close()
+	// Facts only: the self-join query below matches 640k rows (clamped at
+	// the 100k default limit) — megabytes of body, far beyond what the
+	// connection's buffers absorb. The client stops reading after the
+	// first bytes, so backpressure parks the enumeration mid-stream; the
+	// disconnect then MUST abort it (it cannot have finished).
+	var edges strings.Builder
+	for i := 0; i < 800; i++ {
+		fmt.Fprintf(&edges, "e(n%d,n%d).\n", i, i+1)
+	}
+	if _, err := svc.Load(edges.String()); err != nil {
+		t.Fatal(err)
+	}
+
+	body, _ := json.Marshal(service.QueryRequest{Query: "?(X,Y,Z,W) :- e(X,Y), e(Z,W)."})
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/query", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read a few bytes of the stream, then walk away.
+	if _, err := io.ReadFull(resp.Body, make([]byte, 512)); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	resp.Body.Close()
+
+	// The abort is asynchronous: the enumeration notices the dead client
+	// at its next context check or flush.
+	deadline := time.Now().Add(5 * time.Second)
+	for svc.Stats().Aborted == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("enumeration never aborted after client disconnect")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The daemon is healthy: the same query completes afterwards.
+	var qr service.QueryResponse
+	postJSON(t, ts.URL+"/query", service.QueryRequest{Pred: "e", Args: []string{"n0", "n1"}}, &qr)
+	if len(qr.Tuples) != 1 {
+		t.Fatalf("post-disconnect query: %+v", qr)
+	}
+}
+
+// TestQueryStreamShapes: truncation flags and boolean answers keep the
+// exact former response shape through the streaming encoder.
+func TestQueryStreamShapes(t *testing.T) {
+	svc := service.New(service.Options{})
+	ts := httptest.NewServer(newHandler(svc))
+	defer ts.Close()
+	defer svc.Close()
+	if _, err := svc.Load(chainProgram(16)); err != nil {
+		t.Fatal(err)
+	}
+	var qr service.QueryResponse
+	postJSON(t, ts.URL+"/query", service.QueryRequest{Query: "?(X,Y) :- t(X,Y).", Limit: 7}, &qr)
+	if len(qr.Tuples) != 7 || !qr.Truncated {
+		t.Fatalf("limit: %d tuples truncated=%v", len(qr.Tuples), qr.Truncated)
+	}
+	qr = service.QueryResponse{}
+	postJSON(t, ts.URL+"/query", service.QueryRequest{Query: "? :- t(n0,n9)."}, &qr)
+	if qr.Bool == nil || !*qr.Bool {
+		t.Fatalf("boolean true: %+v", qr)
+	}
+	qr = service.QueryResponse{}
+	postJSON(t, ts.URL+"/query", service.QueryRequest{Query: "? :- t(n9,n0)."}, &qr)
+	if qr.Bool == nil || *qr.Bool {
+		t.Fatalf("boolean false: %+v", qr)
+	}
+	if qr.Tuples == nil || len(qr.Tuples) != 0 {
+		t.Fatalf("boolean tuples: %+v", qr.Tuples)
+	}
+	// Evaluation errors still arrive as JSON error objects (nothing was
+	// streamed before the failure).
+	respRaw := postJSON(t, ts.URL+"/query", service.QueryRequest{Pred: "zzz", Args: []string{"_"}}, nil)
+	if respRaw.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("unknown predicate: status %d", respRaw.StatusCode)
+	}
+}

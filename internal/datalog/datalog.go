@@ -55,6 +55,14 @@ type Options struct {
 	// round keeps the compile-time order — the E8 baselines measure the
 	// static bias choice in isolation.
 	Adaptive bool
+	// InPlace evaluates directly into db instead of a private Clone. The
+	// caller owns the aliasing consequences: db must not be read
+	// concurrently with Eval, and on error it may hold a partial fixpoint.
+	// The reasoning service sets this when evaluating view rules into a
+	// copy-on-write overlay of an epoch snapshot — the overlay IS the
+	// private copy, and cloning it again would eagerly duplicate every
+	// relation's dedup and posting structures.
+	InPlace bool
 }
 
 // Stats reports evaluation effort.
@@ -111,8 +119,9 @@ func (e *evaluator) collectProbes(execs []*plan.Exec) {
 }
 
 // Eval computes the least fixpoint of the program over the database,
-// returning a new instance containing the input facts plus all derived
-// facts. The program must consist of full single-head TGDs.
+// returning an instance containing the input facts plus all derived facts
+// — a new private clone by default, db itself under Options.InPlace. The
+// program must consist of full single-head TGDs.
 //
 // Programs with negated body atoms are evaluated under stratified semantics
 // (the perfect model): evaluation is forced into stratified mode and the
@@ -132,10 +141,14 @@ func Eval(prog *logic.Program, db *storage.DB, opt Options) (*storage.DB, *Stats
 		}
 		opt.Stratify = true
 	}
+	edb := db
+	if !opt.InPlace {
+		edb = db.Clone()
+	}
 	e := &evaluator{
 		prog:  prog,
 		an:    an,
-		db:    db.Clone(),
+		db:    edb,
 		opt:   opt,
 		plans: plan.Cached(prog, plan.Options{DeltaFirst: opt.BiasRecursiveAtom}),
 		execs: make([]*plan.Exec, len(prog.TGDs)),

@@ -1,0 +1,198 @@
+package plan
+
+import (
+	"context"
+
+	"repro/internal/logic"
+	"repro/internal/storage"
+	"repro/internal/term"
+)
+
+// Compiled conjunctive queries.
+//
+// Ad-hoc CQs used to run through the substitution-based compatibility path
+// (DB.MatchEach with a cloned map substitution per match, rendered-string
+// dedup keys, sort-by-rendered-key). A CQPlan runs the same query through
+// the machinery the fixpoint engines already use: variables live in a flat
+// slot frame, the body joins through a greedy-ordered ScanPlan chain with
+// per-position argument modes (constants as ArgConst index keys, dead
+// variables projected to ArgSkip, fully bound atoms resolved through the
+// relation dedup table in O(1)), and answers deduplicate on term identity
+// through a storage.TupleSet. Results stream through a yield callback, so
+// a limit stops the join early instead of truncating a materialized set.
+//
+// A CQPlan is compiled from the query and the schema only — never the data
+// — so one plan serves any instance (the reasoning service caches plans
+// per (generation, CQ shape) and runs them against whichever epoch
+// snapshot or view overlay a query pins).
+
+// CQPlan is one compiled conjunctive query. Plans are immutable and safe
+// for concurrent Run/RunCtx calls (each run owns its frame and dedup set).
+type CQPlan struct {
+	// Arity is the answer tuple width (len of the query's output row).
+	Arity int
+	// NumSlots is the frame size: one slot per distinct query variable.
+	NumSlots int
+	// Out instantiates the answer tuple from the frame: one TemplateArg per
+	// output position (constant output positions carry the constant).
+	Out []TemplateArg
+	// Scans is the compiled join: one access path per body atom, in greedy
+	// join order.
+	Scans []*storage.ScanPlan
+
+	// unsat marks a query with an output variable occurring in no body
+	// atom: no homomorphism can instantiate it to a constant, so the query
+	// has no answers over any instance and Run yields nothing.
+	unsat bool
+}
+
+// cqCancelStride is how many row matches pass between context checks on
+// the enumeration hot path.
+const cqCancelStride = 1024
+
+// CompileCQ compiles the query: slot assignment in order of first
+// occurrence, greedy bound-connectivity join order (constants count as
+// bound, so the most selective atom leads), per-position argument modes
+// against the statically known bound-slot set, and projection of every
+// variable no later scan or output position reads.
+func CompileCQ(q *logic.CQ) *CQPlan {
+	p := &CQPlan{Arity: len(q.Output)}
+	slotOf := make(map[term.Term]int)
+	var slots []term.Term
+	intern := func(v term.Term) int {
+		if s, ok := slotOf[v]; ok {
+			return s
+		}
+		s := len(slots)
+		slotOf[v] = s
+		slots = append(slots, v)
+		return s
+	}
+	for _, a := range q.Atoms {
+		for _, x := range a.Args {
+			if x.IsVar() {
+				intern(x)
+			}
+		}
+	}
+	p.NumSlots = len(slots)
+	p.Out = make([]TemplateArg, len(q.Output))
+	live := make([]bool, p.NumSlots)
+	for i, t := range q.Output {
+		if !t.IsVar() {
+			p.Out[i] = TemplateArg{Slot: -1, Const: t}
+			continue
+		}
+		s, ok := slotOf[t]
+		if !ok {
+			// An output variable bound by no body atom stays a variable
+			// under every homomorphism — never a constant answer.
+			p.unsat = true
+			return p
+		}
+		p.Out[i] = TemplateArg{Slot: s}
+		live[s] = true
+	}
+	ord := greedyOrderBound(q.Atoms, slotOf, make([]bool, p.NumSlots))
+	p.Scans = compileJoin(q.Atoms, ord, -1, slotOf, live, nil).Scans
+	return p
+}
+
+// Run enumerates the distinct answer tuples of the plan over the instance:
+// tuples of constants only (rows binding an output slot to a null are
+// skipped), deduplicated on term identity, in the plan's deterministic
+// enumeration order. yield's tuple argument is reused between calls —
+// callers retaining it must copy. yield returning false stops the
+// enumeration immediately (the limit pushdown path); a boolean (arity 0)
+// query stops at its first body match either way. Run reports whether the
+// enumeration ran to completion.
+func (p *CQPlan) Run(db *storage.DB, yield func(tup []term.Term) bool) bool {
+	done, _ := p.run(context.Background(), db, yield)
+	return done
+}
+
+// RunCtx is Run with cooperative cancellation: ctx is checked every
+// cqCancelStride row matches, and a cancelled enumeration returns the
+// context's error. The completion flag reports false when yield stopped
+// the run early OR the context fired.
+func (p *CQPlan) RunCtx(ctx context.Context, db *storage.DB, yield func(tup []term.Term) bool) (bool, error) {
+	return p.run(ctx, db, yield)
+}
+
+func (p *CQPlan) run(ctx context.Context, db *storage.DB, yield func(tup []term.Term) bool) (bool, error) {
+	if p.unsat {
+		return true, nil
+	}
+	frame := storage.NewFrame(p.NumSlots)
+	out := make([]term.Term, p.Arity)
+	seen := storage.NewTupleSet(p.Arity)
+	var ctxErr error
+	completed := true
+	matches := 0
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == len(p.Scans) {
+			for i := range p.Out {
+				a := &p.Out[i]
+				if a.Slot < 0 {
+					out[i] = a.Const
+					continue
+				}
+				v := frame[a.Slot]
+				if !v.IsConst() {
+					return true // answers are constant tuples; nulls match but never answer
+				}
+				out[i] = v
+			}
+			if !seen.Add(out) {
+				return true
+			}
+			if !yield(out) {
+				completed = false
+				return false
+			}
+			if p.Arity == 0 {
+				// A boolean query has exactly one possible answer; the
+				// first witness ends the enumeration.
+				return false
+			}
+			return true
+		}
+		return db.Probe(p.Scans[k], frame, 0, 0, 1, func() bool {
+			matches++
+			if matches%cqCancelStride == 0 {
+				if err := ctx.Err(); err != nil {
+					ctxErr = err
+					completed = false
+					return false
+				}
+			}
+			return rec(k + 1)
+		})
+	}
+	rec(0)
+	return completed, ctxErr
+}
+
+// EvalCQ evaluates q over db through a freshly compiled CQPlan, returning
+// the full answer set sorted into the deterministic order of the
+// substitution-based reference (per-position (Kind, ID) comparison). This
+// is the compiled implementation behind storage.DB.EvalCQ.
+func EvalCQ(db *storage.DB, q *logic.CQ) [][]term.Term {
+	p := CompileCQ(q)
+	var answers [][]term.Term
+	p.Run(db, func(tup []term.Term) bool {
+		answers = append(answers, append([]term.Term(nil), tup...))
+		return true
+	})
+	storage.SortTuples(answers)
+	return answers
+}
+
+func init() {
+	// Install the compiled evaluator behind storage.DB.EvalCQ: every
+	// engine, the chase, and the service link this package, so the
+	// substitution-based reference only runs in storage-only builds (and
+	// as the property-test oracle).
+	storage.SetCQEvaluator(EvalCQ)
+}

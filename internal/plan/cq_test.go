@@ -1,0 +1,205 @@
+package plan
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/atom"
+	"repro/internal/logic"
+	"repro/internal/parser"
+	"repro/internal/storage"
+	"repro/internal/term"
+)
+
+// parseCQ parses "facts + one query" source and returns the instance and
+// the query.
+func parseCQ(t *testing.T, src string) (*storage.DB, *parser.Result) {
+	t.Helper()
+	r, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Queries) != 1 {
+		t.Fatalf("want exactly one query, got %d", len(r.Queries))
+	}
+	db := storage.NewDB()
+	db.InsertAll(r.Facts)
+	return db, r
+}
+
+// sameAnswers compares two answer sets positionally on term identity
+// (reflect.DeepEqual distinguishes nil from empty arity-0 tuples).
+func sameAnswers(a, b [][]term.Term) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) || storage.CompareTuples(a[i], b[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// collect runs the plan, copying every yielded tuple.
+func collect(p *CQPlan, db *storage.DB) [][]term.Term {
+	var out [][]term.Term
+	p.Run(db, func(tup []term.Term) bool {
+		out = append(out, append([]term.Term(nil), tup...))
+		return true
+	})
+	return out
+}
+
+// TestCQPlanMatchesReference: the compiled plan agrees with the
+// substitution-based reference on a representative mix of shapes.
+func TestCQPlanMatchesReference(t *testing.T) {
+	cases := []string{
+		`e(a,b). e(b,c). e(c,d). ?(X,Y) :- e(X,Y).`,
+		`e(a,b). e(b,c). e(c,d). ?(X,Z) :- e(X,Y), e(Y,Z).`,
+		`e(a,b). e(b,c). p(a). p(c). ?(X) :- e(X,Y), p(Y).`,
+		`e(a,b). e(b,c). ?(Y) :- e(a,Y).`,
+		`e(a,b). e(b,a). ?(X) :- e(X,X_).`,              // projected second position
+		`e(a,a). e(a,b). ?(X) :- e(X,X).`,               // repeated variable in one atom
+		`e(a,b). ?(a,Y) :- e(a,Y).`,                     // constant output position
+		`e(a,b). ? :- e(a,b).`,                          // boolean, ground
+		`e(a,b). ? :- e(b,X).`,                          // boolean, open
+		`e(a,b). r(c,d,e). ?(X,W) :- e(X,Y), r(Z,W,V).`, // cartesian product
+	}
+	for _, src := range cases {
+		db, r := parseCQ(t, src)
+		q := r.Queries[0]
+		want := db.EvalCQRef(q)
+		got := EvalCQ(db, q)
+		if !sameAnswers(got, want) {
+			t.Errorf("%s:\ncompiled  %v\nreference %v", src, got, want)
+		}
+	}
+}
+
+// TestCQPlanDedupAndDeterminism: yields are distinct, and two runs of the
+// same plan enumerate the same tuples in the same order.
+func TestCQPlanDedupAndDeterminism(t *testing.T) {
+	db, r := parseCQ(t, `
+e(a,b). e(b,c). e(a,c). p(b). p(c).
+?(X) :- e(X,Y), p(Y).`)
+	p := CompileCQ(r.Queries[0])
+	first := collect(p, db)
+	seen := storage.NewTupleSet(1)
+	for _, tup := range first {
+		if !seen.Add(tup) {
+			t.Fatalf("duplicate yield %v", tup)
+		}
+	}
+	if second := collect(p, db); !sameAnswers(first, second) {
+		t.Fatalf("non-deterministic enumeration: %v vs %v", first, second)
+	}
+}
+
+// TestCQPlanEarlyStop: yield returning false stops the enumeration — the
+// limit pushdown contract.
+func TestCQPlanEarlyStop(t *testing.T) {
+	db, r := parseCQ(t, `e(a,b). e(b,c). e(c,d). e(d,f). ?(X,Y) :- e(X,Y).`)
+	p := CompileCQ(r.Queries[0])
+	n := 0
+	done := p.Run(db, func([]term.Term) bool {
+		n++
+		return n < 2
+	})
+	if n != 2 || done {
+		t.Fatalf("early stop: %d yields, done=%v; want 2 yields, done=false", n, done)
+	}
+}
+
+// TestCQPlanUnboundOutputVar: an output variable occurring in no body atom
+// has no constant instantiation, so the plan is unsatisfiable and yields
+// nothing. The parser rejects such queries, so the CQ is built directly.
+func TestCQPlanUnboundOutputVar(t *testing.T) {
+	db, r := parseCQ(t, `e(a,b). ?(X,Y) :- e(X,Y).`)
+	q := r.Queries[0]
+	bad := &logic.CQ{
+		Output: []term.Term{q.Output[0], term.MkVar(1 << 20)},
+		Atoms:  q.Atoms,
+	}
+	if got := EvalCQ(db, bad); len(got) != 0 {
+		t.Fatalf("unbound output var: compiled %v; want empty", got)
+	}
+}
+
+// TestCQPlanNullsNeverAnswer: nulls may witness the join internally but
+// never appear in answer tuples.
+func TestCQPlanNullsNeverAnswer(t *testing.T) {
+	r, err := parser.Parse(`e(a,b). ?(X,Y) :- e(X,Y).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := storage.NewDB()
+	db.InsertAll(r.Facts)
+	pred := r.Facts[0].Pred
+	c := r.Program.Store.Const("a")
+	db.Insert(atom.Atom{Pred: pred, Args: []term.Term{c, term.MkNull(7)}})
+	db.Insert(atom.Atom{Pred: pred, Args: []term.Term{term.MkNull(7), c}})
+	q := r.Queries[0]
+	got := EvalCQ(db, q)
+	if want := db.EvalCQRef(q); !sameAnswers(got, want) {
+		t.Fatalf("nulls: compiled %v, reference %v", got, want)
+	}
+	if len(got) != 1 {
+		t.Fatalf("nulls leaked into answers: %v", got)
+	}
+	// The null still witnesses a join: ?(X) :- e(X,Y), e(Y,Z) through the
+	// null midpoint must answer a (a -> null7 -> a).
+	r2, err := parser.ParseInto(r.Program, `?(X) :- e(X,Y), e(Y,Z).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2 := r2.Queries[0]
+	got2 := EvalCQ(db, q2)
+	if want2 := db.EvalCQRef(q2); !sameAnswers(got2, want2) {
+		t.Fatalf("null witness: compiled %v, reference %v", got2, want2)
+	}
+	if len(got2) != 1 {
+		t.Fatalf("null midpoint not used as witness: %v", got2)
+	}
+}
+
+// TestCQPlanCancellation: a cancelled context stops a long enumeration
+// mid-run with the context's error.
+func TestCQPlanCancellation(t *testing.T) {
+	r, err := parser.Parse(`?(X,Y,Z,W) :- e(X,Y), e(Z,W).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := storage.NewDB()
+	pred, _ := r.Program.Reg.Lookup("e")
+	for i := 0; i < 200; i++ {
+		db.Insert(atom.Atom{Pred: pred, Args: []term.Term{term.MkConst(uint32(i)), term.MkConst(uint32(i + 1))}})
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	p := CompileCQ(r.Queries[0])
+	n := 0
+	done, errRun := p.RunCtx(ctx, db, func([]term.Term) bool {
+		n++
+		if n == 10 {
+			cancel()
+		}
+		return true
+	})
+	if done || errRun == nil {
+		t.Fatalf("cancelled run: done=%v err=%v after %d yields", done, errRun, n)
+	}
+	if n >= 200*200 {
+		t.Fatalf("cancellation did not stop enumeration (%d yields)", n)
+	}
+}
+
+// TestCQPlanGroundFastPath: a fully bound query compiles to an allBound
+// scan and resolves without enumeration.
+func TestCQPlanGroundFastPath(t *testing.T) {
+	db, r := parseCQ(t, `e(a,b). e(b,c). ? :- e(b,c).`)
+	p := CompileCQ(r.Queries[0])
+	got := collect(p, db)
+	if len(got) != 1 || len(got[0]) != 0 {
+		t.Fatalf("ground boolean: %v", got)
+	}
+}

@@ -1,12 +1,15 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
+	"repro/internal/atom"
 	"repro/internal/datalog"
 	"repro/internal/logic"
 	"repro/internal/parser"
+	"repro/internal/plan"
 	"repro/internal/schema"
 	"repro/internal/storage"
 	"repro/internal/term"
@@ -14,6 +17,10 @@ import (
 
 // DefaultLimit bounds result sets when the request does not set one.
 const DefaultLimit = 100000
+
+// queryCancelStride is how many emitted rows pass between context checks
+// on the pattern-probe hot path (the compiled-CQ path has its own stride).
+const queryCancelStride = 256
 
 // QueryRequest describes one query. Two forms:
 //
@@ -25,9 +32,12 @@ const DefaultLimit = 100000
 //   - Rule query: Query holds surface syntax with exactly one query and
 //     optionally view rules evaluated on the fly, e.g.
 //     "tc(X,Y) :- e(X,Y). tc(X,Z) :- e(X,Y), tc(Y,Z). ?(X) :- tc(a,X)."
-//     View rules compile through plan.Cached and run over a private
-//     clone of the epoch snapshot; a bare "?(..) :- body." conjunctive
-//     query evaluates directly against the snapshot.
+//     View rules materialize into a copy-on-write overlay of the epoch
+//     snapshot, cached per (epoch, view-rules shape) so repeated queries
+//     of an unchanged epoch reuse the materialization; a bare
+//     "?(..) :- body." conjunctive query compiles to a plan.CQPlan
+//     (cached per (generation, query shape)) and streams straight off
+//     the snapshot.
 //
 // Query takes precedence when both are set.
 type QueryRequest struct {
@@ -48,6 +58,18 @@ type QueryResponse struct {
 	Bool *bool `json:"bool,omitempty"`
 }
 
+// Sink receives one query's answer incrementally: Begin once, Row per
+// answer tuple in enumeration order, End once (on success). The tuple
+// slice passed to Row is reused between calls — implementations retaining
+// it must copy. A non-nil error from any method aborts the enumeration
+// and propagates out of QueryStream; the HTTP layer uses this to stop
+// evaluating the moment a streaming client disconnects.
+type Sink interface {
+	Begin(epoch uint64, columns int) error
+	Row(tuple []string) error
+	End(truncated bool, boolAns *bool) error
+}
+
 // planKey identifies a cached pattern plan: the predicate plus the set of
 // bound positions. The constants themselves live in the per-query frame
 // (bound positions compile to ArgBound slots), so one plan serves every
@@ -57,11 +79,62 @@ type planKey struct {
 	mask uint64
 }
 
-// Query evaluates one request against the current epoch's snapshot.
+// collectSink materializes a streamed answer into a QueryResponse — the
+// compatibility core of the non-streaming Query. Row copies land in
+// block-allocated arenas (fresh blocks, never grown, so issued row
+// slices stay valid): one allocation per ~1k rows instead of one per
+// row.
+type collectSink struct {
+	resp  QueryResponse
+	arena []string
+}
+
+func (c *collectSink) Begin(epoch uint64, columns int) error {
+	c.resp.Epoch = epoch
+	c.resp.Columns = columns
+	c.resp.Tuples = [][]string{}
+	return nil
+}
+
+func (c *collectSink) Row(tuple []string) error {
+	n := len(tuple)
+	if len(c.arena)+n > cap(c.arena) {
+		c.arena = make([]string, 0, 1024*max(n, 1))
+	}
+	start := len(c.arena)
+	c.arena = append(c.arena, tuple...)
+	c.resp.Tuples = append(c.resp.Tuples, c.arena[start:start+n:start+n])
+	return nil
+}
+
+func (c *collectSink) End(truncated bool, boolAns *bool) error {
+	c.resp.Truncated = truncated
+	c.resp.Bool = boolAns
+	return nil
+}
+
+// Query evaluates one request against the current epoch's snapshot,
+// returning the materialized answer set. Embedders wanting incremental
+// delivery or cancellation use QueryStream directly.
 func (s *Service) Query(req *QueryRequest) (*QueryResponse, error) {
+	var c collectSink
+	if err := s.QueryStream(context.Background(), req, &c); err != nil {
+		return nil, err
+	}
+	return &c.resp, nil
+}
+
+// QueryStream evaluates one request against the current epoch's snapshot,
+// delivering answers through the sink as the enumeration produces them:
+// the first Row arrives before the full answer set exists, and a limit
+// stops the underlying join early instead of truncating a materialized
+// result. ctx cancellation is checked inside the enumeration loops, so an
+// abandoned query stops consuming the snapshot promptly; a cancelled or
+// sink-aborted query counts into Stats.QueriesAborted.
+func (s *Service) QueryStream(ctx context.Context, req *QueryRequest, sink Sink) error {
 	e, err := s.acquire()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	defer e.release()
 	s.queries.Add(1)
@@ -70,58 +143,99 @@ func (s *Service) Query(req *QueryRequest) (*QueryResponse, error) {
 		limit = DefaultLimit
 	}
 	if req.Query != "" {
-		return s.ruleQuery(e, req.Query, limit)
+		err = s.ruleQueryStream(ctx, e, req.Query, limit, sink)
+	} else {
+		err = s.patternQueryStream(ctx, e, req, limit, sink)
 	}
-	return s.patternQuery(e, req, limit)
+	if err != nil && (errors.Is(err, ctx.Err()) || errors.Is(err, errSink)) {
+		s.aborted.Add(1)
+	}
+	return err
 }
 
-// patternQuery runs the compiled-ScanPlan path: resolve the predicate and
-// the bound constants (lock-free reads against the concurrent naming
-// context), fetch or compile the (pred, mask) plan, fill a frame, probe
-// the snapshot.
-func (s *Service) patternQuery(e *epoch, req *QueryRequest, limit int) (*QueryResponse, error) {
+// errSink wraps sink failures so QueryStream can tell an aborted delivery
+// (client gone) from an evaluation error.
+var errSink = errors.New("sink aborted")
+
+func sinkErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("%w: %w", errSink, err)
+}
+
+// patternQueryStream runs the compiled-ScanPlan path: resolve the
+// predicate and the bound constants (lock-free reads against the
+// concurrent naming context), fetch or compile the (pred, mask) plan,
+// fill a frame, probe the snapshot. The probe stops the moment the limit
+// is exceeded (the limit+1-th match only sets the truncation flag) — a
+// "first 10 of a million" pattern query costs 11 matches, not a scan.
+func (s *Service) patternQueryStream(ctx context.Context, e *epoch, req *QueryRequest, limit int, sink Sink) error {
 	prog := e.gen.prog
 	pid, ok := prog.Reg.Lookup(req.Pred)
 	if !ok {
-		return nil, fmt.Errorf("service: unknown predicate %q", req.Pred)
+		return fmt.Errorf("service: unknown predicate %q", req.Pred)
 	}
 	arity := prog.Reg.Arity(pid)
 	if len(req.Args) != arity {
-		return nil, fmt.Errorf("service: %s has arity %d, got %d args", req.Pred, arity, len(req.Args))
+		return fmt.Errorf("service: %s has arity %d, got %d args", req.Pred, arity, len(req.Args))
 	}
 	if arity > 64 {
-		return nil, errors.New("service: pattern arity exceeds 64")
+		return errors.New("service: pattern arity exceeds 64")
 	}
 	var mask uint64
 	frame := storage.NewFrame(arity)
+	known := true
 	for i, v := range req.Args {
 		if v == "" || v == "_" {
 			continue
 		}
-		c, known := prog.Store.HasConst(v)
-		if !known {
+		c, ok := prog.Store.HasConst(v)
+		if !ok {
 			// A constant the instance has never seen matches nothing.
-			return &QueryResponse{Epoch: e.seq, Columns: arity, Tuples: [][]string{}}, nil
+			known = false
+			break
 		}
 		mask |= 1 << uint(i)
 		frame[i] = c
 	}
+	if err := sink.Begin(e.seq, arity); err != nil {
+		return sinkErr(err)
+	}
+	if !known {
+		return sinkErr(sink.End(false, nil))
+	}
 
-	plan := s.patternPlan(e.gen, pid, mask, arity)
-	sdb := e.snap.DB()
-	var rows [][]term.Term
-	truncated := false
-	sdb.Probe(plan, frame, 0, 0, 1, func() bool {
-		if len(rows) >= limit {
+	p := s.patternPlan(e.gen, pid, mask, arity)
+	st := prog.Store
+	names := make([]string, arity)
+	emitted, truncated := 0, false
+	var abort error
+	e.snap.DB().Probe(p, frame, 0, 0, 1, func() bool {
+		if emitted >= limit {
 			truncated = true
 			return false
 		}
-		tup := make([]term.Term, arity)
-		copy(tup, frame)
-		rows = append(rows, tup)
+		if emitted%queryCancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				abort = err
+				return false
+			}
+		}
+		for i := 0; i < arity; i++ {
+			names[i] = st.Name(frame[i])
+		}
+		if err := sink.Row(names); err != nil {
+			abort = sinkErr(err)
+			return false
+		}
+		emitted++
 		return true
 	})
-	return s.render(e, arity, rows, truncated, nil)
+	if abort != nil {
+		return abort
+	}
+	return sinkErr(sink.End(truncated, nil))
 }
 
 // patternPlan returns the generation's cached scan plan for the shape,
@@ -150,62 +264,225 @@ func (s *Service) patternPlan(g *generation, pid schema.PredID, mask uint64, ari
 	return p
 }
 
-// ruleQuery parses "view rules + one query" source against the
-// generation's naming context and evaluates it over the epoch snapshot.
-func (s *Service) ruleQuery(e *epoch, src string, limit int) (*QueryResponse, error) {
+// ruleQueryStream parses "view rules + one query" source against the
+// generation's naming context and evaluates it over the epoch snapshot:
+// view rules materialize into a cached copy-on-write overlay, the query
+// itself runs as a cached compiled CQPlan streaming through the sink.
+func (s *Service) ruleQueryStream(ctx context.Context, e *epoch, src string, limit int, sink Sink) error {
 	prog := e.gen.prog
 	// Parsing interns constants and variables — concurrent-safe, so no
 	// lock; a scratch program keeps parsed TGDs out of the served rules.
 	tmp := &logic.Program{Store: prog.Store, Reg: prog.Reg}
 	res, err := parser.ParseInto(tmp, src)
 	if err != nil {
-		return nil, fmt.Errorf("service: query: %w", err)
+		return fmt.Errorf("service: query: %w", err)
 	}
 	if len(res.Queries) != 1 {
-		return nil, fmt.Errorf("service: query text must contain exactly one query, got %d", len(res.Queries))
+		return fmt.Errorf("service: query text must contain exactly one query, got %d", len(res.Queries))
 	}
 	if len(res.Facts) > 0 {
-		return nil, errors.New("service: query text must not contain facts")
+		return errors.New("service: query text must not contain facts")
 	}
 	q := res.Queries[0]
 	sdb := e.snap.DB()
 	if len(tmp.TGDs) > 0 {
-		// Rule-defined view: materialize the view rules over a private
-		// clone of the snapshot (compiled through plan.Cached), then
-		// evaluate the query against the result.
-		out, _, err := datalog.Eval(tmp, sdb, datalog.Options{
-			Stratify: true, BiasRecursiveAtom: true, Adaptive: s.opt.Adaptive,
-		})
+		sdb, err = s.viewOverlay(ctx, e, tmp)
 		if err != nil {
-			return nil, fmt.Errorf("service: view: %w", err)
+			return err
 		}
-		sdb = out
 	}
-	answers := sdb.EvalCQ(q)
+	p := s.cqPlan(e.gen, q)
+
 	if q.IsBoolean() {
-		ok := len(answers) > 0
-		return &QueryResponse{Epoch: e.seq, Bool: &ok, Tuples: [][]string{}}, nil
+		found := false
+		if _, err := p.RunCtx(ctx, sdb, func([]term.Term) bool {
+			found = true
+			return false
+		}); err != nil {
+			return err
+		}
+		if err := sink.Begin(e.seq, 0); err != nil {
+			return sinkErr(err)
+		}
+		return sinkErr(sink.End(false, &found))
 	}
-	truncated := false
-	if len(answers) > limit {
-		answers, truncated = answers[:limit], true
+
+	if err := sink.Begin(e.seq, len(q.Output)); err != nil {
+		return sinkErr(err)
 	}
-	return s.render(e, len(q.Output), answers, truncated, nil)
+	st := prog.Store
+	names := make([]string, len(q.Output))
+	emitted, truncated := 0, false
+	var abort error
+	if _, err := p.RunCtx(ctx, sdb, func(tup []term.Term) bool {
+		if emitted >= limit {
+			truncated = true
+			return false
+		}
+		for i, t := range tup {
+			names[i] = st.Name(t)
+		}
+		if err := sink.Row(names); err != nil {
+			abort = sinkErr(err)
+			return false
+		}
+		emitted++
+		return true
+	}); err != nil {
+		return err
+	}
+	if abort != nil {
+		return abort
+	}
+	return sinkErr(sink.End(truncated, nil))
 }
 
-// render converts result tuples to strings; the naming context supports
-// concurrent reads, so rendering never blocks a streaming load.
-func (s *Service) render(e *epoch, columns int, rows [][]term.Term, truncated bool, boolAns *bool) (*QueryResponse, error) {
-	st := e.gen.prog.Store
-	out := make([][]string, len(rows))
-	for i, tup := range rows {
-		out[i] = st.Names(tup)
+// cqPlan returns the generation's cached compiled plan for the query
+// shape. Plans depend only on the query structure (slot assignment, join
+// order, access paths) — never on data — so one plan serves every epoch
+// of the generation. Keys are structural (predicate and term IDs), so
+// textual re-parses of the same query hit.
+func (s *Service) cqPlan(g *generation, q *logic.CQ) *plan.CQPlan {
+	k := cqKey(q)
+	g.planMu.RLock()
+	p, ok := g.cqPlans[k]
+	g.planMu.RUnlock()
+	if ok {
+		return p
 	}
-	return &QueryResponse{
-		Epoch:     e.seq,
-		Columns:   columns,
-		Tuples:    out,
-		Truncated: truncated,
-		Bool:      boolAns,
-	}, nil
+	p = plan.CompileCQ(q)
+	g.planMu.Lock()
+	if len(g.cqPlans) >= maxCQPlans {
+		clear(g.cqPlans)
+	}
+	g.cqPlans[k] = p
+	g.planMu.Unlock()
+	return p
+}
+
+// maxCQPlans bounds a generation's compiled-CQ cache; an adversarial
+// stream of distinct shapes resets the cache rather than growing it.
+const maxCQPlans = 256
+
+// maxOverlays bounds an epoch's materialized-view cache; shapes beyond
+// the cap build uncached overlays (correct, just not reused).
+const maxOverlays = 64
+
+// overlayEntry is one (epoch, view-rules shape) materialization. ready
+// closes when db/err are set; late arrivals for the same shape wait on it
+// instead of duplicating the fixpoint (single-flight).
+type overlayEntry struct {
+	ready chan struct{}
+	db    *storage.DB
+	err   error
+}
+
+// viewOverlay returns the materialization of the view rules over the
+// epoch snapshot: a copy-on-write overlay DB (storage.Overlay) into which
+// the rules' fixpoint evaluated in place. Reads of base predicates fall
+// through to the frozen snapshot backings with zero copying; only the
+// relations the view rules actually derive into hold private structures.
+// The overlay is cached on the epoch keyed by the rules' structural
+// shape, so every query of an unchanged epoch after the first pays zero
+// materialization and zero snapshot-copy cost; the cache (and the
+// borrowed backings) die with the epoch's refcount.
+func (s *Service) viewOverlay(ctx context.Context, e *epoch, view *logic.Program) (*storage.DB, error) {
+	k := viewKey(view.TGDs)
+	e.ovMu.Lock()
+	if e.overlays == nil {
+		e.overlays = make(map[string]*overlayEntry)
+	}
+	if ent, ok := e.overlays[k]; ok {
+		e.ovMu.Unlock()
+		select {
+		case <-ent.ready:
+			return ent.db, ent.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	var ent *overlayEntry
+	if len(e.overlays) < maxOverlays {
+		ent = &overlayEntry{ready: make(chan struct{})}
+		e.overlays[k] = ent
+	}
+	e.ovMu.Unlock()
+
+	db, err := s.buildOverlay(e, view)
+	if ent != nil {
+		ent.db, ent.err = db, err
+		close(ent.ready)
+		if err != nil {
+			// Drop failed builds so a later identical query can retry.
+			e.ovMu.Lock()
+			delete(e.overlays, k)
+			e.ovMu.Unlock()
+		}
+	}
+	return db, err
+}
+
+// buildOverlay materializes view rules into a fresh overlay of the epoch
+// snapshot. The fixpoint runs in place (datalog.Options.InPlace): the
+// overlay IS the private copy, so no clone precedes it.
+func (s *Service) buildOverlay(e *epoch, view *logic.Program) (*storage.DB, error) {
+	s.viewBuilds.Add(1)
+	ov := e.snap.DB().Overlay()
+	if _, _, err := datalog.Eval(view, ov, datalog.Options{
+		Stratify: true, BiasRecursiveAtom: true, Adaptive: s.opt.Adaptive, InPlace: true,
+	}); err != nil {
+		return nil, fmt.Errorf("service: view: %w", err)
+	}
+	return ov, nil
+}
+
+// viewKey renders the structural shape of a rule set as a byte string:
+// predicate IDs plus per-argument (kind, ID) — generation-local IDs, so
+// the key is only compared within one epoch's cache. Variables intern by
+// name, so textually identical rule sets collide (hit) and renamed ones
+// don't (miss, conservatively correct).
+func viewKey(tgds []*logic.TGD) string {
+	var b []byte
+	for _, t := range tgds {
+		b = appendAtoms(b, t.Head)
+		b = append(b, ':')
+		b = appendAtoms(b, t.Body)
+		if len(t.NegBody) > 0 {
+			b = append(b, '~')
+			b = appendAtoms(b, t.NegBody)
+		}
+		b = append(b, '.')
+	}
+	return string(b)
+}
+
+// cqKey renders the structural shape of a query (output row plus body) as
+// a byte string.
+func cqKey(q *logic.CQ) string {
+	var b []byte
+	for _, t := range q.Output {
+		b = appendTerm(b, t)
+	}
+	b = append(b, ':')
+	b = appendAtoms(b, q.Atoms)
+	return string(b)
+}
+
+func appendAtoms(b []byte, atoms []atom.Atom) []byte {
+	for _, a := range atoms {
+		b = appendU32(b, uint32(a.Pred))
+		for _, t := range a.Args {
+			b = appendTerm(b, t)
+		}
+		b = append(b, ';')
+	}
+	return b
+}
+
+func appendTerm(b []byte, t term.Term) []byte {
+	return appendU32(append(b, byte(t.Kind)), t.ID)
+}
+
+func appendU32(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
 }

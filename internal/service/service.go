@@ -47,6 +47,7 @@ import (
 	"repro/internal/incremental"
 	"repro/internal/logic"
 	"repro/internal/parser"
+	"repro/internal/plan"
 	"repro/internal/relio"
 	"repro/internal/storage"
 )
@@ -90,6 +91,13 @@ type Service struct {
 
 	queries atomic.Uint64
 	drained atomic.Uint64
+	// viewBuilds counts view-rule materializations actually executed —
+	// overlay-cache hits don't count, so the gap between rule queries and
+	// viewBuilds is the cache's work saved.
+	viewBuilds atomic.Uint64
+	// aborted counts queries stopped early by context cancellation or a
+	// failed sink delivery (a streaming client that disconnected).
+	aborted atomic.Uint64
 }
 
 // generation is the program-scoped state shared by every epoch published
@@ -104,8 +112,11 @@ type generation struct {
 	// the read path is one RLock and one map probe with no key boxing,
 	// keeping the ground-lookup fast path in the hundreds of
 	// nanoseconds.
-	planMu sync.RWMutex
-	plans  map[planKey]*storage.ScanPlan
+	// Both plan maps share planMu: pattern plans by (pred, bound mask),
+	// compiled conjunctive queries by structural shape (see cqKey).
+	planMu  sync.RWMutex
+	plans   map[planKey]*storage.ScanPlan
+	cqPlans map[string]*plan.CQPlan
 }
 
 // epoch is one published snapshot of one generation.
@@ -114,6 +125,13 @@ type epoch struct {
 	gen  *generation
 	seq  uint64
 	snap *storage.Snapshot
+	// overlays caches materialized rule-defined views of this epoch's
+	// snapshot, keyed by the view rules' structural shape (see
+	// viewOverlay). Overlay DBs borrow the snapshot's backings, so the
+	// cache's lifetime is exactly the epoch's: the last release drops the
+	// map with the snapshot pins.
+	ovMu     sync.Mutex
+	overlays map[string]*overlayEntry
 	// refs counts the publisher (1) plus every in-flight query. The
 	// publisher's reference drops when the epoch is retired by the next
 	// publish (or Close); the last release triggers pin release and a
@@ -205,7 +223,11 @@ func (s *Service) LoadProgram(prog *logic.Program, base *storage.DB) (uint64, er
 	// A fresh generation: in-flight queries of the previous one keep
 	// their epoch's generation pointer, so they resolve and render
 	// against the old naming context until they drain.
-	s.gen = &generation{prog: prog, plans: make(map[planKey]*storage.ScanPlan)}
+	s.gen = &generation{
+		prog:    prog,
+		plans:   make(map[planKey]*storage.ScanPlan),
+		cqPlans: make(map[string]*plan.CQPlan),
+	}
 	s.eng = eng
 	return s.publish(), nil
 }
@@ -384,6 +406,8 @@ type Stats struct {
 	Epoch         uint64            `json:"epoch"`
 	Facts         int               `json:"facts"`
 	Queries       uint64            `json:"queries"`
+	ViewBuilds    uint64            `json:"view_builds"`
+	Aborted       uint64            `json:"queries_aborted"`
 	EpochsDrained uint64            `json:"epochs_drained"`
 	Engine        incremental.Stats `json:"engine"`
 }
@@ -393,6 +417,8 @@ type Stats struct {
 func (s *Service) Stats() Stats {
 	st := Stats{
 		Queries:       s.queries.Load(),
+		ViewBuilds:    s.viewBuilds.Load(),
+		Aborted:       s.aborted.Load(),
 		EpochsDrained: s.drained.Load(),
 	}
 	if e, err := s.acquire(); err == nil {

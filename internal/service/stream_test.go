@@ -1,0 +1,393 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/datalog"
+	"repro/internal/logic"
+	"repro/internal/parser"
+)
+
+// recordSink records the stream verbatim plus the call protocol.
+type recordSink struct {
+	epoch     uint64
+	columns   int
+	rows      [][]string
+	truncated bool
+	boolAns   *bool
+	begun     bool
+	ended     bool
+	// failRowAt, when > 0, makes that Row call (1-based) return an error
+	// — the client-disconnect simulation.
+	failRowAt int
+}
+
+var errRecordSink = errors.New("record sink failure")
+
+func (r *recordSink) Begin(epoch uint64, columns int) error {
+	if r.begun {
+		return errors.New("Begin called twice")
+	}
+	r.begun = true
+	r.epoch, r.columns = epoch, columns
+	return nil
+}
+
+func (r *recordSink) Row(tuple []string) error {
+	if !r.begun || r.ended {
+		return errors.New("Row outside Begin/End")
+	}
+	r.rows = append(r.rows, append([]string(nil), tuple...))
+	if r.failRowAt > 0 && len(r.rows) >= r.failRowAt {
+		return errRecordSink
+	}
+	return nil
+}
+
+func (r *recordSink) End(truncated bool, boolAns *bool) error {
+	if !r.begun || r.ended {
+		return errors.New("End outside Begin")
+	}
+	r.ended = true
+	r.truncated = truncated
+	r.boolAns = boolAns
+	return nil
+}
+
+func sortRows(rows [][]string) {
+	sort.Slice(rows, func(i, j int) bool {
+		for k := range rows[i] {
+			if rows[i][k] != rows[j][k] {
+				return rows[i][k] < rows[j][k]
+			}
+		}
+		return false
+	})
+}
+
+// TestQueryStreamMatchesQuery: the streamed protocol delivers exactly the
+// tuples of the materialized Query response, for both request forms.
+func TestQueryStreamMatchesQuery(t *testing.T) {
+	svc := New(Options{})
+	defer svc.Close()
+	mustLoad(t, svc, chainSource(24))
+	reqs := []*QueryRequest{
+		{Pred: "t", Args: []string{"_", "_"}},
+		{Pred: "t", Args: []string{"n0", "_"}},
+		{Query: "?(X,Y) :- t(X,Y)."},
+		{Query: "?(X) :- t(n0,X), t(X,n23)."},
+		{Query: "s(X,Y) :- t(X,Y). s(Y,X) :- t(X,Y). ?(X) :- s(n23,X)."},
+	}
+	for _, req := range reqs {
+		want := mustQuery(t, svc, req)
+		var sink recordSink
+		if err := svc.QueryStream(context.Background(), req, &sink); err != nil {
+			t.Fatalf("%+v: %v", req, err)
+		}
+		if !sink.begun || !sink.ended {
+			t.Fatalf("%+v: protocol not completed (begun=%v ended=%v)", req, sink.begun, sink.ended)
+		}
+		if sink.epoch != want.Epoch || sink.columns != want.Columns || sink.truncated != want.Truncated {
+			t.Fatalf("%+v: header (%d,%d,%v) != (%d,%d,%v)",
+				req, sink.epoch, sink.columns, sink.truncated, want.Epoch, want.Columns, want.Truncated)
+		}
+		got := sink.rows
+		if got == nil {
+			got = [][]string{}
+		}
+		sortRows(got)
+		sortRows(want.Tuples)
+		if !reflect.DeepEqual(got, want.Tuples) {
+			t.Fatalf("%+v: stream %v != query %v", req, got, want.Tuples)
+		}
+	}
+}
+
+// TestQueryStreamLimitPushdown: the stream stops at the limit and flags
+// truncation without enumerating the rest.
+func TestQueryStreamLimitPushdown(t *testing.T) {
+	svc := New(Options{})
+	defer svc.Close()
+	mustLoad(t, svc, chainSource(32))
+	for _, req := range []*QueryRequest{
+		{Pred: "t", Args: []string{"_", "_"}, Limit: 5},
+		{Query: "?(X,Y) :- t(X,Y).", Limit: 5},
+	} {
+		var sink recordSink
+		if err := svc.QueryStream(context.Background(), req, &sink); err != nil {
+			t.Fatal(err)
+		}
+		if len(sink.rows) != 5 || !sink.truncated {
+			t.Fatalf("%+v: %d rows, truncated=%v; want 5, true", req, len(sink.rows), sink.truncated)
+		}
+	}
+}
+
+// TestQueryStreamSinkAbort: a sink failure mid-stream stops the
+// enumeration, propagates the error, and counts into Stats.Aborted.
+func TestQueryStreamSinkAbort(t *testing.T) {
+	svc := New(Options{})
+	defer svc.Close()
+	mustLoad(t, svc, chainSource(64))
+	for _, req := range []*QueryRequest{
+		{Pred: "t", Args: []string{"_", "_"}},
+		{Query: "?(X,Y) :- t(X,Y)."},
+	} {
+		before := svc.Stats().Aborted
+		sink := recordSink{failRowAt: 3}
+		err := svc.QueryStream(context.Background(), req, &sink)
+		if !errors.Is(err, errRecordSink) {
+			t.Fatalf("%+v: err = %v, want record sink failure", req, err)
+		}
+		if len(sink.rows) != 3 {
+			t.Fatalf("%+v: enumeration continued after sink failure (%d rows)", req, len(sink.rows))
+		}
+		if got := svc.Stats().Aborted; got != before+1 {
+			t.Fatalf("%+v: Aborted = %d, want %d", req, got, before+1)
+		}
+	}
+	// The service still answers after aborted streams.
+	if resp := mustQuery(t, svc, &QueryRequest{Pred: "t", Args: []string{"n0", "n1"}}); len(resp.Tuples) != 1 {
+		t.Fatalf("service unhealthy after aborts: %+v", resp)
+	}
+}
+
+// TestQueryStreamCancellation: a context cancelled mid-enumeration stops
+// the stream with the context error.
+func TestQueryStreamCancellation(t *testing.T) {
+	svc := New(Options{})
+	defer svc.Close()
+	mustLoad(t, svc, chainSource(128))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var sink recordSink
+	err := svc.QueryStream(ctx, &QueryRequest{Query: "?(X,Y) :- t(X,Y)."}, &sink)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if svc.Stats().Aborted == 0 {
+		t.Fatal("cancelled query not counted as aborted")
+	}
+}
+
+// viewCloneOracle evaluates view rules + query the way the service did
+// before overlays: datalog.Eval over a private clone of the snapshot,
+// then the reference CQ evaluator.
+func viewCloneOracle(t *testing.T, svc *Service, src string) [][]string {
+	t.Helper()
+	e, err := svc.acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.release()
+	prog := e.gen.prog
+	tmp := &logic.Program{Store: prog.Store, Reg: prog.Reg}
+	res, err := parser.ParseInto(tmp, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdb := e.snap.DB()
+	if len(tmp.TGDs) > 0 {
+		out, _, err := datalog.Eval(tmp, sdb, datalog.Options{Stratify: true, BiasRecursiveAtom: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sdb = out
+	}
+	var rows [][]string
+	for _, tup := range sdb.EvalCQRef(res.Queries[0]) {
+		rows = append(rows, prog.Store.Names(tup))
+	}
+	return rows
+}
+
+// TestOverlayViewMatchesCloneOracle: overlay-evaluated view queries agree
+// with the private-clone evaluation they replaced.
+func TestOverlayViewMatchesCloneOracle(t *testing.T) {
+	svc := New(Options{})
+	defer svc.Close()
+	mustLoad(t, svc, chainSource(20))
+	views := []string{
+		// Non-recursive view over a derived predicate.
+		"pair(X,Y) :- t(X,Y). ?(X) :- pair(X,n19).",
+		// Recursive view: symmetric closure.
+		"s(X,Y) :- e(X,Y). s(Y,X) :- s(X,Y). ?(X) :- s(n0,X).",
+		// View joining base and derived predicates (constants live in the
+		// query; the parser keeps TGDs constant-free).
+		"far(X,Z) :- t(X,Y), t(Y,Z). ?(Z) :- far(n0,Z).",
+		// Boolean over a view.
+		"mid(X,Z) :- t(X,Y), t(Y,Z). ? :- mid(n0,n10).",
+	}
+	for _, src := range views {
+		want := viewCloneOracle(t, svc, src)
+		resp := mustQuery(t, svc, &QueryRequest{Query: src})
+		if resp.Bool != nil {
+			if len(want) == 0 == *resp.Bool {
+				t.Fatalf("%s: bool=%v, oracle has %d answers", src, *resp.Bool, len(want))
+			}
+			continue
+		}
+		got := resp.Tuples
+		sortRows(got)
+		sortRows(want)
+		if want == nil {
+			want = [][]string{}
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s:\noverlay %v\noracle  %v", src, got, want)
+		}
+	}
+}
+
+// TestOverlayCachedPerEpoch: repeated view queries of one epoch
+// materialize once; a write (new epoch) or a textual rule change builds
+// anew.
+func TestOverlayCachedPerEpoch(t *testing.T) {
+	svc := New(Options{})
+	defer svc.Close()
+	mustLoad(t, svc, chainSource(12))
+	view := "s(X,Y) :- e(X,Y). s(X,Z) :- e(X,Y), s(Y,Z). ?(X) :- s(n0,X)."
+	base := svc.Stats().ViewBuilds
+	first := mustQuery(t, svc, &QueryRequest{Query: view})
+	for i := 0; i < 5; i++ {
+		resp := mustQuery(t, svc, &QueryRequest{Query: view})
+		if len(resp.Tuples) != len(first.Tuples) {
+			t.Fatalf("run %d: %d tuples, want %d", i, len(resp.Tuples), len(first.Tuples))
+		}
+	}
+	if got := svc.Stats().ViewBuilds; got != base+1 {
+		t.Fatalf("ViewBuilds = %d after repeated identical queries, want %d", got, base+1)
+	}
+	// A write publishes a new epoch: the next view query rebuilds and
+	// sees the new fact (n0 now reaches x0 through n11).
+	if _, err := svc.Insert("e(n11,x0)."); err != nil {
+		t.Fatal(err)
+	}
+	resp := mustQuery(t, svc, &QueryRequest{Query: view})
+	if got := svc.Stats().ViewBuilds; got != base+2 {
+		t.Fatalf("ViewBuilds = %d after epoch change, want %d", got, base+2)
+	}
+	if len(resp.Tuples) != len(first.Tuples)+1 {
+		t.Fatalf("view stale after insert: %d tuples, want %d", len(resp.Tuples), len(first.Tuples)+1)
+	}
+	// Renamed variables are a different shape: a fresh build, same
+	// answers.
+	renamed := "s(A,B) :- e(A,B). s(A,C) :- e(A,B), s(B,C). ?(A) :- s(n0,A)."
+	resp2 := mustQuery(t, svc, &QueryRequest{Query: renamed})
+	if got := svc.Stats().ViewBuilds; got != base+3 {
+		t.Fatalf("ViewBuilds = %d after renamed rules, want %d", got, base+3)
+	}
+	if len(resp2.Tuples) != len(resp.Tuples) {
+		t.Fatalf("renamed view answers differ: %d vs %d", len(resp2.Tuples), len(resp.Tuples))
+	}
+}
+
+// TestOverlayConcurrentWithWrites: concurrent view queries (same and
+// different shapes) race a writer publishing epochs; every response must
+// be internally consistent with its own epoch's chain length.
+func TestOverlayConcurrentWithWrites(t *testing.T) {
+	svc := New(Options{})
+	defer svc.Close()
+	const n = 16
+	mustLoad(t, svc, chainSource(n))
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := svc.Insert(fmt.Sprintf("e(n%d,n%d).", n-1+i, n+i)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	var qg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		qg.Add(1)
+		go func(g int) {
+			defer qg.Done()
+			// Half the goroutines share one view shape (exercising the
+			// single-flight path), half use per-goroutine shapes.
+			view := "r(X,Y) :- t(X,Y). ?(Y) :- r(n0,Y)."
+			if g%2 == 1 {
+				view = fmt.Sprintf("r%d(X,Y) :- t(X,Y). ?(Y) :- r%d(n0,Y).", g, g)
+			}
+			for i := 0; i < 25; i++ {
+				resp, err := svc.Query(&QueryRequest{Query: view})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				// The chain only grows: epoch k has n-1+k edges, so n0
+				// reaches everything — tuple count is chain length - 1,
+				// which is at least n-1.
+				if len(resp.Tuples) < n-1 {
+					t.Errorf("epoch %d: %d reachable, want >= %d", resp.Epoch, len(resp.Tuples), n-1)
+					return
+				}
+			}
+		}(g)
+	}
+	qg.Wait()
+	close(stop)
+	wg.Wait()
+}
+
+// TestQueryStreamPatternUnknownConstant: a bound constant the store has
+// never interned streams an empty result, not an error.
+func TestQueryStreamPatternUnknownConstant(t *testing.T) {
+	svc := New(Options{})
+	defer svc.Close()
+	mustLoad(t, svc, chainSource(4))
+	var sink recordSink
+	if err := svc.QueryStream(context.Background(), &QueryRequest{Pred: "t", Args: []string{"nope", "_"}}, &sink); err != nil {
+		t.Fatal(err)
+	}
+	if !sink.ended || len(sink.rows) != 0 || sink.truncated {
+		t.Fatalf("unknown constant: ended=%v rows=%d truncated=%v", sink.ended, len(sink.rows), sink.truncated)
+	}
+}
+
+// TestCQPlanCacheReuse: repeated rule queries of one generation reuse the
+// compiled plan (cache populated once, map stable across epochs).
+func TestCQPlanCacheReuse(t *testing.T) {
+	svc := New(Options{})
+	defer svc.Close()
+	mustLoad(t, svc, chainSource(8))
+	q := &QueryRequest{Query: "?(X,Y) :- t(X,Y)."}
+	mustQuery(t, svc, q)
+	svc.mu.Lock()
+	g := svc.gen
+	svc.mu.Unlock()
+	g.planMu.RLock()
+	n := len(g.cqPlans)
+	g.planMu.RUnlock()
+	if n != 1 {
+		t.Fatalf("cqPlans = %d entries after first query, want 1", n)
+	}
+	// Same text re-parses to the same structural key — still one entry,
+	// across an epoch change too.
+	if _, err := svc.Insert("e(n7,n8)."); err != nil {
+		t.Fatal(err)
+	}
+	mustQuery(t, svc, q)
+	g.planMu.RLock()
+	n = len(g.cqPlans)
+	g.planMu.RUnlock()
+	if n != 1 {
+		t.Fatalf("cqPlans = %d entries after re-query, want 1", n)
+	}
+}

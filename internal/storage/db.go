@@ -10,7 +10,6 @@ package storage
 
 import (
 	"sort"
-	"strings"
 
 	"repro/internal/atom"
 	"repro/internal/logic"
@@ -327,13 +326,43 @@ func (db *DB) Homomorphism(pattern []atom.Atom, base atom.Subst) (atom.Subst, bo
 	return rec(0, base)
 }
 
+// cqEval, when non-nil, is the compiled conjunctive-query evaluator
+// installed by internal/plan at init time (SetCQEvaluator). The indirection
+// exists because the compiled machinery lives above storage in the import
+// graph: plan compiles CQs into ScanPlan chains and drives Probe, and
+// every engine package already links plan, so in practice EvalCQ always
+// runs compiled. Binaries that link storage alone fall back to the
+// substitution-based reference implementation (EvalCQRef).
+var cqEval func(*DB, *logic.CQ) [][]term.Term
+
+// SetCQEvaluator installs the compiled CQ evaluator. Called once from
+// internal/plan's init; the contract is that f returns exactly what
+// EvalCQRef returns (answers, dedup, deterministic order) — the plan
+// package's property suite enforces the equivalence.
+func SetCQEvaluator(f func(*DB, *logic.CQ) [][]term.Term) { cqEval = f }
+
 // EvalCQ evaluates a conjunctive query over the instance, returning the set
 // of answer tuples (tuples of constants only), deduplicated, in a
 // deterministic order. Output positions already holding constants act as
 // selections.
+//
+// EvalCQ is a thin compatibility wrapper: when internal/plan is linked
+// (every engine and service build), evaluation runs through a compiled
+// plan.CQPlan — slot frames and indexed ScanPlan probes instead of
+// per-match substitution clones.
 func (db *DB) EvalCQ(q *logic.CQ) [][]term.Term {
+	if cqEval != nil {
+		return cqEval(db, q)
+	}
+	return db.EvalCQRef(q)
+}
+
+// EvalCQRef is the substitution-based reference evaluation of a CQ — the
+// oracle the compiled path is property-tested against, and the fallback
+// when the plan package is not linked. Same contract as EvalCQ.
+func (db *DB) EvalCQRef(q *logic.CQ) [][]term.Term {
 	var answers [][]term.Term
-	seen := make(map[string]bool)
+	seen := NewTupleSet(len(q.Output))
 	order := orderForJoin(q.Atoms)
 	var rec func(i int, s atom.Subst)
 	rec = func(i int, s atom.Subst) {
@@ -346,9 +375,7 @@ func (db *DB) EvalCQ(q *logic.CQ) [][]term.Term {
 				}
 				tup[j] = v
 			}
-			k := tupleKey(tup)
-			if !seen[k] {
-				seen[k] = true
+			if seen.Add(tup) {
 				answers = append(answers, tup)
 			}
 			return
@@ -359,9 +386,7 @@ func (db *DB) EvalCQ(q *logic.CQ) [][]term.Term {
 		})
 	}
 	rec(0, atom.NewSubst())
-	sort.Slice(answers, func(i, j int) bool {
-		return tupleKey(answers[i]) < tupleKey(answers[j])
-	})
+	SortTuples(answers)
 	return answers
 }
 
@@ -379,19 +404,6 @@ func (db *DB) HasAnswer(q *logic.CQ, c []term.Term) bool {
 	}
 	_, ok := db.Homomorphism(q.Atoms, base)
 	return ok
-}
-
-// tupleKey renders a tuple for dedup/sorting.
-func tupleKey(ts []term.Term) string {
-	var b strings.Builder
-	for _, t := range ts {
-		b.WriteByte(byte(t.Kind))
-		b.WriteByte(byte(t.ID >> 24))
-		b.WriteByte(byte(t.ID >> 16))
-		b.WriteByte(byte(t.ID >> 8))
-		b.WriteByte(byte(t.ID))
-	}
-	return b.String()
 }
 
 // orderForJoin orders pattern atoms greedily: start with the atom with the

@@ -78,9 +78,51 @@ func (db *DB) Snapshot() *Snapshot {
 }
 
 // DB returns the frozen view. All read APIs of storage.DB apply; mutating
-// it panics. Clone() of the view yields a normal private mutable DB (the
-// rule-defined-view query path evaluates programs over such clones).
+// it panics. Overlay() of the view yields a mutable copy-on-write overlay
+// (the rule-defined-view query path materializes view predicates into
+// such overlays); Clone() yields a fully private mutable copy.
 func (s *Snapshot) DB() *DB { return s.db }
+
+// Overlay returns a mutable copy-on-write overlay of a frozen snapshot
+// view: reads fall through to the snapshot's backings, and writes detach
+// lazily. Where Clone eagerly copies every relation's dedup sub-tables and
+// posting maps — O(instance) before the first derived fact lands — Overlay
+// copies only the per-relation headers: each overlay relation shares the
+// frozen backings and is marked shared, so the FIRST in-place mutation of
+// a relation detaches private copies of its dedup/posting structures, and
+// relations the overlay never writes are never copied at all. View rules
+// deriving into fresh predicates (the common rule-defined-view query) grow
+// a small private relation set while every base relation stays a zero-copy
+// fall-through read.
+//
+// Overlay is only valid on frozen snapshot views: their relation structures
+// are immutable (the live DB detached from them before its next mutation),
+// so sharing them without coordination is sound. Overlaying a live DB
+// would race its writer and panics. The overlay borrows the snapshot's
+// backings, so it must not outlive the snapshot's Release (the service
+// scopes overlays to their epoch's refcount for exactly this reason).
+func (db *DB) Overlay() *DB {
+	if !db.frozen {
+		panic("storage: Overlay of a live DB (snapshot it first)")
+	}
+	out := &DB{
+		rels:  make([]*relation, len(db.rels)),
+		order: db.order[:len(db.order):len(db.order)],
+		dead:  db.dead,
+		holes: db.holes,
+	}
+	for p, r := range db.rels {
+		if r == nil {
+			continue
+		}
+		nr := r.view()
+		// Force detach before the overlay's first in-place mutation of
+		// this relation — the frozen snapshot keeps the originals.
+		nr.shared = true
+		out.rels[p] = nr
+	}
+	return out
+}
 
 // Release unpins the snapshot's relations, allowing Compact on the source
 // DB to reclaim them. Idempotent; reading the view after Release is a
