@@ -15,6 +15,7 @@ import (
 	"repro/internal/datalog"
 	"repro/internal/logic"
 	"repro/internal/parser"
+	"repro/internal/plan"
 	"repro/internal/prooftree"
 	"repro/internal/rewrite"
 	"repro/internal/storage"
@@ -408,6 +409,31 @@ func BenchmarkP1_PlanFixpointSeq(b *testing.B) {
 	var rounds int
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		_, stats, err := datalog.Eval(prog, db, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds = stats.Rounds
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+}
+
+// BenchmarkP1_PlanFixpointSeqBudget is BenchmarkP1_PlanFixpointSeq with a
+// generous (never-tripping) budget attached: the delta against the
+// unbudgeted run above is the hot-loop cost of the robustness machinery —
+// one local counter decrement per probe, one shared atomic flush per
+// BudgetStride. Acceptance: ≤2% overhead.
+func BenchmarkP1_PlanFixpointSeqBudget(b *testing.B) {
+	res := mustParse(b, tcLinear)
+	prog := res.Program
+	db := workload.Chain(256).DB(prog, "e", "n")
+	var rounds int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt := datalog.Options{
+			Stratify: true, BiasRecursiveAtom: true,
+			Budget: plan.NewBudget(nil, 0, 1<<60),
+		}
 		_, stats, err := datalog.Eval(prog, db, opt)
 		if err != nil {
 			b.Fatal(err)

@@ -5,11 +5,33 @@
 //
 // Usage:
 //
-//	vadalogd [-addr :8077] [-adaptive] [-csv-batch 16384] [file.vada ...]
+//	vadalogd [-addr :8077] [-adaptive] [-csv-batch 16384]
+//	         [-max-concurrent 64] [-queue 128] [-timeout 0]
+//	         [-max-derived 0] [-max-probes 0] [file.vada ...]
 //
 // Files given on the command line are loaded (rules + facts, one shared
 // naming context) before the server starts accepting requests; without
 // files the server starts empty and a program is loaded over HTTP.
+//
+// Production hardening (PR 8): every request runs under a budget and the
+// daemon admits a bounded amount of concurrent query work.
+//
+//   - -max-derived / -max-probes are server-side ceilings on per-request
+//     evaluation budgets (derived-fact cap, join-probe cap; 0 =
+//     unlimited). A query may request smaller caps via "max_derived" /
+//     "max_probes" in the /query body, never larger.
+//   - -timeout bounds every request's wall clock (0 = off). A query may
+//     request a shorter deadline via "timeout_ms".
+//   - -max-concurrent bounds queries evaluating at once; up to -queue
+//     more wait for a slot; beyond that the daemon fast-fails 429.
+//
+// Failed requests carry {"error": ..., "code": ...} where code is one of
+// "over_budget" (HTTP 422 — a budget cap tripped, plan.ErrOverBudget),
+// "timeout" (408 — the deadline expired), "canceled" (408 — the client
+// went away), "rejected" (429 — admission queue full), "not_loaded"
+// (409), or "error" (422). /stats counts all four robustness outcomes:
+// queries_over_budget, queries_timeout, queries_aborted,
+// queries_rejected.
 //
 // Endpoints (request and response bodies are JSON unless noted):
 //
@@ -52,9 +74,11 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"repro/internal/plan"
 	"repro/internal/service"
 )
 
@@ -70,10 +94,18 @@ func run(args []string, out io.Writer) error {
 	addr := fs.String("addr", ":8077", "listen address")
 	adaptive := fs.Bool("adaptive", false, "adaptive join-order selection in materialization fixpoints")
 	csvBatch := fs.Int("csv-batch", 0, "rows per staged buffer on the CSV bulk-load path (0: default)")
+	maxConc := fs.Int("max-concurrent", 64, "queries evaluating concurrently (0: unlimited)")
+	queue := fs.Int("queue", 128, "queries waiting for an evaluation slot before 429s")
+	timeout := fs.Duration("timeout", 0, "per-request wall-clock ceiling, e.g. 30s (0: off)")
+	maxDerived := fs.Int("max-derived", 0, "per-request derived-fact budget ceiling (0: unlimited)")
+	maxProbes := fs.Int("max-probes", 0, "per-request join-probe budget ceiling (0: unlimited)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	svc := service.New(service.Options{Adaptive: *adaptive, CSVBatch: *csvBatch})
+	svc := service.New(service.Options{
+		Adaptive: *adaptive, CSVBatch: *csvBatch,
+		MaxDerived: *maxDerived, MaxProbes: *maxProbes, MaxTimeout: *timeout,
+	})
 	if files := fs.Args(); len(files) > 0 {
 		var sb strings.Builder
 		for _, f := range files {
@@ -92,7 +124,10 @@ func run(args []string, out io.Writer) error {
 			len(files), epoch, svc.Stats().Facts)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: newHandler(svc)}
+	srv := &http.Server{Addr: *addr, Handler: buildHandler(svc, handlerOpts{
+		adm:     newAdmission(*maxConc, *queue),
+		timeout: *timeout,
+	})}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
@@ -123,9 +158,82 @@ func run(args []string, out io.Writer) error {
 	}
 }
 
-// newHandler wires the service endpoints. Split out so tests drive the
-// daemon in-process through httptest.
+// admission is the bounded query-concurrency gate: at most cap queries
+// evaluate at once, at most queue more wait for a slot, and everything
+// beyond fast-fails with errRejected (HTTP 429). A nil *admission admits
+// everything — the in-process test handler and embedders opt in
+// explicitly.
+type admission struct {
+	sem      chan struct{}
+	queue    int64
+	waiting  atomic.Int64
+	rejected atomic.Uint64
+}
+
+// errRejected is the admission-control verdict behind every 429.
+var errRejected = errors.New("server saturated; retry later")
+
+func newAdmission(capacity, queue int) *admission {
+	if capacity <= 0 {
+		return nil
+	}
+	return &admission{sem: make(chan struct{}, capacity), queue: int64(queue)}
+}
+
+// acquire takes an evaluation slot, waiting in the bounded queue if none
+// is free. It fails fast with errRejected when the queue is full, and
+// with the context's error when the client gives up while queued.
+func (a *admission) acquire(ctx context.Context) error {
+	if a == nil {
+		return nil
+	}
+	select {
+	case a.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	if a.waiting.Add(1) > a.queue {
+		a.waiting.Add(-1)
+		a.rejected.Add(1)
+		return errRejected
+	}
+	defer a.waiting.Add(-1)
+	select {
+	case a.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (a *admission) release() {
+	if a != nil {
+		<-a.sem
+	}
+}
+
+// handlerOpts is the daemon's robustness configuration. The zero value
+// (no admission gate, no timeout) reproduces the pre-hardening handler.
+type handlerOpts struct {
+	adm     *admission
+	timeout time.Duration
+}
+
+// daemonStats is the /stats payload: the service counters plus the
+// daemon-level admission counter.
+type daemonStats struct {
+	service.Stats
+	Rejected uint64 `json:"queries_rejected"`
+}
+
+// newHandler wires the service endpoints with no admission gate or
+// timeout. Split out so tests drive the daemon in-process through
+// httptest.
 func newHandler(svc *service.Service) http.Handler {
+	return buildHandler(svc, handlerOpts{})
+}
+
+func buildHandler(svc *service.Service, opts handlerOpts) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /load", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
@@ -134,9 +242,9 @@ func newHandler(svc *service.Service) http.Handler {
 		if !decode(w, r, &req) {
 			return
 		}
-		epoch, err := svc.Load(req.Program)
+		epoch, err := svc.LoadCtx(r.Context(), req.Program)
 		if err != nil {
-			fail(w, http.StatusUnprocessableEntity, err)
+			failErr(w, err)
 			return
 		}
 		reply(w, map[string]any{"epoch": epoch, "facts": svc.Stats().Facts})
@@ -149,7 +257,7 @@ func newHandler(svc *service.Service) http.Handler {
 		}
 		staged, epoch, err := svc.LoadCSV(pred, r.Body)
 		if err != nil {
-			fail(w, http.StatusUnprocessableEntity, err)
+			failErr(w, err)
 			return
 		}
 		reply(w, map[string]any{"epoch": epoch, "staged": staged})
@@ -159,6 +267,13 @@ func newHandler(svc *service.Service) http.Handler {
 		if !decode(w, r, &req) {
 			return
 		}
+		// Admission control before any evaluation work: a saturated
+		// daemon answers 429 in O(1) instead of queueing unboundedly.
+		if err := opts.adm.acquire(r.Context()); err != nil {
+			failErr(w, err)
+			return
+		}
+		defer opts.adm.release()
 		sink := &jsonSink{w: w}
 		sink.flusher, _ = w.(http.Flusher)
 		// The request context cancels when the client disconnects; the
@@ -166,11 +281,7 @@ func newHandler(svc *service.Service) http.Handler {
 		// stream stops consuming the snapshot promptly.
 		if err := svc.QueryStream(r.Context(), &req, sink); err != nil {
 			if !sink.begun {
-				code := http.StatusUnprocessableEntity
-				if errors.Is(err, service.ErrNotLoaded) {
-					code = http.StatusConflict
-				}
-				fail(w, code, err)
+				failErr(w, err)
 				return
 			}
 			// Status and partial body are already on the wire; the
@@ -178,7 +289,7 @@ func newHandler(svc *service.Service) http.Handler {
 			log.Printf("vadalogd: query stream aborted: %v", err)
 		}
 	})
-	update := func(apply func(string) (uint64, error)) http.HandlerFunc {
+	update := func(apply func(context.Context, string) (uint64, error)) http.HandlerFunc {
 		return func(w http.ResponseWriter, r *http.Request) {
 			var req struct {
 				Facts string `json:"facts"`
@@ -186,28 +297,61 @@ func newHandler(svc *service.Service) http.Handler {
 			if !decode(w, r, &req) {
 				return
 			}
-			epoch, err := apply(req.Facts)
+			epoch, err := apply(r.Context(), req.Facts)
 			if err != nil {
-				code := http.StatusUnprocessableEntity
-				if errors.Is(err, service.ErrNotLoaded) {
-					code = http.StatusConflict
-				}
-				fail(w, code, err)
+				failErr(w, err)
 				return
 			}
 			reply(w, map[string]any{"epoch": epoch})
 		}
 	}
-	mux.HandleFunc("POST /insert", update(svc.Insert))
-	mux.HandleFunc("POST /delete", update(svc.Delete))
+	mux.HandleFunc("POST /insert", update(svc.InsertCtx))
+	mux.HandleFunc("POST /delete", update(svc.DeleteCtx))
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		reply(w, svc.Stats())
+		st := daemonStats{Stats: svc.Stats()}
+		if opts.adm != nil {
+			st.Rejected = opts.adm.rejected.Load()
+		}
+		reply(w, st)
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		io.WriteString(w, "ok\n")
 	})
-	return logRecover(mux)
+	return logRecover(withTimeout(opts.timeout, mux))
+}
+
+// withTimeout bounds every request's wall clock by deriving a deadline
+// context — plain context plumbing, NOT http.TimeoutHandler, whose
+// response buffering would break /query streaming. The service's budget
+// machinery observes the deadline inside the evaluation hot loops.
+func withTimeout(d time.Duration, next http.Handler) http.Handler {
+	if d <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// errStatus maps a request error to its HTTP status and structured code.
+func errStatus(err error) (int, string) {
+	switch {
+	case errors.Is(err, errRejected):
+		return http.StatusTooManyRequests, "rejected"
+	case errors.Is(err, plan.ErrOverBudget):
+		return http.StatusUnprocessableEntity, "over_budget"
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusRequestTimeout, "timeout"
+	case errors.Is(err, context.Canceled):
+		return http.StatusRequestTimeout, "canceled"
+	case errors.Is(err, service.ErrNotLoaded):
+		return http.StatusConflict, "not_loaded"
+	default:
+		return http.StatusUnprocessableEntity, "error"
+	}
 }
 
 // flushEvery is how many streamed tuples pass between explicit flushes
@@ -315,4 +459,15 @@ func fail(w http.ResponseWriter, code int, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// failErr writes a structured error: {"error": ..., "code": ...} under
+// the HTTP status errStatus maps the error to. The machine-readable code
+// distinguishes over_budget / timeout / canceled / rejected without
+// string-matching the message.
+func failErr(w http.ResponseWriter, err error) {
+	status, code := errStatus(err)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error(), "code": code})
 }

@@ -51,6 +51,13 @@ type Options struct {
 	MaxRounds int
 	MaxFacts  int
 	MaxDepth  int
+	// Budget, when non-nil, bounds the run externally: probe/derived-fact
+	// caps and the budget context's deadline, charged on the same hot-loop
+	// counters as the Datalog engines. Unlike MaxRounds/MaxFacts — which
+	// truncate and return a usable prefix — a tripped Budget aborts the
+	// run with the typed error (plan.ErrOverBudget / plan.ErrCanceled) and
+	// no Result: the caller wanted out, not an approximation.
+	Budget *plan.Budget
 	// Provenance records, for each derived fact, the TGD and the trigger
 	// that produced it (the chase graph of §4.2).
 	Provenance bool
@@ -114,6 +121,9 @@ func Run(prog *logic.Program, db *storage.DB, opt Options) (*Result, error) {
 	if prog.HasNegation() && !opt.stratumSafe {
 		return nil, fmt.Errorf("chase: program uses negation; use RunStratified")
 	}
+	if err := opt.Budget.Check(); err != nil {
+		return nil, err
+	}
 	work := db.Clone()
 	res := &Result{DB: work, BaseFacts: work.PhysicalLen()}
 	if opt.Provenance {
@@ -146,6 +156,9 @@ func Run(prog *logic.Program, db *storage.DB, opt Options) (*Result, error) {
 	execs := make([]*plan.Exec, len(prog.TGDs))
 	for ti, r := range plans.Rules {
 		execs[ti] = plan.NewExec(r)
+		if opt.Budget != nil {
+			execs[ti].SetBudget(opt.Budget)
+		}
 	}
 	var nulls []term.Term // scratch for fresh existential witnesses
 
@@ -231,6 +244,9 @@ func Run(prog *logic.Program, db *storage.DB, opt Options) (*Result, error) {
 						if fastInsert {
 							if work.InsertArgs(ex.HeadArgs(hi)) {
 								progress = true
+								if opt.Budget.AddDerived(1) != nil {
+									return false
+								}
 							}
 							continue
 						}
@@ -248,6 +264,9 @@ func Run(prog *logic.Program, db *storage.DB, opt Options) (*Result, error) {
 							if res.Prov != nil {
 								res.Prov[rowIdx] = Derivation{TGD: ti, Trigger: img}
 							}
+							if opt.Budget.AddDerived(1) != nil {
+								return false
+							}
 						}
 					}
 					if hasExist {
@@ -261,6 +280,9 @@ func Run(prog *logic.Program, db *storage.DB, opt Options) (*Result, error) {
 					}
 					return true
 				})
+				if err := opt.Budget.Err(); err != nil {
+					return nil, err
+				}
 				if stop {
 					break
 				}

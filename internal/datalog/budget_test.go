@@ -1,0 +1,162 @@
+package datalog
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/plan"
+)
+
+// chainFacts emits the edge list of an n-node path; tcNonLinear's
+// closure over it has n(n-1)/2 t-facts, all derived, giving exact
+// budget boundaries.
+func chainFacts(n int) string {
+	var b strings.Builder
+	for i := 0; i+1 < n; i++ {
+		fmt.Fprintf(&b, "e(n%d,n%d).\n", i, i+1)
+	}
+	return b.String()
+}
+
+// TestBudgetDerivedBoundaryEngines: limit == |closure| completes with the full
+// fixpoint; limit == |closure|-1 aborts with ErrOverBudget and returns
+// no instance — on every engine schedule.
+func TestBudgetDerivedBoundaryEngines(t *testing.T) {
+	src := tcNonLinear + chainFacts(24)
+	r, db := load(t, src)
+	ref, stats, err := Eval(r.Program, db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	closure := stats.Derived
+	if want := 24 * 23 / 2; closure != want {
+		t.Fatalf("closure derived %d facts, want %d", closure, want)
+	}
+
+	type runner func(opt Options) (int, error)
+	for _, eng := range []struct {
+		name string
+		run  runner
+	}{
+		{"seq", func(opt Options) (int, error) {
+			out, _, err := Eval(r.Program, db, opt)
+			if err != nil {
+				return 0, err
+			}
+			return out.Len(), nil
+		}},
+		{"barrier", func(opt Options) (int, error) {
+			opt.Barrier = true
+			out, _, err := Eval(r.Program, db, opt)
+			if err != nil {
+				return 0, err
+			}
+			return out.Len(), nil
+		}},
+		{"par1", func(opt Options) (int, error) {
+			out, _, err := EvalParallel(r.Program, db, opt, 1)
+			if err != nil {
+				return 0, err
+			}
+			return out.Len(), nil
+		}},
+		{"par4", func(opt Options) (int, error) {
+			out, _, err := EvalParallel(r.Program, db, opt, 4)
+			if err != nil {
+				return 0, err
+			}
+			return out.Len(), nil
+		}},
+	} {
+		// Exactly the closure: must complete.
+		opt := Options{Budget: plan.NewBudget(nil, closure, 0)}
+		n, err := eng.run(opt)
+		if err != nil {
+			t.Fatalf("%s limit==closure(%d): %v", eng.name, closure, err)
+		}
+		if n != ref.Len() {
+			t.Fatalf("%s limit==closure: %d facts, want %d", eng.name, n, ref.Len())
+		}
+		// One fewer: must trip.
+		opt = Options{Budget: plan.NewBudget(nil, closure-1, 0)}
+		if _, err := eng.run(opt); !errors.Is(err, plan.ErrOverBudget) {
+			t.Fatalf("%s limit==closure-1: err = %v, want ErrOverBudget", eng.name, err)
+		}
+	}
+}
+
+// TestBudgetProbeLimit: a probe cap far under the fixpoint's join work
+// aborts evaluation with ErrOverBudget and no instance.
+func TestBudgetProbeLimit(t *testing.T) {
+	r, db := load(t, tcNonLinear+chainFacts(64))
+	bud := plan.NewBudget(nil, 0, 2*plan.BudgetStride)
+	out, stats, err := Eval(r.Program, db, Options{Budget: bud})
+	if !errors.Is(err, plan.ErrOverBudget) {
+		t.Fatalf("err = %v, want ErrOverBudget", err)
+	}
+	if out != nil {
+		t.Fatal("aborted Eval returned an instance")
+	}
+	if stats == nil {
+		t.Fatal("aborted Eval returned nil stats")
+	}
+}
+
+// TestBudgetTrapCancel: the deterministic fault injector aborts the
+// fixpoint at an armed probe count with the armed (cancel-typed) error.
+func TestBudgetTrapCancel(t *testing.T) {
+	r, db := load(t, tcNonLinear+chainFacts(64))
+	bud := plan.NewBudget(nil, 0, 0)
+	bud.SetProbeTrap(3*plan.BudgetStride, plan.ErrCanceled)
+	if _, _, err := Eval(r.Program, db, Options{Budget: bud}); !errors.Is(err, plan.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}
+
+// TestBudgetDeadlineParallel: a deadline expiring inside the evaluation
+// aborts every worker promptly — for 1, 2, 4, and 8 workers on a dense
+// non-linear workload — and the error identifies the timeout.
+func TestBudgetDeadlineParallel(t *testing.T) {
+	r, db := load(t, tcNonLinear+chainFacts(600))
+	for _, workers := range []int{1, 2, 4, 8} {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+		bud := plan.NewBudget(ctx, 0, 0)
+		start := time.Now()
+		out, _, err := EvalParallel(r.Program, db, Options{Budget: bud}, workers)
+		elapsed := time.Since(start)
+		cancel()
+		if !errors.Is(err, plan.ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("workers=%d: err = %v, want ErrCanceled wrapping DeadlineExceeded", workers, err)
+		}
+		if out != nil {
+			t.Fatalf("workers=%d: aborted EvalParallel returned an instance", workers)
+		}
+		// The 180k-fact closure takes far longer than the 1ms deadline;
+		// the abort must land within stride granularity, not at the end.
+		if elapsed > 2*time.Second {
+			t.Fatalf("workers=%d: abort took %v", workers, elapsed)
+		}
+	}
+}
+
+// TestBudgetPreCanceled: a budget whose context is already dead aborts
+// before any evaluation work.
+func TestBudgetPreCanceled(t *testing.T) {
+	r, db := load(t, tcLinear+"e(a,b).")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	bud := plan.NewBudget(ctx, 0, 0)
+	if _, _, err := Eval(r.Program, db, Options{Budget: bud}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Eval: err = %v, want context.Canceled", err)
+	}
+	if _, _, err := EvalParallel(r.Program, db, Options{Budget: bud}, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("EvalParallel: err = %v, want context.Canceled", err)
+	}
+	if bud.Probes() != 0 {
+		t.Fatalf("pre-canceled budget charged %d probes", bud.Probes())
+	}
+}

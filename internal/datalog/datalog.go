@@ -63,6 +63,17 @@ type Options struct {
 	// private copy, and cloning it again would eagerly duplicate every
 	// relation's dedup and posting structures.
 	InPlace bool
+	// Budget, when non-nil, bounds the fixpoint: derived-fact and probe
+	// caps plus the budget context's deadline/cancellation, checked on
+	// the probe hot loop every plan.BudgetStride probes and on every
+	// successful insertion. A tripped budget aborts the fixpoint
+	// mid-round and Eval/EvalParallel return the typed error
+	// (plan.ErrOverBudget / plan.ErrCanceled) with a nil instance — the
+	// partially evaluated target (the InPlace overlay, or the internal
+	// clone) is consistent but incomplete, and must be discarded, never
+	// served. Nil means unlimited, with zero hot-loop cost beyond one
+	// nil-check per probe.
+	Budget *plan.Budget
 }
 
 // Stats reports evaluation effort.
@@ -101,10 +112,14 @@ type evaluator struct {
 	execs []*plan.Exec
 }
 
-// exec returns the rule's executor, creating it on first use.
+// exec returns the rule's executor, creating it on first use (attached
+// to the evaluation's budget, if any).
 func (e *evaluator) exec(ri int) *plan.Exec {
 	if e.execs[ri] == nil {
 		e.execs[ri] = plan.NewExec(e.plans.Rules[ri])
+		if e.opt.Budget != nil {
+			e.execs[ri].SetBudget(e.opt.Budget)
+		}
 	}
 	return e.execs[ri]
 }
@@ -141,6 +156,9 @@ func Eval(prog *logic.Program, db *storage.DB, opt Options) (*storage.DB, *Stats
 		}
 		opt.Stratify = true
 	}
+	if err := opt.Budget.Check(); err != nil {
+		return nil, nil, err
+	}
 	edb := db
 	if !opt.InPlace {
 		edb = db.Clone()
@@ -160,6 +178,13 @@ func Eval(prog *logic.Program, db *storage.DB, opt Options) (*storage.DB, *Stats
 	}
 	e.collectProbes(e.execs)
 	stats := e.stats
+	if err := opt.Budget.Err(); err != nil {
+		// The fixpoint aborted mid-round: e.db is consistent (every fact
+		// in it is derivable) but incomplete, so no instance is returned.
+		// Under InPlace the caller's db holds that partial state and must
+		// be discarded.
+		return nil, &stats, err
+	}
 	return e.db, &stats, nil
 }
 
@@ -187,6 +212,9 @@ func (e *evaluator) evalStratified() {
 	}
 	sort.Ints(levels)
 	for _, l := range levels {
+		if e.opt.Budget.Aborted() {
+			return
+		}
 		rules := byLevel[l]
 		// Predicates that can grow during this stratum's fixpoint.
 		growing := make(map[schema.PredID]bool)
@@ -221,6 +249,9 @@ func (e *evaluator) fixpoint(rules []int, growing map[schema.PredID]bool) {
 					alt = plan.ChooseAlt(e.db, e.plans.Rules[ri], di, mark)
 				}
 				e.joinRule(ri, di, alt, mark)
+				if e.opt.Budget.Aborted() {
+					return
+				}
 			}
 		}
 		added := e.db.Len() - before
@@ -289,6 +320,11 @@ func (e *evaluator) fixpointBarrier(rules []int, growing map[schema.PredID]bool)
 					ex.HeadAppend(0, buf)
 					return true
 				})
+				if e.opt.Budget.Aborted() {
+					// Discard the round's staged derivations: the instance
+					// stays frozen at the last completed round boundary.
+					return
+				}
 			}
 		}
 		added := e.db.MergeBuffers([]*storage.TupleBuffer{buf}, 1)
@@ -296,6 +332,13 @@ func (e *evaluator) fixpointBarrier(rules []int, growing map[schema.PredID]bool)
 		e.stats.Derived += added
 		if added > e.stats.PeakDelta {
 			e.stats.PeakDelta = added
+		}
+		if e.opt.Budget.AddDerived(added) != nil {
+			// Post-dedup per-round charging: the trip lands at the round
+			// boundary, but the succeed/fail verdict matches the
+			// per-insertion engines (the fixpoint total is
+			// schedule-independent).
+			return
 		}
 		mark = next
 		if added == 0 {
@@ -332,11 +375,19 @@ func (e *evaluator) deltaPositions(t *logic.TGD, growing map[schema.PredID]bool,
 func (e *evaluator) joinRule(ri, di, alt int, mark storage.Mark) {
 	ex := e.exec(ri)
 	hasNeg := len(ex.Rule.Neg) > 0
+	bud := e.opt.Budget
 	ex.RunAlt(e.db, di, alt, mark, 0, 1, func() bool {
 		if hasNeg && ex.Blocked(e.db) {
 			return true
 		}
-		e.db.InsertArgs(ex.HeadArgs(0))
+		if e.db.InsertArgs(ex.HeadArgs(0)) && bud != nil {
+			// Per-insertion charging makes the derived-fact cap exact: a
+			// closure of exactly MaxDerived facts completes, one more
+			// aborts here mid-round.
+			if bud.AddDerived(1) != nil {
+				return false
+			}
+		}
 		return true
 	})
 }

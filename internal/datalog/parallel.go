@@ -68,6 +68,9 @@ func EvalParallel(prog *logic.Program, db *storage.DB, opt Options, workers int)
 		}
 		opt.Stratify = true
 	}
+	if err := opt.Budget.Check(); err != nil {
+		return nil, nil, err
+	}
 	e := &parEvaluator{
 		evaluator: evaluator{
 			prog:  prog,
@@ -94,6 +97,9 @@ func EvalParallel(prog *logic.Program, db *storage.DB, opt Options, workers int)
 		}
 		sort.Ints(levels)
 		for _, l := range levels {
+			if opt.Budget.Aborted() {
+				break
+			}
 			rules := byLevel[l]
 			growing := make(map[schema.PredID]bool)
 			for _, ri := range rules {
@@ -109,6 +115,11 @@ func EvalParallel(prog *logic.Program, db *storage.DB, opt Options, workers int)
 		e.collectProbes(wes)
 	}
 	stats := e.stats
+	if err := opt.Budget.Err(); err != nil {
+		// Some worker tripped the budget: the private clone holds a
+		// consistent but incomplete fixpoint and is not returned.
+		return nil, &stats, err
+	}
 	return e.db, &stats, nil
 }
 
@@ -152,9 +163,14 @@ type job struct {
 }
 
 // wexec returns worker w's executor for rule ri, creating it on first use.
+// Every worker's executor charges the same shared budget, so the first
+// worker to trip a limit aborts the whole round for everyone.
 func (e *parEvaluator) wexec(w, ri int) *plan.Exec {
 	if e.wexecs[w][ri] == nil {
 		e.wexecs[w][ri] = plan.NewExec(e.plans.Rules[ri])
+		if e.opt.Budget != nil {
+			e.wexecs[w][ri].SetBudget(e.opt.Budget)
+		}
 	}
 	return e.wexecs[w][ri]
 }
@@ -200,6 +216,9 @@ func (e *parEvaluator) fixpointParallel(rules []int, growing map[schema.PredID]b
 		if added > e.stats.PeakDelta {
 			e.stats.PeakDelta = added
 		}
+		if e.opt.Budget.Aborted() {
+			return
+		}
 		mark = next
 		if added == 0 {
 			return
@@ -241,6 +260,7 @@ func (e *parEvaluator) runRound(pairs []pair, mark storage.Mark) int {
 // round count relative to deferral.
 func (e *parEvaluator) runInline(pairs []pair, alts []int, mark storage.Mark) int {
 	before := e.db.Len()
+	bud := e.opt.Budget
 	for pi, pr := range pairs {
 		ex := e.wexec(0, pr.rule)
 		hasNeg := len(ex.Rule.Neg) > 0
@@ -248,9 +268,16 @@ func (e *parEvaluator) runInline(pairs []pair, alts []int, mark storage.Mark) in
 			if hasNeg && ex.Blocked(e.db) {
 				return true
 			}
-			e.db.InsertArgs(ex.HeadArgs(0))
+			if e.db.InsertArgs(ex.HeadArgs(0)) && bud != nil {
+				if bud.AddDerived(1) != nil {
+					return false
+				}
+			}
 			return true
 		})
+		if bud.Aborted() {
+			break
+		}
 	}
 	return e.db.Len() - before
 }
@@ -283,9 +310,13 @@ func (e *parEvaluator) runFanned(pairs []pair, alts, rows []int, mark storage.Ma
 	if nw > len(jobs) {
 		nw = len(jobs)
 	}
+	bud := e.opt.Budget
 	var cursor atomic.Int32
 	drain := func(w int) {
 		for {
+			if bud.Aborted() {
+				return // stop picking up jobs once any worker tripped
+			}
 			ji := int(cursor.Add(1)) - 1
 			if ji >= len(jobs) {
 				return
@@ -312,5 +343,12 @@ func (e *parEvaluator) runFanned(pairs []pair, alts, rows []int, mark storage.Ma
 	}
 	drain(0)
 	wg.Wait()
-	return e.db.MergeBuffers(e.bufs[:len(jobs)], nw)
+	if bud.Aborted() {
+		// Discard every job's staged derivations: the instance stays
+		// frozen at the last completed round boundary.
+		return 0
+	}
+	added := e.db.MergeBuffers(e.bufs[:len(jobs)], nw)
+	bud.AddDerived(added)
+	return added
 }

@@ -1,0 +1,238 @@
+package incremental
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/atom"
+	"repro/internal/parser"
+	"repro/internal/plan"
+)
+
+// chainSrc emits tcSrc plus the edge list of an n-node path.
+func chainSrc(n int) string {
+	var b strings.Builder
+	b.WriteString(tcSrc)
+	for i := 0; i+1 < n; i++ {
+		fmt.Fprintf(&b, "e(n%d,n%d).\n", i, i+1)
+	}
+	return b.String()
+}
+
+// TestInsertBudgetAbortBreaksEngine: a budget tripping mid-propagation
+// leaves the engine broken — guard refuses further updates — and
+// Rebuild recovers to exactly the from-scratch materialization
+// including the aborted insert's base facts.
+func TestInsertBudgetAbortBreaksEngine(t *testing.T) {
+	// Two 80-node chains; the bridging edge's delta closes ~6400 new
+	// t-facts, far more probe work than one budget stride.
+	var b strings.Builder
+	b.WriteString(tcSrc)
+	live := make([]atom.Atom, 0, 160)
+	r, _ := load(t, tcSrc) // interning only; facts built below
+	for i := 0; i+1 < 80; i++ {
+		b.WriteString(fmt.Sprintf("e(a%d,a%d).\n", i, i+1))
+		b.WriteString(fmt.Sprintf("e(b%d,b%d).\n", i, i+1))
+	}
+	r, db := load(t, b.String())
+	for i := 0; i+1 < 80; i++ {
+		live = append(live, edge(r, fmt.Sprintf("a%d", i), fmt.Sprintf("a%d", i+1)))
+		live = append(live, edge(r, fmt.Sprintf("b%d", i), fmt.Sprintf("b%d", i+1)))
+	}
+	e, err := New(r.Program, db)
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+
+	bridge := edge(r, "a79", "b0")
+	bud := plan.NewBudget(nil, 0, plan.BudgetStride)
+	err = e.InsertBudgeted(bud, bridge)
+	if !errors.Is(err, plan.ErrOverBudget) {
+		t.Fatalf("insert err = %v, want ErrOverBudget", err)
+	}
+	if e.Broken() == nil {
+		t.Fatal("engine not broken after aborted propagation")
+	}
+
+	// guard must refuse everything until Rebuild.
+	if err := e.Insert(edge(r, "x", "y")); err == nil || !strings.Contains(err.Error(), "Rebuild") {
+		t.Fatalf("broken engine accepted insert: %v", err)
+	}
+	if err := e.Delete(bridge); err == nil || !strings.Contains(err.Error(), "Rebuild") {
+		t.Fatalf("broken engine accepted delete: %v", err)
+	}
+
+	if err := e.Rebuild(); err != nil {
+		t.Fatalf("rebuild: %v", err)
+	}
+	if e.Broken() != nil {
+		t.Fatalf("still broken after Rebuild: %v", e.Broken())
+	}
+	// The bridge landed in base before the abort, so the recovered
+	// instance is the closure WITH it.
+	assertMatchesRecompute(t, "post-rebuild", e, append(live, bridge))
+
+	// And the engine is live again: a follow-up unbudgeted update works.
+	extra := edge(r, "b79", "c0")
+	if err := e.Insert(extra); err != nil {
+		t.Fatalf("insert after rebuild: %v", err)
+	}
+	assertMatchesRecompute(t, "post-rebuild-insert", e, append(append(live, bridge), extra))
+}
+
+// TestDeleteBudgetTrapSweep injects aborts at a sweep of probe counts
+// across DeleteBudgeted's two phases and checks the trichotomy after
+// every injection: the delete either (a) aborts pre-mutation leaving the
+// engine healthy and the instance untouched, (b) aborts mid-rederivation
+// leaving the engine broken until Rebuild completes the delete, or
+// (c) completes. In every case the surviving engine must match a
+// from-scratch recomputation over its live base facts.
+func TestDeleteBudgetTrapSweep(t *testing.T) {
+	const n = 64
+	src := chainSrc(n)
+	midA, midB := fmt.Sprintf("n%d", n/2), fmt.Sprintf("n%d", n/2+1)
+
+	liveAfter := func(r *parser.Result, deleted bool) []atom.Atom {
+		var live []atom.Atom
+		for i := 0; i+1 < n; i++ {
+			if deleted && i == n/2 {
+				continue
+			}
+			live = append(live, edge(r, fmt.Sprintf("n%d", i), fmt.Sprintf("n%d", i+1)))
+		}
+		return live
+	}
+
+	// Calibrate: run the delete once with an unlimited (but attached)
+	// budget to learn the total flushed probe count.
+	r0, db0 := load(t, src)
+	e0, err := New(r0.Program, db0)
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	calib := plan.NewBudget(nil, 0, 0)
+	if err := e0.DeleteBudgeted(calib, edge(r0, midA, midB)); err != nil {
+		t.Fatalf("calibration delete: %v", err)
+	}
+	total := calib.Probes()
+	if total < 2*plan.BudgetStride {
+		t.Fatalf("delete flushed only %d probes; workload too small to sweep", total)
+	}
+	assertMatchesRecompute(t, "calibration", e0, liveAfter(r0, true))
+
+	// Sweep trap points across every stride boundary (sampled down to
+	// keep the test fast), plus one past the end (trap never fires).
+	var traps []int64
+	for p := int64(plan.BudgetStride); p <= total; p += plan.BudgetStride {
+		traps = append(traps, p)
+	}
+	if len(traps) > 12 {
+		step := len(traps) / 12
+		sampled := traps[:0]
+		for i := 0; i < len(traps); i += step {
+			sampled = append(sampled, traps[i])
+		}
+		traps = sampled
+	}
+	traps = append(traps, total+plan.BudgetStride)
+
+	for _, trap := range traps {
+		r, db := load(t, src)
+		e, err := New(r.Program, db)
+		if err != nil {
+			t.Fatalf("trap %d: new: %v", trap, err)
+		}
+		bud := plan.NewBudget(nil, 0, 0)
+		bud.SetProbeTrap(trap, plan.ErrCanceled)
+		err = e.DeleteBudgeted(bud, edge(r, midA, midB))
+
+		switch {
+		case err == nil:
+			// (c) completed: trap landed past the delete's work.
+			if e.Broken() != nil {
+				t.Fatalf("trap %d: completed delete left engine broken", trap)
+			}
+			assertMatchesRecompute(t, fmt.Sprintf("trap %d complete", trap), e, liveAfter(r, true))
+		case e.Broken() != nil:
+			// (b) mid-rederivation: broken until Rebuild, which completes
+			// the delete (the base tombstones already applied).
+			if !errors.Is(err, plan.ErrCanceled) {
+				t.Fatalf("trap %d: broken with err = %v", trap, err)
+			}
+			if rerr := e.Delete(edge(r, "n0", "n1")); rerr == nil {
+				t.Fatalf("trap %d: broken engine accepted delete", trap)
+			}
+			if err := e.Rebuild(); err != nil {
+				t.Fatalf("trap %d: rebuild: %v", trap, err)
+			}
+			assertMatchesRecompute(t, fmt.Sprintf("trap %d rebuilt", trap), e, liveAfter(r, true))
+		default:
+			// (a) phase-1 abort: nothing mutated, engine healthy, and the
+			// same delete retried without a budget completes.
+			if !errors.Is(err, plan.ErrCanceled) {
+				t.Fatalf("trap %d: err = %v, want ErrCanceled", trap, err)
+			}
+			assertMatchesRecompute(t, fmt.Sprintf("trap %d healthy", trap), e, liveAfter(r, false))
+			if err := e.Delete(edge(r, midA, midB)); err != nil {
+				t.Fatalf("trap %d: retry delete: %v", trap, err)
+			}
+			assertMatchesRecompute(t, fmt.Sprintf("trap %d retried", trap), e, liveAfter(r, true))
+		}
+	}
+}
+
+// TestDeletePhase1AbortIsPreMutation pins the healthy-abort contract
+// directly: a budget already expired when the delete starts must leave
+// the instance bit-identical (same Len, same stats).
+func TestDeletePhase1AbortIsPreMutation(t *testing.T) {
+	r, db := load(t, chainSrc(64))
+	e, err := New(r.Program, db)
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	before := e.DB().Len()
+	statsBefore := e.Stats()
+
+	// Trap on the very first stride flush: the mid-edge overestimate
+	// alone probes far more than one stride, so the abort lands in
+	// phase 1, before any tombstone.
+	bud := plan.NewBudget(nil, 0, 0)
+	bud.SetProbeTrap(1, plan.ErrCanceled)
+	err = e.DeleteBudgeted(bud, edge(r, "n32", "n33"))
+	if !errors.Is(err, plan.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if e.Broken() != nil {
+		t.Fatalf("phase-1 abort broke the engine: %v", e.Broken())
+	}
+	if e.DB().Len() != before {
+		t.Fatalf("phase-1 abort mutated the instance: %d -> %d facts", before, e.DB().Len())
+	}
+	if got := e.Stats(); got.Deleted != statsBefore.Deleted || got.Overdeleted != statsBefore.Overdeleted {
+		t.Fatalf("phase-1 abort bumped delete stats: %+v", got)
+	}
+	if e.DB().Contains(edge(r, "n32", "n33")) == false {
+		t.Fatal("phase-1 abort removed the seed edge")
+	}
+}
+
+// TestGuardPreflightsBudget: an already-dead budget is refused before
+// any update work, with the engine untouched.
+func TestGuardPreflightsBudget(t *testing.T) {
+	r, db := load(t, chainSrc(8))
+	e, err := New(r.Program, db)
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	bud := plan.NewBudget(nil, 1, 0)
+	bud.AddDerived(2) // trip it
+	before := e.DB().Len()
+	if err := e.InsertBudgeted(bud, edge(r, "x", "y")); !errors.Is(err, plan.ErrOverBudget) {
+		t.Fatalf("insert on dead budget: %v", err)
+	}
+	if e.DB().Len() != before || e.Broken() != nil {
+		t.Fatal("dead-budget preflight mutated the engine")
+	}
+}

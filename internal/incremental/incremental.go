@@ -74,6 +74,14 @@ type Engine struct {
 	bodyOcc   map[schema.PredID][]occurrence
 	headRules map[schema.PredID][]int
 
+	// broken is the typed abort error of a budgeted update that stopped
+	// AFTER mutating the materialization: db no longer equals the closure
+	// of base, so every further update is refused until Rebuild
+	// re-materializes from base. Aborts that land before any mutation
+	// (insert preflight, Delete phase 1 — tombstones only apply after the
+	// overestimate completes) leave the engine healthy and broken unset.
+	broken error
+
 	stats Stats
 }
 
@@ -98,6 +106,14 @@ type Stats struct {
 
 // New materializes the program over the initial base facts.
 func New(prog *logic.Program, base *storage.DB) (*Engine, error) {
+	return NewBudgeted(prog, base, nil)
+}
+
+// NewBudgeted is New with the initial materialization charged against a
+// budget: a tripped budget aborts with the typed error and no engine —
+// nothing to recover, the caller simply doesn't get a materialization.
+// A nil budget is exactly New.
+func NewBudgeted(prog *logic.Program, base *storage.DB, bud *plan.Budget) (*Engine, error) {
 	an := analysis.Analyze(prog)
 	if !an.IsFullSingleHead() {
 		return nil, fmt.Errorf("incremental: program is not full single-head (Datalog)")
@@ -105,7 +121,7 @@ func New(prog *logic.Program, base *storage.DB) (*Engine, error) {
 	if prog.HasNegation() {
 		return nil, fmt.Errorf("incremental: negation is not supported under updates; rebuild per stratum")
 	}
-	db, _, err := datalog.Eval(prog, base, datalog.Options{Stratify: true, BiasRecursiveAtom: true})
+	db, _, err := datalog.Eval(prog, base, datalog.Options{Stratify: true, BiasRecursiveAtom: true, Budget: bud})
 	if err != nil {
 		return nil, err
 	}
@@ -141,9 +157,60 @@ func (e *Engine) DB() *storage.DB { return e.db }
 // Stats returns the accumulated maintenance counters.
 func (e *Engine) Stats() Stats { return e.stats }
 
+// Broken reports the abort that left the materialization partial (nil
+// while healthy). A broken engine refuses updates until Rebuild.
+func (e *Engine) Broken() error { return e.broken }
+
+// Rebuild re-materializes db from the (authoritative) base store,
+// clearing the broken state — the recovery path after an aborted update.
+// The base facts themselves are never partial: an update either applied
+// them all before its fixpoint started or touched nothing.
+func (e *Engine) Rebuild() error {
+	db, _, err := datalog.Eval(e.prog, e.base, datalog.Options{Stratify: true, BiasRecursiveAtom: true})
+	if err != nil {
+		return err
+	}
+	// Row handles and marks from the old store are dead; fresh execs drop
+	// any budget wiring along with them.
+	e.db = db
+	for i, r := range e.plans.Rules {
+		e.execs[i] = plan.NewExec(r)
+	}
+	e.broken = nil
+	return nil
+}
+
+// guard refuses updates on a broken engine and preflights the budget.
+func (e *Engine) guard(bud *plan.Budget) error {
+	if e.broken != nil {
+		return fmt.Errorf("incremental: engine broken by aborted update (%v); Rebuild first", e.broken)
+	}
+	return bud.Check()
+}
+
+// attach points every executor at the budget (nil detaches). Budgeted
+// updates bracket their work with attach(bud) / attach(nil) so an
+// expired one-shot budget never outlives its update.
+func (e *Engine) attach(bud *plan.Budget) {
+	for _, ex := range e.execs {
+		ex.SetBudget(bud)
+	}
+}
+
 // Insert asserts base facts and propagates their consequences with a
 // semi-naive delta fixpoint seeded at the insertion point.
 func (e *Engine) Insert(facts ...atom.Atom) error {
+	return e.InsertBudgeted(nil, facts...)
+}
+
+// InsertBudgeted is Insert charged against a budget. A budget tripped
+// during delta propagation aborts with the typed error and marks the
+// engine broken (the base facts landed but their consequences are
+// partial); Rebuild recovers. A nil budget is exactly Insert.
+func (e *Engine) InsertBudgeted(bud *plan.Budget, facts ...atom.Atom) error {
+	if err := e.guard(bud); err != nil {
+		return err
+	}
 	for _, f := range facts {
 		if !f.IsGround() {
 			return fmt.Errorf("incremental: inserting non-ground atom")
@@ -168,7 +235,22 @@ func (e *Engine) Insert(facts ...atom.Atom) error {
 	if added == 0 {
 		return nil
 	}
-	e.stats.DerivedNew += e.deltaFixpoint(mark)
+	return e.propagate(mark, bud, "insert")
+}
+
+// propagate runs the budgeted delta fixpoint after an insertion batch
+// landed, marking the engine broken when the budget trips mid-way.
+func (e *Engine) propagate(mark storage.Mark, bud *plan.Budget, op string) error {
+	if bud != nil {
+		e.attach(bud)
+		defer e.attach(nil)
+	}
+	derived, err := e.deltaFixpoint(mark, bud)
+	e.stats.DerivedNew += derived
+	if err != nil {
+		e.broken = fmt.Errorf("incremental: %s aborted mid-propagation: %w", op, err)
+		return e.broken
+	}
 	return nil
 }
 
@@ -179,6 +261,15 @@ func (e *Engine) Insert(facts ...atom.Atom) error {
 // pair), then one semi-naive delta fixpoint propagates the whole batch.
 // Buffers are read-only here; the caller may Reset and refill them.
 func (e *Engine) InsertBulk(bufs []*storage.TupleBuffer) (int, error) {
+	return e.InsertBulkBudgeted(nil, bufs)
+}
+
+// InsertBulkBudgeted is InsertBulk charged against a budget, with the
+// same abort semantics as InsertBudgeted.
+func (e *Engine) InsertBulkBudgeted(bud *plan.Budget, bufs []*storage.TupleBuffer) (int, error) {
+	if err := e.guard(bud); err != nil {
+		return 0, err
+	}
 	for _, b := range bufs {
 		if b == nil {
 			continue
@@ -199,7 +290,9 @@ func (e *Engine) InsertBulk(bufs []*storage.TupleBuffer) (int, error) {
 	e.base.MergeBuffers(bufs, par)
 	e.stats.Inserted += added
 	if added > 0 {
-		e.stats.DerivedNew += e.deltaFixpoint(mark)
+		if err := e.propagate(mark, bud, "bulk insert"); err != nil {
+			return added, err
+		}
 	}
 	return added, nil
 }
@@ -217,8 +310,10 @@ func (e *Engine) Compact() int {
 }
 
 // deltaFixpoint runs semi-naive rounds starting from the facts inserted at
-// or after mark, returning the number of facts derived.
-func (e *Engine) deltaFixpoint(mark storage.Mark) int {
+// or after mark, returning the number of facts derived. The budget (nil =
+// unlimited) is charged per successful insertion; probes charge through
+// the executors' attached budget.
+func (e *Engine) deltaFixpoint(mark storage.Mark, bud *plan.Budget) (int, error) {
 	derived := 0
 	for {
 		next := e.db.Mark()
@@ -227,16 +322,23 @@ func (e *Engine) deltaFixpoint(mark storage.Mark) int {
 			ex := e.execs[ri]
 			for di := range t.Body {
 				ex.Run(e.db, di, mark, 0, 1, func() bool {
-					e.db.InsertArgs(ex.HeadArgs(0))
+					if e.db.InsertArgs(ex.HeadArgs(0)) && bud != nil {
+						if bud.AddDerived(1) != nil {
+							return false
+						}
+					}
 					return true
 				})
+				if err := bud.Err(); err != nil {
+					return derived + e.db.Len() - before, err
+				}
 			}
 		}
 		added := e.db.Len() - before
 		derived += added
 		mark = next
 		if added == 0 {
-			return derived
+			return derived, nil
 		}
 	}
 }
@@ -343,10 +445,27 @@ func tupleEqual(a, b []term.Term) bool {
 // rebuild), and rederivation combines head-bound existence plans with
 // seed-bound propagation of restored facts.
 func (e *Engine) Delete(facts ...atom.Atom) error {
+	return e.DeleteBudgeted(nil, facts...)
+}
+
+// DeleteBudgeted is Delete charged against a budget. DRed's two phases
+// abort differently: phase 1 (overestimate) runs over the intact
+// instance — an abort there returns the typed error with NOTHING
+// mutated, the engine stays healthy. Once tombstones apply, an abort in
+// phase 2 (rederive) leaves overdeleted facts unrestored, so the engine
+// is marked broken and Rebuild recovers. A nil budget is exactly Delete.
+func (e *Engine) DeleteBudgeted(bud *plan.Budget, facts ...atom.Atom) error {
+	if err := e.guard(bud); err != nil {
+		return err
+	}
 	for _, f := range facts {
 		if e.intensional[f.Pred] {
 			return fmt.Errorf("incremental: %s is intensional; only base facts can be deleted", e.prog.Reg.Name(f.Pred))
 		}
+	}
+	if bud != nil {
+		e.attach(bud)
+		defer e.attach(nil)
 	}
 	// Seed the overestimate with the actually present base facts.
 	pend := newPendSet()
@@ -365,7 +484,6 @@ func (e *Engine) Delete(facts ...atom.Atom) error {
 		return nil
 	}
 	seeds := len(work)
-	e.stats.Deleted += seeds
 
 	// Phase 1 — overestimate: anything with a derivation through a deleted
 	// fact gets deleted too. Tombstones land only after the whole phase,
@@ -373,6 +491,11 @@ func (e *Engine) Delete(facts ...atom.Atom) error {
 	// derivations through other pending facts still count, which is the
 	// over-approximation DRed's soundness rests on.
 	for len(work) > 0 {
+		if err := bud.Err(); err != nil {
+			// Nothing has been mutated yet: the delete simply didn't
+			// happen, and the engine stays healthy.
+			return err
+		}
 		g := work[len(work)-1]
 		work = work[:len(work)-1]
 		for _, occ := range e.bodyOcc[g.pred] {
@@ -391,9 +514,14 @@ func (e *Engine) Delete(facts ...atom.Atom) error {
 			})
 		}
 	}
+	if err := bud.Err(); err != nil {
+		return err // still pre-mutation: the last RunSeed may have stopped early
+	}
+	e.stats.Deleted += seeds
 	e.stats.Overdeleted += pend.n - seeds
 
 	// Apply — flip tombstones; columns, postings, and marks stay put.
+	// From here on an abort leaves the materialization partial.
 	for p, bm := range pend.rows {
 		for w, word := range bm {
 			for word != 0 {
@@ -417,6 +545,9 @@ func (e *Engine) Delete(facts ...atom.Atom) error {
 	// over the whole deleted set.
 	var restored []handle
 	for _, h := range pend.all {
+		if bud.Aborted() {
+			break // verdict handled after the worklists drain
+		}
 		if !e.intensional[h.pred] || !pend.has(h) {
 			continue // explicitly deleted base facts stay deleted
 		}
@@ -429,6 +560,9 @@ func (e *Engine) Delete(facts ...atom.Atom) error {
 		}
 	}
 	for len(restored) > 0 {
+		if bud.Aborted() {
+			break
+		}
 		g := restored[len(restored)-1]
 		restored = restored[:len(restored)-1]
 		for _, occ := range e.bodyOcc[g.pred] {
@@ -441,6 +575,15 @@ func (e *Engine) Delete(facts ...atom.Atom) error {
 				return true
 			})
 		}
+	}
+
+	if err := bud.Err(); err != nil {
+		// Tombstones applied but rederivation didn't finish: facts still
+		// derivable from the surviving base may be missing. Partial
+		// revives are sound (each had a derivation), but the
+		// materialization is an under-approximation until Rebuild.
+		e.broken = fmt.Errorf("incremental: delete aborted mid-rederivation: %w", err)
+		return e.broken
 	}
 
 	// Reclaim physical space once a relation is mostly tombstones. Compact

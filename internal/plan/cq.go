@@ -107,7 +107,7 @@ func CompileCQ(q *logic.CQ) *CQPlan {
 // query stops at its first body match either way. Run reports whether the
 // enumeration ran to completion.
 func (p *CQPlan) Run(db *storage.DB, yield func(tup []term.Term) bool) bool {
-	done, _ := p.run(context.Background(), db, yield)
+	done, _ := p.run(context.Background(), nil, db, yield)
 	return done
 }
 
@@ -116,12 +116,23 @@ func (p *CQPlan) Run(db *storage.DB, yield func(tup []term.Term) bool) bool {
 // context's error. The completion flag reports false when yield stopped
 // the run early OR the context fired.
 func (p *CQPlan) RunCtx(ctx context.Context, db *storage.DB, yield func(tup []term.Term) bool) (bool, error) {
-	return p.run(ctx, db, yield)
+	return p.run(ctx, nil, db, yield)
 }
 
-func (p *CQPlan) run(ctx context.Context, db *storage.DB, yield func(tup []term.Term) bool) (bool, error) {
+// RunBudget is Run charged against a budget: every cqCancelStride row
+// matches flush into the budget's probe counter and poll its limits and
+// deadline — a cross-product query burns gas even when the limit
+// pushdown never fires. A nil budget behaves exactly like Run.
+func (p *CQPlan) RunBudget(bud *Budget, db *storage.DB, yield func(tup []term.Term) bool) (bool, error) {
+	return p.run(bud.Context(), bud, db, yield)
+}
+
+func (p *CQPlan) run(ctx context.Context, bud *Budget, db *storage.DB, yield func(tup []term.Term) bool) (bool, error) {
 	if p.unsat {
 		return true, nil
+	}
+	if err := bud.Check(); err != nil {
+		return false, err
 	}
 	frame := storage.NewFrame(p.NumSlots)
 	out := make([]term.Term, p.Arity)
@@ -161,7 +172,13 @@ func (p *CQPlan) run(ctx context.Context, db *storage.DB, yield func(tup []term.
 		return db.Probe(p.Scans[k], frame, 0, 0, 1, func() bool {
 			matches++
 			if matches%cqCancelStride == 0 {
-				if err := ctx.Err(); err != nil {
+				var err error
+				if bud != nil {
+					err = bud.AddProbes(cqCancelStride)
+				} else {
+					err = ctx.Err()
+				}
+				if err != nil {
 					ctxErr = err
 					completed = false
 					return false

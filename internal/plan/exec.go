@@ -26,6 +26,32 @@ type Exec struct {
 	// engines hand it straight to storage.InsertArgs/ContainsArgs, which
 	// copy, so no per-derivation argument slice is ever allocated.
 	scratch []term.Term
+
+	// bud, when set, is polled on the probe hot path: budLeft counts down
+	// locally and every BudgetStride probes flush into the shared budget
+	// (one atomic add + one limit/deadline poll). A tripped budget stops
+	// the enumeration exactly like a callback returning false — every
+	// slot unbinds on the way out — and the engine reads the verdict from
+	// Budget.Err. The unbudgeted path pays one nil-check per probe.
+	bud     *Budget
+	budLeft int
+}
+
+// SetBudget attaches (or with nil detaches) the budget every subsequent
+// Run/RunAlt/RunSeed/Rederivable enumeration charges its probes to.
+func (e *Exec) SetBudget(b *Budget) {
+	e.bud = b
+	e.budLeft = BudgetStride
+}
+
+// budgetStep flushes one stride of probes into the shared budget,
+// reporting whether the enumeration may continue.
+func (e *Exec) budgetStep() bool {
+	if e.budLeft--; e.budLeft > 0 {
+		return true
+	}
+	e.budLeft = BudgetStride
+	return e.bud.AddProbes(BudgetStride) == nil
 }
 
 // NewExec returns an executor for the rule with a fresh all-unbound frame.
@@ -66,6 +92,9 @@ func (e *Exec) RunAlt(db *storage.DB, di, alt int, since storage.Mark, shard, sh
 		}
 		return db.Probe(j.Scans[k], e.frame, s, sh, shs, func() bool {
 			e.Probes++
+			if e.bud != nil && !e.budgetStep() {
+				return false
+			}
 			return rec(k + 1)
 		})
 	}
@@ -87,6 +116,9 @@ func (e *Exec) RunSeed(db *storage.DB, di int, seed int32, fn func() bool) bool 
 		}
 		probe := func() bool {
 			e.Probes++
+			if e.bud != nil && !e.budgetStep() {
+				return false
+			}
 			return rec(k + 1)
 		}
 		if k == j.DeltaStep {
@@ -119,6 +151,9 @@ func (e *Exec) Rederivable(db *storage.DB, pred schema.PredID, args []term.Term)
 			}
 			return db.Probe(j.Scans[k], e.frame, 0, 0, 1, func() bool {
 				e.Probes++
+				if e.bud != nil && !e.budgetStep() {
+					return false
+				}
 				return rec(k + 1)
 			})
 		}

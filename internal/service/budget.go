@@ -1,0 +1,93 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"repro/internal/plan"
+)
+
+// Request budgets: every unit of work the service runs on behalf of a
+// client — a query enumeration, an overlay view build, an update's
+// delta/DRed propagation, a load's initial materialization — is charged
+// against one plan.Budget built here. The request may ask for a smaller
+// allowance than the server's ceilings (Options.MaxDerived, MaxProbes,
+// MaxTimeout); it can never exceed them, and asking for nothing means
+// the ceiling. With no ceilings configured and no request knobs the
+// budget only carries the request context, so cancellation still
+// propagates into the hot loops.
+
+// budgetHook, when non-nil, observes every request budget right after
+// construction — the fault-injection seam of the robustness suite
+// (tests arm plan.Budget.SetProbeTrap here). Never set in production.
+var budgetHook func(*plan.Budget)
+
+// requestBudget builds the effective budget of one request.
+// timeoutMS/maxDerived/maxProbes come from the request (0 = server
+// default); the returned cancel must be called when the request's
+// evaluation finishes to release the timeout timer.
+func (s *Service) requestBudget(ctx context.Context, timeoutMS, maxDerived, maxProbes int) (*plan.Budget, context.CancelFunc) {
+	md := clampCap(maxDerived, s.opt.MaxDerived)
+	mp := clampCap(maxProbes, s.opt.MaxProbes)
+	to := time.Duration(timeoutMS) * time.Millisecond
+	if s.opt.MaxTimeout > 0 && (to <= 0 || to > s.opt.MaxTimeout) {
+		to = s.opt.MaxTimeout
+	}
+	cancel := context.CancelFunc(func() {})
+	if to > 0 {
+		ctx, cancel = context.WithTimeout(ctx, to)
+	}
+	bud := plan.NewBudget(ctx, md, mp)
+	if budgetHook != nil {
+		budgetHook(bud)
+	}
+	return bud, cancel
+}
+
+// writeBudget is the budget of a write transaction: the server-side
+// ceilings plus the request context, no per-request knobs — a client
+// must not be able to grant its own update more work than the server
+// allows, and granting less would let it break the writer cheaply.
+func (s *Service) writeBudget(ctx context.Context) (*plan.Budget, context.CancelFunc) {
+	return s.requestBudget(ctx, 0, 0, 0)
+}
+
+// clampCap resolves one requested cap against the server ceiling:
+// the minimum of the two, where 0 means "unlimited" for the ceiling and
+// "take the ceiling" for the request.
+func clampCap(req, ceiling int) int {
+	if req < 0 {
+		req = 0
+	}
+	if ceiling > 0 && (req == 0 || req > ceiling) {
+		return ceiling
+	}
+	return req
+}
+
+// classify folds one query outcome into the failure counters: gas-limit
+// trips, deadline expiries, and cancellations/sink aborts are disjoint
+// (first match wins, over-budget strongest — a budget that tripped on
+// probes counts there even if the deadline also passed by the time the
+// error surfaced).
+func (s *Service) classify(err error) {
+	switch {
+	case err == nil:
+	case errors.Is(err, plan.ErrOverBudget):
+		s.overBudget.Add(1)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.timedOut.Add(1)
+	case errors.Is(err, context.Canceled), errors.Is(err, plan.ErrCanceled), errors.Is(err, errSink):
+		s.aborted.Add(1)
+	}
+}
+
+// isAbort reports whether the error is a budget/cancellation verdict —
+// as opposed to a genuine evaluation failure (bad program, unstratified
+// negation). Single-flight view waiters retry on abort-typed builder
+// failures; genuine failures propagate to every waiter.
+func isAbort(err error) bool {
+	return errors.Is(err, plan.ErrOverBudget) || errors.Is(err, plan.ErrCanceled) ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

@@ -45,6 +45,15 @@ type QueryRequest struct {
 	Args  []string `json:"args,omitempty"`
 	Query string   `json:"query,omitempty"`
 	Limit int      `json:"limit,omitempty"`
+	// TimeoutMS, MaxDerived, and MaxProbes bound the query's evaluation
+	// (deadline in milliseconds, derived-fact cap for view builds, probe
+	// cap for join work). Each is clamped by the server-side ceiling
+	// (service.Options); 0 means "the server default". Over-budget
+	// evaluation fails with plan.ErrOverBudget, an expired deadline with
+	// an error matching context.DeadlineExceeded.
+	TimeoutMS  int `json:"timeout_ms,omitempty"`
+	MaxDerived int `json:"max_derived,omitempty"`
+	MaxProbes  int `json:"max_probes,omitempty"`
 }
 
 // QueryResponse is one query's answer, tagged with the epoch it was
@@ -138,18 +147,18 @@ func (s *Service) QueryStream(ctx context.Context, req *QueryRequest, sink Sink)
 	}
 	defer e.release()
 	s.queries.Add(1)
+	bud, cancel := s.requestBudget(ctx, req.TimeoutMS, req.MaxDerived, req.MaxProbes)
+	defer cancel()
 	limit := req.Limit
 	if limit <= 0 || limit > DefaultLimit {
 		limit = DefaultLimit
 	}
 	if req.Query != "" {
-		err = s.ruleQueryStream(ctx, e, req.Query, limit, sink)
+		err = s.ruleQueryStream(bud, e, req.Query, limit, sink)
 	} else {
-		err = s.patternQueryStream(ctx, e, req, limit, sink)
+		err = s.patternQueryStream(bud, e, req, limit, sink)
 	}
-	if err != nil && (errors.Is(err, ctx.Err()) || errors.Is(err, errSink)) {
-		s.aborted.Add(1)
-	}
+	s.classify(err)
 	return err
 }
 
@@ -170,7 +179,7 @@ func sinkErr(err error) error {
 // fill a frame, probe the snapshot. The probe stops the moment the limit
 // is exceeded (the limit+1-th match only sets the truncation flag) — a
 // "first 10 of a million" pattern query costs 11 matches, not a scan.
-func (s *Service) patternQueryStream(ctx context.Context, e *epoch, req *QueryRequest, limit int, sink Sink) error {
+func (s *Service) patternQueryStream(bud *plan.Budget, e *epoch, req *QueryRequest, limit int, sink Sink) error {
 	prog := e.gen.prog
 	pid, ok := prog.Reg.Lookup(req.Pred)
 	if !ok {
@@ -199,6 +208,9 @@ func (s *Service) patternQueryStream(ctx context.Context, e *epoch, req *QueryRe
 		mask |= 1 << uint(i)
 		frame[i] = c
 	}
+	if err := bud.Check(); err != nil {
+		return err
+	}
 	if err := sink.Begin(e.seq, arity); err != nil {
 		return sinkErr(err)
 	}
@@ -209,15 +221,18 @@ func (s *Service) patternQueryStream(ctx context.Context, e *epoch, req *QueryRe
 	p := s.patternPlan(e.gen, pid, mask, arity)
 	st := prog.Store
 	names := make([]string, arity)
-	emitted, truncated := 0, false
+	emitted, truncated, pending := 0, false, 0
 	var abort error
 	e.snap.DB().Probe(p, frame, 0, 0, 1, func() bool {
 		if emitted >= limit {
 			truncated = true
 			return false
 		}
-		if emitted%queryCancelStride == 0 {
-			if err := ctx.Err(); err != nil {
+		// A local pending counter flushes into the shared budget once per
+		// stride — the ground-lookup fast path never pays an atomic.
+		if pending++; pending == queryCancelStride {
+			pending = 0
+			if err := bud.AddProbes(queryCancelStride); err != nil {
 				abort = err
 				return false
 			}
@@ -268,7 +283,7 @@ func (s *Service) patternPlan(g *generation, pid schema.PredID, mask uint64, ari
 // generation's naming context and evaluates it over the epoch snapshot:
 // view rules materialize into a cached copy-on-write overlay, the query
 // itself runs as a cached compiled CQPlan streaming through the sink.
-func (s *Service) ruleQueryStream(ctx context.Context, e *epoch, src string, limit int, sink Sink) error {
+func (s *Service) ruleQueryStream(bud *plan.Budget, e *epoch, src string, limit int, sink Sink) error {
 	prog := e.gen.prog
 	// Parsing interns constants and variables — concurrent-safe, so no
 	// lock; a scratch program keeps parsed TGDs out of the served rules.
@@ -286,7 +301,7 @@ func (s *Service) ruleQueryStream(ctx context.Context, e *epoch, src string, lim
 	q := res.Queries[0]
 	sdb := e.snap.DB()
 	if len(tmp.TGDs) > 0 {
-		sdb, err = s.viewOverlay(ctx, e, tmp)
+		sdb, err = s.viewOverlay(bud, e, tmp)
 		if err != nil {
 			return err
 		}
@@ -295,7 +310,7 @@ func (s *Service) ruleQueryStream(ctx context.Context, e *epoch, src string, lim
 
 	if q.IsBoolean() {
 		found := false
-		if _, err := p.RunCtx(ctx, sdb, func([]term.Term) bool {
+		if _, err := p.RunBudget(bud, sdb, func([]term.Term) bool {
 			found = true
 			return false
 		}); err != nil {
@@ -314,7 +329,7 @@ func (s *Service) ruleQueryStream(ctx context.Context, e *epoch, src string, lim
 	names := make([]string, len(q.Output))
 	emitted, truncated := 0, false
 	var abort error
-	if _, err := p.RunCtx(ctx, sdb, func(tup []term.Term) bool {
+	if _, err := p.RunBudget(bud, sdb, func(tup []term.Term) bool {
 		if emitted >= limit {
 			truncated = true
 			return false
@@ -386,50 +401,67 @@ type overlayEntry struct {
 // shape, so every query of an unchanged epoch after the first pays zero
 // materialization and zero snapshot-copy cost; the cache (and the
 // borrowed backings) die with the epoch's refcount.
-func (s *Service) viewOverlay(ctx context.Context, e *epoch, view *logic.Program) (*storage.DB, error) {
+//
+// The build runs under the REQUESTER's budget. An aborted or failed
+// build is evicted before its waiters wake (never cached, never served);
+// a waiter whose builder aborted — but whose own budget is still live —
+// retries as the new builder under its own allowance, so one canceled
+// client never poisons the shape for everyone behind it.
+func (s *Service) viewOverlay(bud *plan.Budget, e *epoch, view *logic.Program) (*storage.DB, error) {
 	k := viewKey(view.TGDs)
-	e.ovMu.Lock()
-	if e.overlays == nil {
-		e.overlays = make(map[string]*overlayEntry)
-	}
-	if ent, ok := e.overlays[k]; ok {
-		e.ovMu.Unlock()
-		select {
-		case <-ent.ready:
-			return ent.db, ent.err
-		case <-ctx.Done():
-			return nil, ctx.Err()
+	for {
+		e.ovMu.Lock()
+		if e.overlays == nil {
+			e.overlays = make(map[string]*overlayEntry)
 		}
-	}
-	var ent *overlayEntry
-	if len(e.overlays) < maxOverlays {
-		ent = &overlayEntry{ready: make(chan struct{})}
-		e.overlays[k] = ent
-	}
-	e.ovMu.Unlock()
-
-	db, err := s.buildOverlay(e, view)
-	if ent != nil {
-		ent.db, ent.err = db, err
-		close(ent.ready)
-		if err != nil {
-			// Drop failed builds so a later identical query can retry.
-			e.ovMu.Lock()
-			delete(e.overlays, k)
+		if ent, ok := e.overlays[k]; ok {
 			e.ovMu.Unlock()
+			select {
+			case <-ent.ready:
+				if ent.err != nil && isAbort(ent.err) {
+					if err := bud.Check(); err != nil {
+						return nil, err // our budget is dead too
+					}
+					continue // builder aborted; its entry is evicted — retry
+				}
+				return ent.db, ent.err
+			case <-bud.Context().Done():
+				return nil, bud.Check()
+			}
 		}
+		var ent *overlayEntry
+		if len(e.overlays) < maxOverlays {
+			ent = &overlayEntry{ready: make(chan struct{})}
+			e.overlays[k] = ent
+		}
+		e.ovMu.Unlock()
+
+		db, err := s.buildOverlay(bud, e, view)
+		if ent != nil {
+			if err != nil {
+				// Evict BEFORE closing ready: a woken waiter re-probes the
+				// map and can never re-read (or re-wait on) the dead entry.
+				e.ovMu.Lock()
+				delete(e.overlays, k)
+				e.ovMu.Unlock()
+			}
+			ent.db, ent.err = db, err
+			close(ent.ready)
+		}
+		return db, err
 	}
-	return db, err
 }
 
 // buildOverlay materializes view rules into a fresh overlay of the epoch
 // snapshot. The fixpoint runs in place (datalog.Options.InPlace): the
-// overlay IS the private copy, so no clone precedes it.
-func (s *Service) buildOverlay(e *epoch, view *logic.Program) (*storage.DB, error) {
+// overlay IS the private copy, so no clone precedes it — and on abort the
+// partially evaluated overlay is simply dropped; the snapshot backings it
+// borrowed stay pinned by the epoch, untouched.
+func (s *Service) buildOverlay(bud *plan.Budget, e *epoch, view *logic.Program) (*storage.DB, error) {
 	s.viewBuilds.Add(1)
 	ov := e.snap.DB().Overlay()
 	if _, _, err := datalog.Eval(view, ov, datalog.Options{
-		Stratify: true, BiasRecursiveAtom: true, Adaptive: s.opt.Adaptive, InPlace: true,
+		Stratify: true, BiasRecursiveAtom: true, Adaptive: s.opt.Adaptive, InPlace: true, Budget: bud,
 	}); err != nil {
 		return nil, fmt.Errorf("service: view: %w", err)
 	}

@@ -38,11 +38,13 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/incremental"
 	"repro/internal/logic"
@@ -64,6 +66,16 @@ type Options struct {
 	// CSVBatch is the row count per staged buffer of the bulk-load path
 	// (0: relio's default).
 	CSVBatch int
+	// MaxDerived / MaxProbes are the server-side ceilings for per-request
+	// evaluation budgets (0 = unlimited): a request may ask for less work
+	// than the ceiling, never more, and a request asking for nothing gets
+	// the ceiling. The same ceilings bound write transactions (insert /
+	// delete propagation, load materialization).
+	MaxDerived int
+	MaxProbes  int
+	// MaxTimeout clamps per-request timeouts the same way (0 = no
+	// ceiling). Requests without a timeout get the ceiling.
+	MaxTimeout time.Duration
 }
 
 // Service is a materialized reasoning service. Create with New, load a
@@ -96,8 +108,12 @@ type Service struct {
 	// viewBuilds is the cache's work saved.
 	viewBuilds atomic.Uint64
 	// aborted counts queries stopped early by context cancellation or a
-	// failed sink delivery (a streaming client that disconnected).
-	aborted atomic.Uint64
+	// failed sink delivery (a streaming client that disconnected);
+	// overBudget counts gas-limit trips (plan.ErrOverBudget), timedOut
+	// deadline expiries — the three are disjoint per query.
+	aborted    atomic.Uint64
+	overBudget atomic.Uint64
+	timedOut   atomic.Uint64
 }
 
 // generation is the program-scoped state shared by every epoch published
@@ -197,13 +213,21 @@ func (s *Service) maybeCompact() {
 // Embedded queries are ignored — the service answers queries over HTTP,
 // not from the program text. Returns the published epoch.
 func (s *Service) Load(src string) (uint64, error) {
+	return s.LoadCtx(context.Background(), src)
+}
+
+// LoadCtx is Load under a request context: the initial materialization
+// runs under the server-side write budget (Options.MaxDerived/MaxProbes/
+// MaxTimeout) plus the context's deadline. An aborted materialization
+// publishes nothing — the previous generation keeps serving untouched.
+func (s *Service) LoadCtx(ctx context.Context, src string) (uint64, error) {
 	res, err := parser.Parse(src)
 	if err != nil {
 		return 0, fmt.Errorf("service: load: %w", err)
 	}
 	db := storage.NewDB()
 	db.InsertAll(res.Facts)
-	return s.LoadProgram(res.Program, db)
+	return s.LoadProgramCtx(ctx, res.Program, db)
 }
 
 // LoadProgram is the embedding entry point of Load: materialize an
@@ -211,12 +235,19 @@ func (s *Service) Load(src string) (uint64, error) {
 // the engine; the caller keeps ownership) and publish the first epoch of
 // a fresh generation.
 func (s *Service) LoadProgram(prog *logic.Program, base *storage.DB) (uint64, error) {
+	return s.LoadProgramCtx(context.Background(), prog, base)
+}
+
+// LoadProgramCtx is LoadProgram with the LoadCtx budget semantics.
+func (s *Service) LoadProgramCtx(ctx context.Context, prog *logic.Program, base *storage.DB) (uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := prog.Validate(); err != nil {
 		return 0, fmt.Errorf("service: load: %w", err)
 	}
-	eng, err := incremental.New(prog, base)
+	bud, cancel := s.writeBudget(ctx)
+	defer cancel()
+	eng, err := incremental.NewBudgeted(prog, base, bud)
 	if err != nil {
 		return 0, fmt.Errorf("service: load: %w", err)
 	}
@@ -365,6 +396,15 @@ func (s *Service) parseFacts(src string) (*parser.Result, error) {
 // Insert asserts base facts (surface syntax, facts only) and publishes
 // the resulting epoch.
 func (s *Service) Insert(src string) (uint64, error) {
+	return s.InsertCtx(context.Background(), src)
+}
+
+// InsertCtx is Insert under a request context and the server-side write
+// budget. An abort mid-propagation publishes NO epoch: readers keep the
+// previous consistent snapshot, and the materialization is rebuilt from
+// base under the writer lock before the next update (the asserted facts
+// themselves stay asserted and surface in the next published epoch).
+func (s *Service) InsertCtx(ctx context.Context, src string) (uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.eng == nil {
@@ -375,7 +415,10 @@ func (s *Service) Insert(src string) (uint64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("service: insert: %w", err)
 	}
-	if err := s.eng.Insert(res.Facts...); err != nil {
+	bud, cancel := s.writeBudget(ctx)
+	defer cancel()
+	if err := s.eng.InsertBudgeted(bud, res.Facts...); err != nil {
+		s.recoverEngine()
 		return 0, fmt.Errorf("service: insert: %w", err)
 	}
 	return s.publish(), nil
@@ -384,6 +427,11 @@ func (s *Service) Insert(src string) (uint64, error) {
 // Delete retracts base facts (DRed maintenance) and publishes the
 // resulting epoch.
 func (s *Service) Delete(src string) (uint64, error) {
+	return s.DeleteCtx(context.Background(), src)
+}
+
+// DeleteCtx is Delete with the InsertCtx budget and recovery semantics.
+func (s *Service) DeleteCtx(ctx context.Context, src string) (uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.eng == nil {
@@ -394,10 +442,24 @@ func (s *Service) Delete(src string) (uint64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("service: delete: %w", err)
 	}
-	if err := s.eng.Delete(res.Facts...); err != nil {
+	bud, cancel := s.writeBudget(ctx)
+	defer cancel()
+	if err := s.eng.DeleteBudgeted(bud, res.Facts...); err != nil {
+		s.recoverEngine()
 		return 0, fmt.Errorf("service: delete: %w", err)
 	}
 	return s.publish(), nil
+}
+
+// recoverEngine re-materializes a broken engine (an update aborted after
+// mutating the instance) from its base facts, unbudgeted — a bounded,
+// deterministic recovery that never publishes partial state. Caller
+// holds mu. If even the rebuild fails the engine stays broken and every
+// later update keeps reporting it.
+func (s *Service) recoverEngine() {
+	if s.eng != nil && s.eng.Broken() != nil {
+		s.eng.Rebuild() //nolint:errcheck // a failed rebuild leaves broken set
+	}
 }
 
 // Stats is a point-in-time service report.
@@ -408,6 +470,8 @@ type Stats struct {
 	Queries       uint64            `json:"queries"`
 	ViewBuilds    uint64            `json:"view_builds"`
 	Aborted       uint64            `json:"queries_aborted"`
+	OverBudget    uint64            `json:"queries_over_budget"`
+	TimedOut      uint64            `json:"queries_timeout"`
 	EpochsDrained uint64            `json:"epochs_drained"`
 	Engine        incremental.Stats `json:"engine"`
 }
@@ -419,6 +483,8 @@ func (s *Service) Stats() Stats {
 		Queries:       s.queries.Load(),
 		ViewBuilds:    s.viewBuilds.Load(),
 		Aborted:       s.aborted.Load(),
+		OverBudget:    s.overBudget.Load(),
+		TimedOut:      s.timedOut.Load(),
 		EpochsDrained: s.drained.Load(),
 	}
 	if e, err := s.acquire(); err == nil {
