@@ -7,14 +7,15 @@
 
 # Benchmarks tracked across PRs (the CHANGES.md before/after set).
 BENCH_PATTERN  ?= BenchmarkE8|BenchmarkE9|BenchmarkE10|BenchmarkP1|BenchmarkIncrementalDelete
-BENCH_OUT      ?= BENCH_pr8.json
+BENCH_OUT      ?= BENCH_pr9.json
 BENCH_TIME     ?= 10x
 # Sequential baseline for workers=N scaling entries (cmd/benchjson).
 BENCH_BASELINE ?= BenchmarkP1_PlanFixpointSeq
 # The service benchmarks (S1 query paths, S2 load interference, S3
-# compiled CQs and overlay views) run far more iterations: per-query
-# costs are microseconds, so 10x would be pure noise.
-BENCH_SVC_PATTERN ?= BenchmarkS1|BenchmarkS2|BenchmarkS3
+# compiled CQs and overlay views, S4 WAL overhead and recovery) run far
+# more iterations: per-op costs are microseconds, so 10x would be pure
+# noise.
+BENCH_SVC_PATTERN ?= BenchmarkS1|BenchmarkS2|BenchmarkS3|BenchmarkS4
 BENCH_SVC_TIME    ?= 300x
 
 # The parallel-scaling subset: the w1/w2/w4/w8 ladders plus their

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/service"
+	"repro/internal/wal"
+)
+
+func durPost(t *testing.T, url, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	return resp, m
+}
+
+func durGet(t *testing.T, url string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	return resp, m
+}
+
+// TestDaemonDurableRestart drives the daemon's durable lifecycle over
+// HTTP: load + insert into a data directory, close (simulating an
+// orderly exit), reopen and recover, and assert the full pre-restart
+// closure answers with the replayed-record count in /stats.
+func TestDaemonDurableRestart(t *testing.T) {
+	dir := t.TempDir()
+	opt := service.Options{DataDir: dir, Fsync: "never"}
+
+	svc, err := service.Open(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Recover(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newHandler(svc))
+	if r, _ := durPost(t, ts.URL+"/load", `{"program":"t(X,Y) :- e(X,Y). t(X,Z) :- e(X,Y), t(Y,Z). e(a,b)."}`); r.StatusCode != 200 {
+		t.Fatalf("load: %d", r.StatusCode)
+	}
+	if r, _ := durPost(t, ts.URL+"/insert", `{"facts":"e(b,c). e(c,d)."}`); r.StatusCode != 200 {
+		t.Fatalf("insert: %d", r.StatusCode)
+	}
+	ts.Close()
+	svc.Close()
+
+	svc2, err := service.Open(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc2.Recover(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(newHandler(svc2))
+	defer ts2.Close()
+	defer svc2.Close()
+
+	if r, m := durGet(t, ts2.URL+"/healthz"); r.StatusCode != 200 || m["status"] != "ok" {
+		t.Fatalf("healthz: %d %v", r.StatusCode, m)
+	}
+	_, q := durPost(t, ts2.URL+"/query", `{"pred":"t","args":["a","_"]}`)
+	if tuples := q["tuples"].([]any); len(tuples) != 3 { // a->b, a->c, a->d
+		t.Fatalf("recovered closure from a: %v", q)
+	}
+	_, st := durGet(t, ts2.URL+"/stats")
+	dur := st["durability"].(map[string]any)
+	if dur["enabled"] != true || dur["replayed_records"].(float64) < 1 {
+		t.Fatalf("durability stats: %v", dur)
+	}
+}
+
+// TestHealthzDrainingAndBroken covers the non-ok /healthz states the
+// daemon can serve: "draining" once the shutdown flag flips (everything
+// else fast-fails 503 with code "draining"), and "broken" when recovery
+// finds an unrecoverable directory.
+func TestHealthzDrainingAndBroken(t *testing.T) {
+	var draining atomic.Bool
+	svc := service.New(service.Options{})
+	defer svc.Close()
+	ts := httptest.NewServer(buildHandler(svc, handlerOpts{draining: &draining}))
+	defer ts.Close()
+
+	if r, m := durGet(t, ts.URL+"/healthz"); r.StatusCode != 200 || m["status"] != "ok" {
+		t.Fatalf("healthz: %d %v", r.StatusCode, m)
+	}
+	draining.Store(true)
+	if r, m := durGet(t, ts.URL+"/healthz"); r.StatusCode != 503 || m["status"] != "draining" {
+		t.Fatalf("draining healthz: %d %v", r.StatusCode, m)
+	}
+	r, m := durPost(t, ts.URL+"/insert", `{"facts":"e(a,b)."}`)
+	if r.StatusCode != 503 || m["code"] != "draining" {
+		t.Fatalf("draining insert: %d %v", r.StatusCode, m)
+	}
+
+	// Broken: a WAL tail with no covering checkpoint is unrecoverable.
+	dir := t.TempDir()
+	m2, err := wal.Open(dir, wal.Options{Policy: wal.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.Append(wal.KindInsert, []byte("e(a,b).")); err != nil {
+		t.Fatal(err)
+	}
+	m2.Close()
+	svcB, err := service.Open(service.Options{DataDir: dir, Fsync: "never"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svcB.Close()
+	if err := svcB.Recover(context.Background()); err == nil {
+		t.Fatal("recovery of corrupt directory succeeded")
+	}
+	tsB := httptest.NewServer(newHandler(svcB))
+	defer tsB.Close()
+	if r, m := durGet(t, tsB.URL+"/healthz"); r.StatusCode != 503 || m["status"] != "broken" {
+		t.Fatalf("broken healthz: %d %v", r.StatusCode, m)
+	}
+}

@@ -5,13 +5,36 @@
 //
 // Usage:
 //
-//	vadalogd [-addr :8077] [-adaptive] [-csv-batch 16384]
-//	         [-max-concurrent 64] [-queue 128] [-timeout 0]
-//	         [-max-derived 0] [-max-probes 0] [file.vada ...]
+//	vadalogd [flags] [file.vada ...]
+//
+// Flags:
+//
+//	-addr :8077            listen address
+//	-adaptive              adaptive join-order selection in fixpoints
+//	-csv-batch 0           rows per staged bulk-load buffer (0: default)
+//	-max-concurrent 64     queries evaluating concurrently (0: unlimited)
+//	-queue 128             queries waiting for a slot before 429s
+//	-timeout 0             per-request wall-clock ceiling (0: off)
+//	-max-derived 0         per-request derived-fact budget ceiling
+//	-max-probes 0          per-request join-probe budget ceiling
+//	-data-dir ""           durability directory: WAL + checkpoints ("": in-memory)
+//	-fsync interval        WAL sync policy: always | interval | never
+//	-fsync-interval 100ms  sync batching window of the interval policy
+//	-checkpoint-every 4096 WAL records between automatic checkpoints
+//	-drain-timeout 10s     graceful-shutdown drain window
 //
 // Files given on the command line are loaded (rules + facts, one shared
 // naming context) before the server starts accepting requests; without
 // files the server starts empty and a program is loaded over HTTP.
+//
+// Durability (PR 9): with -data-dir, every acknowledged update is
+// write-ahead-logged and the state is periodically checkpointed; on boot
+// the daemon recovers the durable state (checkpoint load + WAL tail
+// replay) in the background while /healthz reports "recovering" (503).
+// When durable state is recovered, command-line files are IGNORED with a
+// warning — the recovered state is authoritative. /stats exposes the
+// durability counters (wal_records, wal_syncs, checkpoints,
+// replayed_records, ...) under "durability".
 //
 // Production hardening (PR 8): every request runs under a budget and the
 // daemon admits a bounded amount of concurrent query work.
@@ -55,10 +78,15 @@
 //	POST /insert   {"facts": "e(b,c). e(c,d)."} -> {"epoch": N}
 //	POST /delete   {"facts": "e(a,b)."}         -> {"epoch": N}
 //	GET  /stats    -> service + maintenance counters
-//	GET  /healthz  -> 200 "ok"
+//	GET  /healthz  -> {"status": "ok"} (200), or 503 with status
+//	               "recovering" (WAL replay in progress), "broken"
+//	               (unrecoverable engine or durability failure), or
+//	               "draining" (shutdown in progress)
 //
-// The server shuts down gracefully on SIGINT/SIGTERM: in-flight queries
-// finish against their pinned snapshots, then the listener closes.
+// The server shuts down gracefully on SIGINT/SIGTERM: it stops admitting
+// new requests (fast-fail 503 "draining"), lets in-flight requests
+// finish against their pinned snapshots for up to -drain-timeout, then
+// fsyncs and closes the WAL.
 package main
 
 import (
@@ -99,14 +127,28 @@ func run(args []string, out io.Writer) error {
 	timeout := fs.Duration("timeout", 0, "per-request wall-clock ceiling, e.g. 30s (0: off)")
 	maxDerived := fs.Int("max-derived", 0, "per-request derived-fact budget ceiling (0: unlimited)")
 	maxProbes := fs.Int("max-probes", 0, "per-request join-probe budget ceiling (0: unlimited)")
+	dataDir := fs.String("data-dir", "", "durability directory for the WAL and checkpoints (empty: in-memory)")
+	fsync := fs.String("fsync", "interval", "WAL sync policy: always | interval | never")
+	fsyncInterval := fs.Duration("fsync-interval", 0, "sync batching window of the interval policy (0: 100ms)")
+	ckptEvery := fs.Int("checkpoint-every", 0, "WAL records between automatic checkpoints (0: 4096)")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain window")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	svc := service.New(service.Options{
+	svc, err := service.Open(service.Options{
 		Adaptive: *adaptive, CSVBatch: *csvBatch,
 		MaxDerived: *maxDerived, MaxProbes: *maxProbes, MaxTimeout: *timeout,
+		DataDir: *dataDir, Fsync: *fsync, FsyncInterval: *fsyncInterval,
+		CheckpointEvery: *ckptEvery,
 	})
-	if files := fs.Args(); len(files) > 0 {
+	if err != nil {
+		return err
+	}
+	loadFiles := func() error {
+		files := fs.Args()
+		if len(files) == 0 {
+			return nil
+		}
 		var sb strings.Builder
 		for _, f := range files {
 			b, err := os.ReadFile(f)
@@ -122,11 +164,42 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "vadalogd: loaded %d file(s), epoch %d, %d facts\n",
 			len(files), epoch, svc.Stats().Facts)
+		return nil
+	}
+	if *dataDir == "" {
+		if err := loadFiles(); err != nil {
+			return err
+		}
+	} else {
+		// Recover in the background so the listener comes up immediately
+		// with /healthz reporting "recovering" (503) until replay finishes.
+		// Recovered durable state is authoritative: command-line files load
+		// only into a fresh data directory.
+		go func() {
+			if err := svc.Recover(context.Background()); err != nil {
+				log.Printf("vadalogd: recovery failed, serving 503 broken: %v", err)
+				return
+			}
+			if st := svc.Stats(); st.Loaded {
+				fmt.Fprintf(out, "vadalogd: recovered epoch %d, %d facts, %d wal record(s) replayed\n",
+					st.Epoch, st.Facts, st.Durability.ReplayedRecords)
+				if len(fs.Args()) > 0 {
+					log.Printf("vadalogd: ignoring %d command-line file(s): durable state recovered from %s",
+						len(fs.Args()), *dataDir)
+				}
+				return
+			}
+			if err := loadFiles(); err != nil {
+				log.Printf("vadalogd: load: %v", err)
+			}
+		}()
 	}
 
+	var draining atomic.Bool
 	srv := &http.Server{Addr: *addr, Handler: buildHandler(svc, handlerOpts{
-		adm:     newAdmission(*maxConc, *queue),
-		timeout: *timeout,
+		adm:      newAdmission(*maxConc, *queue),
+		timeout:  *timeout,
+		draining: &draining,
 	})}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -146,13 +219,14 @@ func run(args []string, out io.Writer) error {
 		}
 		return err
 	case sig := <-sigc:
-		fmt.Fprintf(out, "vadalogd: %v, shutting down\n", sig)
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		fmt.Fprintf(out, "vadalogd: %v, draining\n", sig)
+		draining.Store(true) // new requests fast-fail 503 while in-flight ones finish
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
-			return err
+			log.Printf("vadalogd: drain window expired: %v", err)
 		}
-		svc.Close()
+		svc.Close() // fsyncs and closes the WAL
 		fmt.Fprintln(out, "vadalogd: bye")
 		return nil
 	}
@@ -213,11 +287,18 @@ func (a *admission) release() {
 }
 
 // handlerOpts is the daemon's robustness configuration. The zero value
-// (no admission gate, no timeout) reproduces the pre-hardening handler.
+// (no admission gate, no timeout, no drain flag) reproduces the
+// pre-hardening handler.
 type handlerOpts struct {
 	adm     *admission
 	timeout time.Duration
+	// draining, when set and true, fast-fails every request except
+	// /healthz with 503 — the graceful-shutdown admission stop.
+	draining *atomic.Bool
 }
+
+// errDraining is the shutdown fast-fail behind 503 "draining".
+var errDraining = errors.New("server draining; shutting down")
 
 // daemonStats is the /stats payload: the service counters plus the
 // daemon-level admission counter.
@@ -315,10 +396,35 @@ func buildHandler(svc *service.Service, opts handlerOpts) http.Handler {
 		reply(w, st)
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		io.WriteString(w, "ok\n")
+		status := string(svc.Health())
+		if opts.draining != nil && opts.draining.Load() {
+			status = "draining"
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if status != string(service.HealthOK) {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		fmt.Fprintf(w, "{\"status\":%q}\n", status)
 	})
-	return logRecover(withTimeout(opts.timeout, mux))
+	return logRecover(withDraining(opts.draining, withTimeout(opts.timeout, mux)))
+}
+
+// withDraining fast-fails every request except /healthz once the drain
+// flag flips: the shutdown path stops admitting work while letting
+// already-admitted requests run out inside http.Server.Shutdown's grace
+// window. /healthz stays answerable so load balancers observe the
+// "draining" state instead of a refused connection.
+func withDraining(d *atomic.Bool, next http.Handler) http.Handler {
+	if d == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if d.Load() && r.URL.Path != "/healthz" {
+			failErr(w, errDraining)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 // withTimeout bounds every request's wall clock by deriving a deadline
@@ -349,6 +455,10 @@ func errStatus(err error) (int, string) {
 		return http.StatusRequestTimeout, "canceled"
 	case errors.Is(err, service.ErrNotLoaded):
 		return http.StatusConflict, "not_loaded"
+	case errors.Is(err, service.ErrRecovering):
+		return http.StatusServiceUnavailable, "recovering"
+	case errors.Is(err, errDraining):
+		return http.StatusServiceUnavailable, "draining"
 	default:
 		return http.StatusUnprocessableEntity, "error"
 	}

@@ -109,11 +109,34 @@ func New(prog *logic.Program, base *storage.DB) (*Engine, error) {
 	return NewBudgeted(prog, base, nil)
 }
 
-// NewBudgeted is New with the initial materialization charged against a
-// budget: a tripped budget aborts with the typed error and no engine —
-// nothing to recover, the caller simply doesn't get a materialization.
-// A nil budget is exactly New.
-func NewBudgeted(prog *logic.Program, base *storage.DB, bud *plan.Budget) (*Engine, error) {
+// Restore builds an engine around an ALREADY-materialized instance — the
+// recovery path from a durability checkpoint. base and db are decoded
+// segment instances; the caller asserts the invariant New would have
+// established by evaluation: db is the closure of base under prog, and
+// the extensional slice of db equals base. Nothing is re-evaluated and
+// ownership of both stores transfers to the engine (no clone — the
+// decoded instances have no other referent). Program validation and all
+// plan/index compilation run exactly as in New.
+func Restore(prog *logic.Program, base, db *storage.DB) (*Engine, error) {
+	e, err := newShell(prog)
+	if err != nil {
+		return nil, err
+	}
+	e.base = base
+	e.db = db
+	return e, nil
+}
+
+// Base exposes the extensional store (read-only by convention) — the
+// checkpoint writer serializes it beside the materialization so
+// recovery can keep maintaining updates without a re-chase.
+func (e *Engine) Base() *storage.DB { return e.base }
+
+// newShell validates the program and compiles every maintenance
+// structure of an engine EXCEPT the two stores — the shared prefix of
+// NewBudgeted (which evaluates the closure) and Restore (which trusts a
+// checkpoint).
+func newShell(prog *logic.Program) (*Engine, error) {
 	an := analysis.Analyze(prog)
 	if !an.IsFullSingleHead() {
 		return nil, fmt.Errorf("incremental: program is not full single-head (Datalog)")
@@ -121,15 +144,9 @@ func NewBudgeted(prog *logic.Program, base *storage.DB, bud *plan.Budget) (*Engi
 	if prog.HasNegation() {
 		return nil, fmt.Errorf("incremental: negation is not supported under updates; rebuild per stratum")
 	}
-	db, _, err := datalog.Eval(prog, base, datalog.Options{Stratify: true, BiasRecursiveAtom: true, Budget: bud})
-	if err != nil {
-		return nil, err
-	}
 	e := &Engine{
 		prog:        prog,
 		an:          an,
-		base:        base.Clone(),
-		db:          db,
 		intensional: make(map[schema.PredID]bool),
 		plans:       plan.Cached(prog, plan.Options{DeltaFirst: true}),
 		bodyOcc:     make(map[schema.PredID][]occurrence),
@@ -148,6 +165,24 @@ func NewBudgeted(prog *logic.Program, base *storage.DB, bud *plan.Budget) (*Engi
 			e.bodyOcc[b.Pred] = append(e.bodyOcc[b.Pred], occurrence{rule: ri, pos: di})
 		}
 	}
+	return e, nil
+}
+
+// NewBudgeted is New with the initial materialization charged against a
+// budget: a tripped budget aborts with the typed error and no engine —
+// nothing to recover, the caller simply doesn't get a materialization.
+// A nil budget is exactly New.
+func NewBudgeted(prog *logic.Program, base *storage.DB, bud *plan.Budget) (*Engine, error) {
+	e, err := newShell(prog)
+	if err != nil {
+		return nil, err
+	}
+	db, _, err := datalog.Eval(prog, base, datalog.Options{Stratify: true, BiasRecursiveAtom: true, Budget: bud})
+	if err != nil {
+		return nil, err
+	}
+	e.base = base.Clone()
+	e.db = db
 	return e, nil
 }
 

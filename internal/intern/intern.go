@@ -235,6 +235,21 @@ func (a *Arena[T]) Get(id uint32) (T, bool) {
 // Len reports the number of appended values.
 func (a *Arena[T]) Len() int { return int(a.n.Load()) }
 
+// Each calls fn with (id, value) for every appended value in ID order,
+// stopping early if fn returns false. The iteration covers the prefix
+// published at call time — the checkpoint encoders walk a consistent
+// snapshot of the arena while concurrent interning keeps appending past
+// it. Lock-free, like Get.
+func (a *Arena[T]) Each(fn func(id uint32, v T) bool) {
+	n := int(a.n.Load())
+	spine := *a.spine.Load()
+	for id := 0; id < n; id++ {
+		if !fn(uint32(id), spine[id/chunkLen][id%chunkLen]) {
+			return
+		}
+	}
+}
+
 // Clone returns an independent copy. Full chunks are shared (append-only,
 // never rewritten); the partial tail chunk — the only chunk either side
 // can still write into — is deep-copied, so the cost is O(spine + one

@@ -1,0 +1,333 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/wal"
+)
+
+// The crash-recovery property suite: drive a durable service with a
+// randomized op stream, kill it at each deterministic crash point of the
+// durability protocol (wal.SetCrash), "restart" by recovering a fresh
+// service over the same directory, and assert the recovered state equals
+// a from-scratch materialization of exactly the ACKNOWLEDGED prefix
+// (plus, for the durable-but-unacknowledged point, the crashed op).
+//
+// The oracle is an in-memory service Load of the same rules over the
+// mirrored base facts — a full datalog.Eval materialization sharing no
+// code with the recovery path under test.
+
+// durableOpts is the test configuration: no fsync (in-process crashes
+// keep the page cache) and a tiny checkpoint interval so the
+// checkpoint-time crash points fire from the normal update path.
+func durableOpts(dir string, every int) Options {
+	return Options{DataDir: dir, Fsync: "never", CheckpointEvery: every}
+}
+
+func openRecovered(t *testing.T, dir string, every int) *Service {
+	t.Helper()
+	svc, err := Open(durableOpts(dir, every))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := svc.Recover(context.Background()); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	return svc
+}
+
+// baseMirror tracks the base facts the oracle materializes from.
+type baseMirror map[string]bool // "e(n1,n2)" -> present
+
+func (m baseMirror) oracle(t *testing.T) (e, tc []string) {
+	t.Helper()
+	var sb strings.Builder
+	sb.WriteString(tcProgram)
+	for f := range m {
+		sb.WriteString(f)
+		sb.WriteString(".\n")
+	}
+	ref := New(Options{})
+	defer ref.Close()
+	if _, err := ref.Load(sb.String()); err != nil {
+		t.Fatalf("oracle load: %v", err)
+	}
+	return queryAll(t, ref, "e"), queryAll(t, ref, "t")
+}
+
+func queryAll(t *testing.T, svc *Service, pred string) []string {
+	t.Helper()
+	resp, err := svc.Query(&QueryRequest{Pred: pred, Args: []string{"_", "_"}})
+	if err != nil {
+		t.Fatalf("query %s: %v", pred, err)
+	}
+	out := make([]string, len(resp.Tuples))
+	for i, tu := range resp.Tuples {
+		out[i] = strings.Join(tu, ",")
+	}
+	sort.Strings(out)
+	return out
+}
+
+func assertMatchesOracle(t *testing.T, svc *Service, mirror baseMirror, label string) {
+	t.Helper()
+	wantE, wantT := mirror.oracle(t)
+	gotE, gotT := queryAll(t, svc, "e"), queryAll(t, svc, "t")
+	if !equalStr(gotE, wantE) {
+		t.Fatalf("%s: base facts diverged: got %d, want %d\ngot:  %v\nwant: %v",
+			label, len(gotE), len(wantE), gotE, wantE)
+	}
+	if !equalStr(gotT, wantT) {
+		t.Fatalf("%s: closure diverged: got %d, want %d", label, len(gotT), len(wantT))
+	}
+}
+
+func equalStr(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// applyRandomOp performs one random acknowledged-or-failed update and,
+// on success, applies the same change to the mirror.
+func applyRandomOp(t *testing.T, rng *rand.Rand, svc *Service, mirror baseMirror) error {
+	t.Helper()
+	edge := func() (string, string) {
+		return fmt.Sprintf("n%d", rng.Intn(8)), fmt.Sprintf("n%d", rng.Intn(8))
+	}
+	switch rng.Intn(4) {
+	case 0, 1: // insert 1-3 edges as fact text
+		n := 1 + rng.Intn(3)
+		var facts []string
+		for i := 0; i < n; i++ {
+			x, y := edge()
+			facts = append(facts, fmt.Sprintf("e(%s,%s)", x, y))
+		}
+		if _, err := svc.Insert(strings.Join(facts, ". ") + "."); err != nil {
+			return err
+		}
+		for _, f := range facts {
+			mirror[f] = true
+		}
+	case 2: // delete one present base fact, if any
+		var present []string
+		for f := range mirror {
+			present = append(present, f)
+		}
+		if len(present) == 0 {
+			return nil
+		}
+		sort.Strings(present)
+		victim := present[rng.Intn(len(present))]
+		if _, err := svc.Delete(victim + "."); err != nil {
+			return err
+		}
+		delete(mirror, victim)
+	default: // bulk-load a small CSV batch
+		n := 1 + rng.Intn(3)
+		var rows, facts []string
+		for i := 0; i < n; i++ {
+			x, y := edge()
+			rows = append(rows, x+","+y)
+			facts = append(facts, fmt.Sprintf("e(%s,%s)", x, y))
+		}
+		if _, _, err := svc.LoadCSV("e", strings.NewReader(strings.Join(rows, "\n")+"\n")); err != nil {
+			return err
+		}
+		for _, f := range facts {
+			mirror[f] = true
+		}
+	}
+	return nil
+}
+
+// TestDurableRoundTrip is the no-crash baseline: load + random updates,
+// clean Close, recover in a fresh service, state matches the oracle and
+// every post-checkpoint record replayed.
+func TestDurableRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	svc := openRecovered(t, dir, 1<<20) // no automatic checkpoint: pure WAL tail
+	if _, err := svc.Load(chainSource(4)); err != nil {
+		t.Fatal(err)
+	}
+	mirror := baseMirror{}
+	for i := 0; i+1 < 4; i++ {
+		mirror[fmt.Sprintf("e(n%d,n%d)", i, i+1)] = true
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 25; i++ {
+		if err := applyRandomOp(t, rng, svc, mirror); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	st := svc.Stats()
+	if st.Durability == nil || !st.Durability.Enabled || st.Durability.Checkpoints != 1 {
+		t.Fatalf("durability stats: %+v", st.Durability)
+	}
+	svc.Close()
+
+	svc2 := openRecovered(t, dir, 1<<20)
+	defer svc2.Close()
+	if h := svc2.Health(); h != HealthOK {
+		t.Fatalf("health after recovery = %q", h)
+	}
+	assertMatchesOracle(t, svc2, mirror, "clean restart")
+	d := svc2.Stats().Durability
+	if d.ReplayedRecords == 0 {
+		t.Fatal("no records replayed despite WAL tail")
+	}
+	// The recovered service keeps accepting updates durably.
+	if err := applyRandomOp(t, rng, svc2, mirror); err != nil {
+		t.Fatalf("post-recovery op: %v", err)
+	}
+	assertMatchesOracle(t, svc2, mirror, "post-recovery update")
+}
+
+// TestCrashRecoveryProperty is the randomized crash-point suite: for
+// every deterministic crash point and several seeds, run a random op
+// stream, arm the point, drive ops until the crash fires, model the
+// point's durability outcome, recover, and compare against the oracle
+// over the acknowledged prefix.
+func TestCrashRecoveryProperty(t *testing.T) {
+	points := []struct {
+		name  string
+		point wal.CrashPoint
+		// tornTail models power loss of the unsynced final record by
+		// truncating it before recovery.
+		tornTail bool
+		// crashedOpDurable: the op that observed the crash is expected to
+		// survive (durable-but-unacknowledged).
+		crashedOpDurable bool
+	}{
+		{"after-append", wal.CrashAfterAppend, false, true},
+		{"before-sync-survives", wal.CrashBeforeSync, false, true},
+		{"before-sync-power-loss", wal.CrashBeforeSync, true, false},
+		{"mid-checkpoint", wal.CrashMidCheckpoint, false, false},
+		{"before-truncate", wal.CrashBeforeTruncate, false, false},
+	}
+	for _, tc := range points {
+		for seed := int64(0); seed < 3; seed++ {
+			t.Run(fmt.Sprintf("%s/seed%d", tc.name, seed), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(seed*37 + 5))
+				dir := t.TempDir()
+				// CheckpointEvery 3: checkpoints fire mid-stream from the
+				// normal update path, so every crash point sits on a code
+				// path production actually runs.
+				svc := openRecovered(t, dir, 3)
+				if _, err := svc.Load(chainSource(4)); err != nil {
+					t.Fatal(err)
+				}
+				mirror := baseMirror{}
+				for i := 0; i+1 < 4; i++ {
+					mirror[fmt.Sprintf("e(n%d,n%d)", i, i+1)] = true
+				}
+				warm := 3 + rng.Intn(8)
+				for i := 0; i < warm; i++ {
+					if err := applyRandomOp(t, rng, svc, mirror); err != nil {
+						t.Fatalf("warm op %d: %v", i, err)
+					}
+				}
+
+				svc.wal.SetCrash(tc.point)
+				// Drive inserts until the crash fires; the one that observes
+				// it is the CRASHED op — never acknowledged.
+				crashed := ""
+				for i := 0; i < 20 && crashed == ""; i++ {
+					x, y := rng.Intn(8), rng.Intn(8)
+					fact := fmt.Sprintf("e(n%d,n%d)", x, y)
+					if _, err := svc.Insert(fact + "."); err != nil {
+						crashed = fact
+					} else {
+						mirror[fact] = true
+					}
+				}
+				if crashed == "" {
+					t.Fatal("crash point never fired")
+				}
+				if h := svc.Health(); h != HealthBroken {
+					t.Fatalf("health after crash = %q, want broken", h)
+				}
+				if _, err := svc.Insert("e(n0,n1)."); err == nil {
+					t.Fatal("dead WAL acknowledged an update")
+				}
+				svc.Close()
+
+				if tc.tornTail {
+					// Power loss: the unsynced final record does not survive.
+					logs, _ := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+					sort.Strings(logs)
+					last := logs[len(logs)-1]
+					fi, err := os.Stat(last)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := os.Truncate(last, fi.Size()-3); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if tc.crashedOpDurable {
+					mirror[crashed] = true
+				}
+
+				svc2 := openRecovered(t, dir, 3)
+				defer svc2.Close()
+				if h := svc2.Health(); h != HealthOK {
+					t.Fatalf("health after recovery = %q", h)
+				}
+				assertMatchesOracle(t, svc2, mirror, "recovered state")
+				// And the recovered node is a fully working writer.
+				for i := 0; i < 3; i++ {
+					if err := applyRandomOp(t, rng, svc2, mirror); err != nil {
+						t.Fatalf("post-recovery op: %v", err)
+					}
+				}
+				assertMatchesOracle(t, svc2, mirror, "post-recovery updates")
+			})
+		}
+	}
+}
+
+// TestRecoveringFailsFast asserts the ErrRecovering fast-fail contract
+// without racing actual replay: the flag alone must gate every entry
+// point.
+func TestRecoveringFailsFast(t *testing.T) {
+	svc := New(Options{})
+	mustLoad(t, svc, chainSource(3))
+	defer svc.Close()
+	svc.recovering.Store(true)
+	if _, err := svc.Query(&QueryRequest{Pred: "t", Args: []string{"_", "_"}}); err != ErrRecovering {
+		t.Fatalf("query: %v", err)
+	}
+	if _, err := svc.Insert("e(a,b)."); err != ErrRecovering {
+		t.Fatalf("insert: %v", err)
+	}
+	if _, err := svc.Delete("e(a,b)."); err != ErrRecovering {
+		t.Fatalf("delete: %v", err)
+	}
+	if _, _, err := svc.LoadCSV("e", strings.NewReader("a,b\n")); err != ErrRecovering {
+		t.Fatalf("loadcsv: %v", err)
+	}
+	if _, err := svc.Load(chainSource(3)); err != ErrRecovering {
+		t.Fatalf("load: %v", err)
+	}
+	if h := svc.Health(); h != HealthRecovering {
+		t.Fatalf("health = %q", h)
+	}
+	svc.recovering.Store(false)
+	if h := svc.Health(); h != HealthOK {
+		t.Fatalf("health = %q", h)
+	}
+}

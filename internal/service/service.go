@@ -42,6 +42,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -52,6 +53,7 @@ import (
 	"repro/internal/plan"
 	"repro/internal/relio"
 	"repro/internal/storage"
+	"repro/internal/wal"
 )
 
 // ErrNotLoaded is returned by queries and updates before a program is
@@ -76,6 +78,20 @@ type Options struct {
 	// MaxTimeout clamps per-request timeouts the same way (0 = no
 	// ceiling). Requests without a timeout get the ceiling.
 	MaxTimeout time.Duration
+	// DataDir enables durability (see durable.go): every update batch is
+	// write-ahead-logged there and the state is periodically
+	// checkpointed. Empty: fully in-memory (the pre-durability
+	// behaviour). Durable services are created with Open, not New.
+	DataDir string
+	// Fsync is the WAL sync policy: "always", "interval" (default), or
+	// "never" (see wal.ParsePolicy).
+	Fsync string
+	// FsyncInterval is the batching window of the "interval" policy
+	// (0: wal's default, 100ms).
+	FsyncInterval time.Duration
+	// CheckpointEvery is the number of WAL records between automatic
+	// checkpoints (0: 4096).
+	CheckpointEvery int
 }
 
 // Service is a materialized reasoning service. Create with New, load a
@@ -114,6 +130,16 @@ type Service struct {
 	aborted    atomic.Uint64
 	overBudget atomic.Uint64
 	timedOut   atomic.Uint64
+
+	// Durability state (nil / zero without a DataDir; see durable.go).
+	// sinceCkpt counts WAL records since the last checkpoint and is
+	// guarded by mu; the flags are read lock-free by Health.
+	wal        *wal.Manager
+	sinceCkpt  int
+	recovering atomic.Bool
+	walFailed  atomic.Bool
+	engBroken  atomic.Bool
+	replayed   atomic.Uint64
 }
 
 // generation is the program-scoped state shared by every epoch published
@@ -170,6 +196,9 @@ func (e *epoch) release() {
 // immutable and GC-reachable — pins are a reclamation hint, never a
 // memory-safety requirement).
 func (s *Service) acquire() (*epoch, error) {
+	if s.recovering.Load() {
+		return nil, ErrRecovering
+	}
 	for {
 		e := s.cur.Load()
 		if e == nil {
@@ -199,11 +228,13 @@ func (s *Service) publish() uint64 {
 }
 
 // maybeCompact retries physical reclamation if a drained epoch requested
-// it. Caller holds mu.
+// it, and piggybacks the periodic durability checkpoint on the same
+// writer-lock quiet point. Caller holds mu.
 func (s *Service) maybeCompact() {
 	if s.eng != nil && s.compactPending.Swap(false) {
 		s.eng.Compact()
 	}
+	s.maybeCheckpoint()
 }
 
 // Load parses and materializes a program (rules and facts in the vadalog
@@ -240,6 +271,9 @@ func (s *Service) LoadProgram(prog *logic.Program, base *storage.DB) (uint64, er
 
 // LoadProgramCtx is LoadProgram with the LoadCtx budget semantics.
 func (s *Service) LoadProgramCtx(ctx context.Context, prog *logic.Program, base *storage.DB) (uint64, error) {
+	if s.recovering.Load() {
+		return 0, ErrRecovering
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := prog.Validate(); err != nil {
@@ -260,6 +294,14 @@ func (s *Service) LoadProgramCtx(ctx context.Context, prog *logic.Program, base 
 		cqPlans: make(map[string]*plan.CQPlan),
 	}
 	s.eng = eng
+	// A program replace rebases the whole durable state: it is
+	// acknowledged by an immediate checkpoint, not a WAL record.
+	if s.wal != nil {
+		if err := s.checkpoint(); err != nil {
+			s.walFailed.Store(true)
+			return 0, fmt.Errorf("service: load: checkpoint: %w", err)
+		}
+	}
 	return s.publish(), nil
 }
 
@@ -285,6 +327,9 @@ func (s *Service) LoadProgramCtx(ctx context.Context, prog *logic.Program, base 
 // committed. A Load replacing the program mid-stream aborts the rest of
 // the stream; epochs of the old generation stay consistent.
 func (s *Service) LoadCSV(pred string, r io.Reader) (int, uint64, error) {
+	if s.recovering.Load() {
+		return 0, 0, ErrRecovering
+	}
 	s.mu.Lock()
 	if s.eng == nil {
 		s.mu.Unlock()
@@ -308,6 +353,11 @@ func (s *Service) LoadCSV(pred string, r io.Reader) (int, uint64, error) {
 		n, err := s.eng.InsertBulk([]*storage.TupleBuffer{b})
 		if err != nil {
 			return err
+		}
+		if s.wal != nil {
+			if err := s.logRecord(wal.KindCSV, s.renderCSVRecord(gen, pred, b)); err != nil {
+				return err
+			}
 		}
 		landed += n
 		lastSeq = s.publish()
@@ -405,6 +455,9 @@ func (s *Service) Insert(src string) (uint64, error) {
 // base under the writer lock before the next update (the asserted facts
 // themselves stay asserted and surface in the next published epoch).
 func (s *Service) InsertCtx(ctx context.Context, src string) (uint64, error) {
+	if s.recovering.Load() {
+		return 0, ErrRecovering
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.eng == nil {
@@ -421,6 +474,9 @@ func (s *Service) InsertCtx(ctx context.Context, src string) (uint64, error) {
 		s.recoverEngine()
 		return 0, fmt.Errorf("service: insert: %w", err)
 	}
+	if err := s.logRecord(wal.KindInsert, []byte(src)); err != nil {
+		return 0, err
+	}
 	return s.publish(), nil
 }
 
@@ -432,6 +488,9 @@ func (s *Service) Delete(src string) (uint64, error) {
 
 // DeleteCtx is Delete with the InsertCtx budget and recovery semantics.
 func (s *Service) DeleteCtx(ctx context.Context, src string) (uint64, error) {
+	if s.recovering.Load() {
+		return 0, ErrRecovering
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.eng == nil {
@@ -448,6 +507,9 @@ func (s *Service) DeleteCtx(ctx context.Context, src string) (uint64, error) {
 		s.recoverEngine()
 		return 0, fmt.Errorf("service: delete: %w", err)
 	}
+	if err := s.logRecord(wal.KindDelete, []byte(src)); err != nil {
+		return 0, err
+	}
 	return s.publish(), nil
 }
 
@@ -460,6 +522,7 @@ func (s *Service) recoverEngine() {
 	if s.eng != nil && s.eng.Broken() != nil {
 		s.eng.Rebuild() //nolint:errcheck // a failed rebuild leaves broken set
 	}
+	s.engBroken.Store(s.eng != nil && s.eng.Broken() != nil)
 }
 
 // Stats is a point-in-time service report.
@@ -474,6 +537,7 @@ type Stats struct {
 	TimedOut      uint64            `json:"queries_timeout"`
 	EpochsDrained uint64            `json:"epochs_drained"`
 	Engine        incremental.Stats `json:"engine"`
+	Durability    *DurabilityStats  `json:"durability,omitempty"`
 }
 
 // Stats reports the current epoch, the live fact count of its snapshot,
@@ -493,15 +557,28 @@ func (s *Service) Stats() Stats {
 		st.Facts = e.snap.DB().Len()
 		e.release()
 	}
-	s.mu.Lock()
-	if s.eng != nil {
-		st.Engine = s.eng.Stats()
+	if s.wal != nil {
+		st.Durability = &DurabilityStats{
+			Enabled:         true,
+			Recovering:      s.recovering.Load(),
+			ReplayedRecords: s.replayed.Load(),
+			Stats:           s.wal.Stats(),
+		}
 	}
-	s.mu.Unlock()
+	// Engine stats need the writer lock; during recovery mu is held for
+	// the whole replay, so report without them instead of blocking.
+	if !s.recovering.Load() {
+		s.mu.Lock()
+		if s.eng != nil {
+			st.Engine = s.eng.Stats()
+		}
+		s.mu.Unlock()
+	}
 	return st
 }
 
-// Close retires the current epoch. Queries in flight finish against
+// Close retires the current epoch and, for a durable service, fsyncs
+// and closes the write-ahead log. Queries in flight finish against
 // their pinned snapshots; new queries fail with ErrNotLoaded. Callers
 // (the HTTP server) drain handlers before Close returns the service to
 // an unloaded state.
@@ -512,4 +589,9 @@ func (s *Service) Close() {
 		old.release()
 	}
 	s.eng = nil
+	if s.wal != nil {
+		if err := s.wal.Close(); err != nil {
+			log.Printf("service: close wal: %v", err)
+		}
+	}
 }

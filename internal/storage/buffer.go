@@ -130,6 +130,22 @@ func (b *TupleBuffer) Len() int { return b.rows }
 // InsertBulk) use it to validate staged predicates before merging.
 func (b *TupleBuffer) Touched() []schema.PredID { return b.touched }
 
+// Each calls fn for every staged tuple (duplicates included), grouped
+// by predicate in first-append order, rows in append order within each
+// predicate. The args slice aliases the columnar backing: read-only,
+// valid until the next Append/Reset. The WAL layer uses this to render
+// a staged bulk-load batch back to record form before it merges.
+func (b *TupleBuffer) Each(fn func(pred schema.PredID, args []term.Term) bool) {
+	for _, p := range b.touched {
+		pb := b.bufs[p]
+		for k, n := 0, pb.rows(); k < n; k++ {
+			if !fn(p, pb.args(k)) {
+				return
+			}
+		}
+	}
+}
+
 // Reset empties the buffer, keeping every backing array for reuse (the
 // distinct-estimate set is zeroed in place — a flat memclr).
 func (b *TupleBuffer) Reset() {

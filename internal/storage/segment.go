@@ -1,0 +1,346 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/schema"
+	"repro/internal/term"
+)
+
+// Checkpoint segments: a positional binary dump of one instance's
+// columnar relations, designed so that RESTORE is array reconstruction,
+// not re-insertion — the recovery-time budget of ROADMAP item 3
+// ("restart O(load), not O(re-chase)") is spent here.
+//
+//	u32 nRels | u32 orderLen | per relation slot: u8 present | body
+//
+// A present relation's body:
+//
+//	u32 pred | u32 arity | u32 nRows
+//	cols:   nRows*arity × (u8 kind | u32 id)
+//	hashes: nRows × u64
+//	global: nRows × u32
+//	u32 nDead | u32 nWords | nWords × u64        (liveness bitmap)
+//	per dedup sub-shard:
+//	    u32 tabLen | u32 tabUsed | tabLen × u32  (slot array, verbatim)
+//	per position × per sub-shard:
+//	    u32 nKeys | u32 slabLen | slabLen × u32 (overflow row slab)
+//	    nKeys × (u8 kind | u32 id | u32 n [| u32 row when n == 1])
+//
+// Everything probe-relevant is serialized, nothing is rebuilt:
+//
+//   - The dedup sub-tables dump their slot arrays verbatim. Slots hold
+//     local row indices and negative sentinels, both of which mean the
+//     same thing after a dump/load cycle, so restore is one array copy
+//     per sub-shard — recovery profiling showed the alternative (one
+//     tabInsert rehash per live row) dominating checkpoint load.
+//   - The posting indexes ARE serialized — rebuilding them through
+//     idxAdd would cost a map insert per (row, position), the dominant
+//     term for large closures. Instead each (position, sub-shard) dumps
+//     its keys with their row counts plus one concatenated row slab;
+//     load performs one map insert per DISTINCT key and carves the
+//     overflow lists as cap-limited views of the slab — one allocation
+//     per sub-shard, not per key.
+//   - The global insertion log is serialized implicitly: each
+//     relation's global column re-points its rows, and unclaimed log
+//     entries are exactly the holes a localized Compact left behind.
+//
+// Encoded segments embed term and predicate IDs; they are only
+// meaningful next to the term.Store / schema.Registry encodings taken
+// at the same quiesced point (the service checkpoints all of them under
+// its writer lock).
+
+// AppendSegment serializes the instance onto buf.
+func (db *DB) AppendSegment(buf []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(db.rels)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(db.order)))
+	for _, r := range db.rels {
+		if r == nil {
+			buf = append(buf, 0)
+			continue
+		}
+		buf = append(buf, 1)
+		buf = r.appendSegment(buf)
+	}
+	return buf
+}
+
+func (r *relation) appendSegment(buf []byte) []byte {
+	n := r.rows()
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(r.pred))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(r.arity))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
+	for _, t := range r.cols[:n*r.arity] {
+		buf = append(buf, byte(t.Kind))
+		buf = binary.LittleEndian.AppendUint32(buf, t.ID)
+	}
+	for _, h := range r.hashes[:n] {
+		buf = binary.LittleEndian.AppendUint64(buf, h)
+	}
+	for _, g := range r.global[:n] {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(g))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(r.nDead))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.dead)))
+	for _, w := range r.dead {
+		buf = binary.LittleEndian.AppendUint64(buf, w)
+	}
+	for s := 0; s < relShards; s++ {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.tabs[s])))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(r.tabUsed[s]))
+		for _, v := range r.tabs[s] {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
+		}
+	}
+	var keyScratch []byte
+	for i := range r.idx {
+		for s := 0; s < relShards; s++ {
+			m := r.idx[i].m[s]
+			over := r.idx[i].over[s]
+			slabLen := 0
+			for _, rows := range over {
+				slabLen += len(rows)
+			}
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m)))
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(slabLen))
+			// ONE map pass (iteration order is randomized per range):
+			// multi-row keys stream their lists into the slab on buf while
+			// the key records accumulate in a scratch that is appended
+			// after — the decoder's slab cursor consumes rows in exactly
+			// the key-record order.
+			keys := keyScratch[:0]
+			for t, v := range m {
+				keys = append(keys, byte(t.Kind))
+				keys = binary.LittleEndian.AppendUint32(keys, t.ID)
+				if v >= 0 {
+					keys = binary.LittleEndian.AppendUint32(keys, 1)
+					keys = binary.LittleEndian.AppendUint32(keys, uint32(v))
+					continue
+				}
+				rows := over[-v-1]
+				keys = binary.LittleEndian.AppendUint32(keys, uint32(len(rows)))
+				for _, ri := range rows {
+					buf = binary.LittleEndian.AppendUint32(buf, uint32(ri))
+				}
+			}
+			buf = append(buf, keys...)
+			keyScratch = keys
+		}
+	}
+	return buf
+}
+
+// ReadSegment rebuilds an instance from AppendSegment output.
+func ReadSegment(data []byte) (*DB, error) {
+	rd := &segReader{data: data}
+	nRels := int(rd.u32())
+	orderLen := int(rd.u32())
+	if rd.err != nil || nRels > 1<<24 || orderLen > 1<<31-1 {
+		return nil, errors.New("storage: segment: bad header")
+	}
+	db := &DB{rels: make([]*relation, nRels), order: make([]rowRef, orderLen)}
+	for i := range db.order {
+		db.order[i].row = holeRow
+	}
+	totalRows := 0
+	for p := 0; p < nRels; p++ {
+		if rd.u8() == 0 {
+			continue
+		}
+		r, err := readRelation(rd, orderLen)
+		if err != nil {
+			return nil, err
+		}
+		if int(r.pred) != p {
+			return nil, fmt.Errorf("storage: segment: relation %d claims pred %d", p, r.pred)
+		}
+		db.rels[p] = r
+		db.dead += r.nDead
+		totalRows += r.rows()
+		for ri, g := range r.global {
+			db.order[g] = rowRef{pred: r.pred, row: int32(ri)}
+		}
+	}
+	if rd.err != nil {
+		return nil, fmt.Errorf("storage: segment: %w", rd.err)
+	}
+	if rd.off != len(rd.data) {
+		return nil, errors.New("storage: segment: trailing bytes")
+	}
+	db.holes = orderLen - totalRows
+	if db.holes < 0 {
+		return nil, errors.New("storage: segment: more rows than log entries")
+	}
+	return db, nil
+}
+
+func readRelation(rd *segReader, orderLen int) (*relation, error) {
+	malformed := errors.New("storage: segment: malformed relation")
+	pred := schema.PredID(rd.u32())
+	arity := int(rd.u32())
+	n := int(rd.u32())
+	if rd.err != nil || arity <= 0 || arity > 1<<16 || n < 0 || n > orderLen {
+		return nil, malformed
+	}
+	r := newRelation(pred, arity)
+	r.cols = make([]term.Term, n*arity)
+	for i := range r.cols {
+		r.cols[i] = rd.term()
+	}
+	r.hashes = make([]uint64, n)
+	for i := range r.hashes {
+		r.hashes[i] = rd.u64()
+	}
+	r.global = make([]int32, n)
+	for i := range r.global {
+		g := rd.u32()
+		if int(g) >= orderLen {
+			return nil, malformed
+		}
+		r.global[i] = int32(g)
+	}
+	r.nDead = int(rd.u32())
+	nWords := int(rd.u32())
+	if rd.err != nil || r.nDead > n || nWords > n/64+1 {
+		return nil, malformed
+	}
+	if nWords > 0 {
+		r.dead = make([]uint64, nWords)
+		for i := range r.dead {
+			r.dead[i] = rd.u64()
+		}
+	}
+
+	// Dedup: verbatim slot-array copies. Slots are local row indices
+	// (stable across a dump/load cycle) or negative sentinels; only the
+	// row range needs validating, probe math needs a power-of-two length.
+	for s := 0; s < relShards; s++ {
+		tabLen := int(rd.u32())
+		used := int(rd.u32())
+		if rd.err != nil || tabLen < 0 || tabLen&(tabLen-1) != 0 ||
+			tabLen > 4*n+16 || used < 0 || used > tabLen {
+			return nil, malformed
+		}
+		if tabLen == 0 {
+			continue
+		}
+		tab := make([]int32, tabLen)
+		for k := range tab {
+			v := int32(rd.u32())
+			if v >= int32(n) {
+				return nil, malformed
+			}
+			tab[k] = v
+		}
+		r.tabs[s] = tab
+		r.tabUsed[s] = int32(used)
+	}
+
+	// Postings: per sub-shard, one slab allocation plus one map insert
+	// per distinct key.
+	for i := 0; i < arity; i++ {
+		for s := 0; s < relShards; s++ {
+			nKeys := int(rd.u32())
+			slabLen := int(rd.u32())
+			if rd.err != nil || nKeys < 0 || slabLen < 0 || nKeys > n*2 || slabLen > n+1 {
+				return nil, malformed
+			}
+			var slab []int32
+			if slabLen > 0 {
+				slab = make([]int32, slabLen)
+				for k := range slab {
+					slab[k] = int32(rd.u32())
+				}
+			}
+			if nKeys == 0 {
+				continue
+			}
+			m := make(map[term.Term]int32, nKeys)
+			var over [][]int32
+			cursor := 0
+			for k := 0; k < nKeys; k++ {
+				t := rd.term()
+				cnt := int(rd.u32())
+				if rd.err != nil || cnt <= 0 || cnt > n {
+					return nil, malformed
+				}
+				if cnt == 1 {
+					m[t] = int32(rd.u32())
+					continue
+				}
+				if cursor+cnt > len(slab) {
+					return nil, malformed
+				}
+				over = append(over, slab[cursor:cursor+cnt:cursor+cnt])
+				m[t] = -int32(len(over))
+				cursor += cnt
+			}
+			if cursor != len(slab) {
+				return nil, malformed
+			}
+			r.idx[i].m[s] = m
+			r.idx[i].over[s] = over
+		}
+	}
+	return r, rd.err
+}
+
+// segReader is a cursor over segment bytes; the first short read sticks
+// in err and zero-fills everything after, so decoders can batch their
+// error checks.
+type segReader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (rd *segReader) fail() {
+	if rd.err == nil {
+		rd.err = errors.New("unexpected end of segment")
+	}
+}
+
+func (rd *segReader) u8() byte {
+	if rd.off+1 > len(rd.data) {
+		rd.fail()
+		return 0
+	}
+	v := rd.data[rd.off]
+	rd.off++
+	return v
+}
+
+func (rd *segReader) u32() uint32 {
+	if rd.off+4 > len(rd.data) {
+		rd.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(rd.data[rd.off:])
+	rd.off += 4
+	return v
+}
+
+func (rd *segReader) u64() uint64 {
+	if rd.off+8 > len(rd.data) {
+		rd.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(rd.data[rd.off:])
+	rd.off += 8
+	return v
+}
+
+func (rd *segReader) term() term.Term {
+	if rd.off+5 > len(rd.data) {
+		rd.fail()
+		return term.Term{}
+	}
+	t := term.Term{
+		Kind: term.Kind(rd.data[rd.off]),
+		ID:   binary.LittleEndian.Uint32(rd.data[rd.off+1:]),
+	}
+	rd.off += 5
+	return t
+}

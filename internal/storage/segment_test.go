@@ -1,0 +1,188 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/atom"
+	"repro/internal/schema"
+	"repro/internal/term"
+)
+
+// sortedFacts renders every live fact deterministically for set
+// comparison across encode/decode.
+func sortedFacts(db *DB) []string {
+	var out []string
+	for _, a := range db.All() {
+		s := fmt.Sprintf("%d(", a.Pred)
+		for _, t := range a.Args {
+			s += fmt.Sprintf("%d:%d,", t.Kind, t.ID)
+		}
+		out = append(out, s+")")
+	}
+	sort.Strings(out)
+	return out
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSegmentRoundTrip exercises the codec over a randomized instance
+// with duplicates, tombstones, localized compaction (holes in the
+// insertion log), and multi-predicate interleaving, then checks the
+// decoded instance is observationally identical AND structurally sound:
+// dedup finds live rows, postings resolve, delta windows line up, and
+// the decoded instance accepts further inserts and deletes.
+func TestSegmentRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const (
+		e  = schema.PredID(1) // slot 0 stays nil
+		tt = schema.PredID(2)
+		u  = schema.PredID(3)
+	)
+	db := NewDB()
+	mk := func(id int) term.Term { return term.MkConst(uint32(id)) }
+	for i := 0; i < 500; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			db.InsertArgs(e, []term.Term{mk(rng.Intn(40)), mk(rng.Intn(40))})
+		case 1:
+			db.InsertArgs(tt, []term.Term{mk(rng.Intn(10)), mk(rng.Intn(10)), term.MkNull(uint32(rng.Intn(5)))})
+		default:
+			db.InsertArgs(u, []term.Term{mk(rng.Intn(200))})
+		}
+	}
+	// Tombstone a third of e's rows, compact hard so the log grows holes.
+	for i, a := range db.Facts(e) {
+		if i%3 == 0 {
+			row, ok := db.FindRow(e, a.Args)
+			if !ok {
+				t.Fatal("FindRow lost a fact")
+			}
+			db.Tombstone(e, row)
+		}
+	}
+	db.Compact(0.01)
+	// Leave some tombstones UNcompacted too.
+	for i, a := range db.Facts(u) {
+		if i%5 == 0 {
+			if row, ok := db.FindRow(u, a.Args); ok {
+				db.Tombstone(u, row)
+			}
+		}
+	}
+
+	want := sortedFacts(db)
+	enc := db.AppendSegment(nil)
+	got, err := ReadSegment(enc)
+	if err != nil {
+		t.Fatalf("ReadSegment: %v", err)
+	}
+	if !equalStrings(sortedFacts(got), want) {
+		t.Fatalf("decoded instance differs: got %d facts, want %d", len(sortedFacts(got)), len(want))
+	}
+	if got.Len() != db.Len() {
+		t.Fatalf("Len: got %d want %d", got.Len(), db.Len())
+	}
+	// Structural: dedup rejects re-inserts of live rows.
+	live := got.Facts(e)
+	if len(live) == 0 {
+		t.Fatal("no live e facts decoded")
+	}
+	if got.InsertArgs(e, live[0].Args) {
+		t.Fatal("decoded dedup table accepted a duplicate")
+	}
+	// Postings: live facts must be findable through each position's
+	// index (MatchEach with one bound arg exercises posting resolution).
+	probe := live
+	if len(probe) > 25 {
+		probe = probe[:25]
+	}
+	for _, a := range probe {
+		found := false
+		pat := atom.Atom{Pred: e, Args: []term.Term{a.Args[0], term.MkVar(9999)}}
+		got.MatchEach(pat, atom.NewSubst(), func(s atom.Subst) bool {
+			if s.Apply(pat.Args[1]) == a.Args[1] {
+				found = true
+				return false
+			}
+			return true
+		})
+		if !found {
+			t.Fatalf("posting lost fact %v", a)
+		}
+	}
+	// The decoded instance keeps working: inserts dedup and extend the
+	// log; marks open contiguous windows; tombstones apply.
+	mark := got.Mark()
+	if !got.InsertArgs(e, []term.Term{mk(997), mk(998)}) {
+		t.Fatal("decoded instance refused a fresh insert")
+	}
+	if got.CountSince(e, mark) != 1 {
+		t.Fatalf("CountSince = %d, want 1", got.CountSince(e, mark))
+	}
+	if row, ok := got.FindRow(e, []term.Term{mk(997), mk(998)}); !ok || !got.Tombstone(e, row) {
+		t.Fatal("decoded instance cannot tombstone a fresh row")
+	}
+}
+
+// TestSegmentEmptyAndNilRelations covers the degenerate shapes: an
+// empty instance, and sparse rels slices with nil slots.
+func TestSegmentEmptyAndNilRelations(t *testing.T) {
+	db := NewDB()
+	got, err := ReadSegment(db.AppendSegment(nil))
+	if err != nil {
+		t.Fatalf("empty round-trip: %v", err)
+	}
+	if got.Len() != 0 {
+		t.Fatalf("empty Len = %d", got.Len())
+	}
+
+	db2 := NewDB()
+	db2.InsertArgs(schema.PredID(5), []term.Term{term.MkConst(1), term.MkConst(2)})
+	got2, err := ReadSegment(db2.AppendSegment(nil))
+	if err != nil {
+		t.Fatalf("sparse round-trip: %v", err)
+	}
+	if !equalStrings(sortedFacts(got2), sortedFacts(db2)) {
+		t.Fatal("sparse instance differs")
+	}
+}
+
+// TestSegmentRejectsCorruption flips bits across a small encoded
+// segment and asserts the decoder returns an error or a well-formed DB
+// — never panics. (CRC protection lives a layer up, in the wal
+// checkpoint framing; this is defense in depth for the decoder itself.)
+func TestSegmentRejectsCorruption(t *testing.T) {
+	const e = schema.PredID(0)
+	db := NewDB()
+	for i := 0; i < 10; i++ {
+		db.InsertArgs(e, []term.Term{term.MkConst(uint32(i)), term.MkConst(uint32(i + 1))})
+	}
+	enc := db.AppendSegment(nil)
+	for off := range enc {
+		for _, bit := range []byte{0x01, 0x80} {
+			cp := append([]byte(nil), enc...)
+			cp[off] ^= bit
+			func() {
+				defer func() {
+					if p := recover(); p != nil {
+						t.Fatalf("decoder panicked on corruption at offset %d bit %#x: %v", off, bit, p)
+					}
+				}()
+				ReadSegment(cp) //nolint:errcheck // error or junk DB both fine; panic is not
+			}()
+		}
+	}
+}

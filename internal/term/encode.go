@@ -1,0 +1,88 @@
+package term
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Checkpoint encoding of a Store. The format is a positional dump of
+// both name arenas:
+//
+//	u32 nConsts | nConsts × (u32 len | bytes)
+//	u32 nVars   | nVars   × (u32 len | bytes)
+//	u32 nextNull
+//
+// Decoding re-interns the names in ID order into a fresh Store, which
+// reproduces the exact ID assignment (IDs are dense and sequential in
+// first-intern order), so term IDs embedded in a checkpointed instance
+// segment stay valid against the decoded store.
+//
+// Encoding is safe concurrently with interning: the arena walk covers
+// the prefix published at call time, and nothing durable references
+// names interned past it (facts only hold terms interned before the
+// writer lock was taken).
+
+// AppendEncoded serializes the store onto buf.
+func (s *Store) AppendEncoded(buf []byte) []byte {
+	buf = appendNames(buf, s.consts.arena.Len(), s.consts.arena.Get)
+	buf = appendNames(buf, s.vars.arena.Len(), s.vars.arena.Get)
+	return binary.LittleEndian.AppendUint32(buf, s.nextNull.Load())
+}
+
+func appendNames(buf []byte, n int, get func(uint32) (string, bool)) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
+	for i := 0; i < n; i++ {
+		name, _ := get(uint32(i))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(name)))
+		buf = append(buf, name...)
+	}
+	return buf
+}
+
+// DecodeStore rebuilds a Store from AppendEncoded output.
+func DecodeStore(data []byte) (*Store, error) {
+	s := NewStore()
+	data, err := decodeNames(data, func(name string) uint32 {
+		id, _ := s.consts.intern(name)
+		return id
+	})
+	if err != nil {
+		return nil, fmt.Errorf("term: decode store consts: %w", err)
+	}
+	data, err = decodeNames(data, func(name string) uint32 {
+		id, _ := s.vars.intern(name)
+		return id
+	})
+	if err != nil {
+		return nil, fmt.Errorf("term: decode store vars: %w", err)
+	}
+	if len(data) != 4 {
+		return nil, errors.New("term: decode store: bad trailer")
+	}
+	s.nextNull.Store(binary.LittleEndian.Uint32(data))
+	return s, nil
+}
+
+func decodeNames(data []byte, intern func(string) uint32) ([]byte, error) {
+	if len(data) < 4 {
+		return nil, errors.New("short header")
+	}
+	n := int(binary.LittleEndian.Uint32(data))
+	data = data[4:]
+	for i := 0; i < n; i++ {
+		if len(data) < 4 {
+			return nil, errors.New("short name length")
+		}
+		l := int(binary.LittleEndian.Uint32(data))
+		data = data[4:]
+		if l < 0 || l > len(data) {
+			return nil, errors.New("short name")
+		}
+		if id := intern(string(data[:l])); id != uint32(i) {
+			return nil, fmt.Errorf("non-sequential ID %d for entry %d (duplicate name?)", id, i)
+		}
+		data = data[l:]
+	}
+	return data, nil
+}

@@ -1,0 +1,61 @@
+package wal
+
+// Deterministic crash-point fault injection, in the style of
+// plan.Budget.SetProbeTrap: tests arm exactly one crash point, drive
+// the normal update path until it fires, then reopen the directory and
+// assert the recovered state. Each point models one step of the
+// durability protocol dying mid-flight:
+//
+//	CrashAfterAppend   — the record is durable (forced sync) but the
+//	                     caller never saw success. Recovery replays it
+//	                     in full: an unacknowledged write may apply
+//	                     completely, never partially.
+//	CrashBeforeSync    — the record reached the OS but was never
+//	                     fsynced. A machine crash may lose it; the
+//	                     torn-write tests model that by truncating or
+//	                     corrupting the tail, and recovery must serve
+//	                     exactly the acknowledged prefix.
+//	CrashMidCheckpoint — the checkpoint temp file is half-written and
+//	                     never renamed. Recovery falls back to the
+//	                     previous checkpoint plus the intact log.
+//	CrashBeforeTruncate— the checkpoint is durable but the covered log
+//	                     prefix was not yet truncated. Recovery must
+//	                     seq-filter the stale records instead of
+//	                     replaying them twice.
+//
+// Once a point fires the manager is dead: every operation returns
+// ErrCrash and Close is a no-op, exactly like a process that exited.
+// The files on disk keep whatever the crash point left behind.
+
+// CrashPoint selects a deterministic injection point.
+type CrashPoint int
+
+const (
+	// CrashNone disarms injection.
+	CrashNone CrashPoint = iota
+	// CrashAfterAppend dies after the record is written AND synced.
+	CrashAfterAppend
+	// CrashBeforeSync dies after the record is written, before any sync.
+	CrashBeforeSync
+	// CrashMidCheckpoint dies with a partial checkpoint temp file.
+	CrashMidCheckpoint
+	// CrashBeforeTruncate dies after the checkpoint rename, before log
+	// rotation and retention.
+	CrashBeforeTruncate
+)
+
+// SetCrash arms a one-shot crash point (CrashNone disarms). The next
+// operation that reaches the point returns ErrCrash and kills the
+// manager.
+func (m *Manager) SetCrash(p CrashPoint) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.crash = p
+}
+
+// Dead reports whether an injected crash has fired.
+func (m *Manager) Dead() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.dead
+}

@@ -1,0 +1,77 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// KindCSV payload encoding: one bulk-load batch rendered back to
+// strings so replay re-interns against the recovered naming context.
+//
+//	u32 predLen | pred | u32 arity | u32 nCells | per cell: u32 len | bytes
+//
+// nCells is a multiple of arity; cell i*arity+j is row i's column j.
+
+// AppendCSVPayload encodes a bulk-load batch into buf.
+func AppendCSVPayload(buf []byte, pred string, arity int, cells []string) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(pred)))
+	buf = append(buf, pred...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(arity))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(cells)))
+	for _, c := range cells {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(c)))
+		buf = append(buf, c...)
+	}
+	return buf
+}
+
+// DecodeCSVPayload decodes an AppendCSVPayload record.
+func DecodeCSVPayload(data []byte) (pred string, arity int, cells []string, err error) {
+	bad := errors.New("wal: malformed csv payload")
+	u32 := func() (int, bool) {
+		if len(data) < 4 {
+			return 0, false
+		}
+		v := int(binary.LittleEndian.Uint32(data))
+		data = data[4:]
+		return v, true
+	}
+	str := func(n int) (string, bool) {
+		if n < 0 || n > len(data) {
+			return "", false
+		}
+		s := string(data[:n])
+		data = data[n:]
+		return s, true
+	}
+	n, ok := u32()
+	if !ok {
+		return "", 0, nil, bad
+	}
+	if pred, ok = str(n); !ok {
+		return "", 0, nil, bad
+	}
+	if arity, ok = u32(); !ok || arity <= 0 {
+		return "", 0, nil, bad
+	}
+	nc, ok := u32()
+	if !ok || nc%arity != 0 {
+		return "", 0, nil, bad
+	}
+	cells = make([]string, 0, nc)
+	for i := 0; i < nc; i++ {
+		n, ok := u32()
+		if !ok {
+			return "", 0, nil, bad
+		}
+		c, ok := str(n)
+		if !ok {
+			return "", 0, nil, bad
+		}
+		cells = append(cells, c)
+	}
+	if len(data) != 0 {
+		return "", 0, nil, bad
+	}
+	return pred, arity, cells, nil
+}
