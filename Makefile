@@ -7,7 +7,7 @@
 
 # Benchmarks tracked across PRs (the CHANGES.md before/after set).
 BENCH_PATTERN  ?= BenchmarkE8|BenchmarkE9|BenchmarkE10|BenchmarkP1|BenchmarkIncrementalDelete
-BENCH_OUT      ?= BENCH_pr9.json
+BENCH_OUT      ?= BENCH_pr10.json
 BENCH_TIME     ?= 10x
 # Sequential baseline for workers=N scaling entries (cmd/benchjson).
 BENCH_BASELINE ?= BenchmarkP1_PlanFixpointSeq

@@ -22,6 +22,10 @@
 //	-fsync-interval 100ms  sync batching window of the interval policy
 //	-checkpoint-every 4096 WAL records between automatic checkpoints
 //	-drain-timeout 10s     graceful-shutdown drain window
+//	-slow-query 0          log a structured trace for queries at/over this
+//	                       wall time, e.g. 250ms (0: off)
+//	-pprof-addr ""         serve net/http/pprof on a SEPARATE listener,
+//	                       e.g. localhost:6060 ("": off)
 //
 // Files given on the command line are loaded (rules + facts, one shared
 // naming context) before the server starts accepting requests; without
@@ -75,9 +79,19 @@
 //	               that disconnects mid-stream cancels the enumeration
 //	               server-side. The body shape is unchanged — one JSON
 //	               object — only its delivery is incremental.
+//	               With ?explain=1 (or "explain": true in the body) the
+//	               response carries an "explain" object: the structured
+//	               execution trace (join orders with adaptive decisions,
+//	               per-stratum rounds/probes/derived, plan- and view-cache
+//	               hits, per-stage wall time).
 //	POST /insert   {"facts": "e(b,c). e(c,d)."} -> {"epoch": N}
 //	POST /delete   {"facts": "e(a,b)."}         -> {"epoch": N}
 //	GET  /stats    -> service + maintenance counters
+//	GET  /metrics  -> Prometheus text exposition (internal/obs registry):
+//	               per-endpoint request latency, in-flight/queue gauges,
+//	               per-class query latency/rows, fixpoint effort, WAL
+//	               append/fsync latency, checkpoint size/duration,
+//	               storage merge/compaction timings
 //	GET  /healthz  -> {"status": "ok"} (200), or 503 with status
 //	               "recovering" (WAL replay in progress), "broken"
 //	               (unrecoverable engine or durability failure), or
@@ -87,6 +101,18 @@
 // new requests (fast-fail 503 "draining"), lets in-flight requests
 // finish against their pinned snapshots for up to -drain-timeout, then
 // fsyncs and closes the WAL.
+//
+// Observability (PR 10): metric collection (internal/obs) is switched on
+// at daemon startup and scraped at GET /metrics; every request carries an
+// X-Request-ID (echoed in error bodies and the slow-query log); log
+// output is structured (log/slog, one line per event with key=value
+// attributes). Profiling: -pprof-addr serves net/http/pprof on a
+// separate listener — off by default so production exposure is an
+// explicit operator decision; point it at localhost and use e.g.
+//
+//	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=30
+//	go tool pprof http://localhost:6060/debug/pprof/heap
+//	curl -s http://localhost:6060/debug/pprof/goroutine?debug=2
 package main
 
 import (
@@ -96,9 +122,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registered on DefaultServeMux; served only via -pprof-addr
 	"os"
 	"os/signal"
 	"strings"
@@ -106,6 +133,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/service"
 )
@@ -132,17 +160,41 @@ func run(args []string, out io.Writer) error {
 	fsyncInterval := fs.Duration("fsync-interval", 0, "sync batching window of the interval policy (0: 100ms)")
 	ckptEvery := fs.Int("checkpoint-every", 0, "WAL records between automatic checkpoints (0: 4096)")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain window")
+	slowQuery := fs.Duration("slow-query", 0, "log a structured trace for queries at/over this wall time (0: off)")
+	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this separate listener, e.g. localhost:6060 (empty: off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// Metric collection is library-default-off (embedders and benchmarks
+	// keep the zero-overhead path); the daemon is the scrape target, so it
+	// turns collection on for its whole lifetime.
+	obs.SetEnabled(true)
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil)).With("component", "vadalogd")
 	svc, err := service.Open(service.Options{
 		Adaptive: *adaptive, CSVBatch: *csvBatch,
 		MaxDerived: *maxDerived, MaxProbes: *maxProbes, MaxTimeout: *timeout,
 		DataDir: *dataDir, Fsync: *fsync, FsyncInterval: *fsyncInterval,
 		CheckpointEvery: *ckptEvery,
+		SlowQuery:       *slowQuery, Logger: logger,
 	})
 	if err != nil {
 		return err
+	}
+	if *pprofAddr != "" {
+		// A separate listener keeps the profiler off the service port:
+		// exposure is the operator's call, never implied by -addr. The
+		// handlers live on http.DefaultServeMux (the pprof import's
+		// registration), which the service mux below never serves.
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		fmt.Fprintf(out, "vadalogd: pprof on %s\n", pln.Addr())
+		go func() {
+			if err := http.Serve(pln, nil); err != nil {
+				logger.Warn("pprof server stopped", "error", err)
+			}
+		}()
 	}
 	loadFiles := func() error {
 		files := fs.Args()
@@ -177,20 +229,20 @@ func run(args []string, out io.Writer) error {
 		// only into a fresh data directory.
 		go func() {
 			if err := svc.Recover(context.Background()); err != nil {
-				log.Printf("vadalogd: recovery failed, serving 503 broken: %v", err)
+				logger.Error("recovery failed, serving 503 broken", "error", err)
 				return
 			}
 			if st := svc.Stats(); st.Loaded {
 				fmt.Fprintf(out, "vadalogd: recovered epoch %d, %d facts, %d wal record(s) replayed\n",
 					st.Epoch, st.Facts, st.Durability.ReplayedRecords)
 				if len(fs.Args()) > 0 {
-					log.Printf("vadalogd: ignoring %d command-line file(s): durable state recovered from %s",
-						len(fs.Args()), *dataDir)
+					logger.Warn("ignoring command-line file(s): durable state recovered",
+						"files", len(fs.Args()), "data_dir", *dataDir)
 				}
 				return
 			}
 			if err := loadFiles(); err != nil {
-				log.Printf("vadalogd: load: %v", err)
+				logger.Error("load", "error", err)
 			}
 		}()
 	}
@@ -200,6 +252,7 @@ func run(args []string, out io.Writer) error {
 		adm:      newAdmission(*maxConc, *queue),
 		timeout:  *timeout,
 		draining: &draining,
+		logger:   logger,
 	})}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -224,7 +277,7 @@ func run(args []string, out io.Writer) error {
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
-			log.Printf("vadalogd: drain window expired: %v", err)
+			logger.Warn("drain window expired", "error", err)
 		}
 		svc.Close() // fsyncs and closes the WAL
 		fmt.Fprintln(out, "vadalogd: bye")
@@ -295,6 +348,16 @@ type handlerOpts struct {
 	// draining, when set and true, fast-fails every request except
 	// /healthz with 503 — the graceful-shutdown admission stop.
 	draining *atomic.Bool
+	// logger receives the handler's structured log lines; nil falls back
+	// to slog.Default().
+	logger *slog.Logger
+}
+
+func (o handlerOpts) log() *slog.Logger {
+	if o.logger != nil {
+		return o.logger
+	}
+	return slog.Default()
 }
 
 // errDraining is the shutdown fast-fail behind 503 "draining".
@@ -348,6 +411,10 @@ func buildHandler(svc *service.Service, opts handlerOpts) http.Handler {
 		if !decode(w, r, &req) {
 			return
 		}
+		if v := r.URL.Query().Get("explain"); v == "1" || v == "true" {
+			req.Explain = true
+		}
+		req.RequestID = w.Header().Get(requestIDHeader)
 		// Admission control before any evaluation work: a saturated
 		// daemon answers 429 in O(1) instead of queueing unboundedly.
 		if err := opts.adm.acquire(r.Context()); err != nil {
@@ -355,7 +422,7 @@ func buildHandler(svc *service.Service, opts handlerOpts) http.Handler {
 			return
 		}
 		defer opts.adm.release()
-		sink := &jsonSink{w: w}
+		sink := &jsonSink{w: w, explain: req.Explain}
 		sink.flusher, _ = w.(http.Flusher)
 		// The request context cancels when the client disconnects; the
 		// service checks it inside the enumeration loops, so an abandoned
@@ -367,7 +434,7 @@ func buildHandler(svc *service.Service, opts handlerOpts) http.Handler {
 			}
 			// Status and partial body are already on the wire; the
 			// truncated (invalid) JSON tells the client the stream died.
-			log.Printf("vadalogd: query stream aborted: %v", err)
+			opts.log().Warn("query stream aborted", "request_id", req.RequestID, "error", err)
 		}
 	})
 	update := func(apply func(context.Context, string) (uint64, error)) http.HandlerFunc {
@@ -406,7 +473,14 @@ func buildHandler(svc *service.Service, opts handlerOpts) http.Handler {
 		}
 		fmt.Fprintf(w, "{\"status\":%q}\n", status)
 	})
-	return logRecover(withDraining(opts.draining, withTimeout(opts.timeout, mux)))
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := obs.Default.WritePrometheus(w); err != nil {
+			opts.log().Warn("metrics exposition", "error", err)
+		}
+	})
+	registerQueueGauge(opts.adm)
+	return logRecover(opts.log(), withRequestID(withObs(withDraining(opts.draining, withTimeout(opts.timeout, mux)))))
 }
 
 // withDraining fast-fails every request except /healthz once the drain
@@ -480,6 +554,10 @@ type jsonSink struct {
 	flusher http.Flusher
 	begun   bool
 	rows    int
+	// explain leaves the object open at End: the trace arrives through
+	// Trace AFTER End (the service closes the enumeration, then attaches
+	// the trace), which appends "explain" and closes the object.
+	explain bool
 }
 
 func (s *jsonSink) Begin(epoch uint64, columns int) error {
@@ -520,8 +598,22 @@ func (s *jsonSink) End(truncated bool, boolAns *bool) error {
 	if boolAns != nil {
 		tail += fmt.Sprintf(`,"bool":%v`, *boolAns)
 	}
-	tail += "}\n"
+	if !s.explain {
+		tail += "}\n"
+	}
 	if _, err := io.WriteString(s.w, tail); err != nil {
+		return err
+	}
+	s.flush()
+	return nil
+}
+
+func (s *jsonSink) Trace(tr *service.QueryTrace) error {
+	b, err := json.Marshal(tr)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(s.w, `,"explain":%s}`+"\n", b); err != nil {
 		return err
 	}
 	s.flush()
@@ -536,11 +628,13 @@ func (s *jsonSink) flush() {
 
 // logRecover turns handler panics into 500s so one bad request cannot
 // take the daemon down.
-func logRecover(next http.Handler) http.Handler {
+func logRecover(logger *slog.Logger, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			if p := recover(); p != nil {
-				log.Printf("vadalogd: panic serving %s %s: %v", r.Method, r.URL.Path, p)
+				logger.Error("panic serving request",
+					"method", r.Method, "path", r.URL.Path,
+					"request_id", w.Header().Get(requestIDHeader), "panic", fmt.Sprint(p))
 				fail(w, http.StatusInternalServerError, fmt.Errorf("internal error: %v", p))
 			}
 		}()
@@ -561,14 +655,22 @@ func reply(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	if err := enc.Encode(v); err != nil {
-		log.Printf("vadalogd: encode response: %v", err)
+		slog.Warn("encode response", "error", err)
 	}
 }
 
+// fail / failErr echo the request ID (set on the response headers by
+// withRequestID before the handler ran) into the error body, so a
+// client-side error report carries the correlation key for the daemon's
+// logs without any extra plumbing.
 func fail(w http.ResponseWriter, code int, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	body := map[string]string{"error": err.Error()}
+	if id := w.Header().Get(requestIDHeader); id != "" {
+		body["request_id"] = id
+	}
+	json.NewEncoder(w).Encode(body)
 }
 
 // failErr writes a structured error: {"error": ..., "code": ...} under
@@ -579,5 +681,9 @@ func failErr(w http.ResponseWriter, err error) {
 	status, code := errStatus(err)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error(), "code": code})
+	body := map[string]string{"error": err.Error(), "code": code}
+	if id := w.Header().Get(requestIDHeader); id != "" {
+		body["request_id"] = id
+	}
+	json.NewEncoder(w).Encode(body)
 }

@@ -1,0 +1,171 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+// scrape fetches /metrics and returns the sample values keyed by the
+// full series line prefix (name plus label set).
+func scrape(t *testing.T, base string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]float64{}
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("malformed sample value: %q", line)
+		}
+		out[line[:sp]] = v
+	}
+	return out
+}
+
+// TestDaemonMetrics drives load → query → insert against a DURABLE
+// in-process daemon and asserts the core series actually moved: request
+// histogram counts per endpoint, query counters, the epoch gauge, and
+// the WAL append counters. This is the in-process twin of the CI smoke's
+// /metrics scrape.
+func TestDaemonMetrics(t *testing.T) {
+	prev := obs.SetEnabled(true)
+	defer obs.SetEnabled(prev)
+
+	svc, err := service.Open(service.Options{DataDir: t.TempDir(), Fsync: "never"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Recover(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newHandler(svc))
+	defer ts.Close()
+	defer svc.Close()
+
+	before := scrape(t, ts.URL)
+
+	postJSON(t, ts.URL+"/load", map[string]string{"program": tcSource}, nil)
+	var qresp struct {
+		Tuples [][]string `json:"tuples"`
+	}
+	postJSON(t, ts.URL+"/query", map[string]any{"pred": "t", "args": []string{"a", "_"}}, &qresp)
+	if len(qresp.Tuples) != 3 {
+		t.Fatalf("query returned %d tuples, want 3", len(qresp.Tuples))
+	}
+	postJSON(t, ts.URL+"/insert", map[string]string{"facts": "e(d,e)."}, nil)
+
+	after := scrape(t, ts.URL)
+	moved := func(series string, by float64) {
+		t.Helper()
+		if delta := after[series] - before[series]; delta < by {
+			t.Errorf("%s moved by %v, want >= %v", series, delta, by)
+		}
+	}
+	moved(`vadalog_http_request_seconds_count{path="/query"}`, 1)
+	moved(`vadalog_http_request_seconds_count{path="/load"}`, 1)
+	moved(`vadalog_http_request_seconds_count{path="/insert"}`, 1)
+	moved(`vadalog_queries_total`, 1)
+	moved(`vadalog_query_seconds_count{class="pattern"}`, 1)
+	moved(`vadalog_query_rows_count{class="pattern"}`, 1)
+	moved(`vadalog_wal_records_total`, 1) // the insert's WAL append
+	moved(`vadalog_fixpoints_total`, 1)   // the load's materialization
+	if after[`vadalog_epoch_seq`] < 2 {   // load + insert each published
+		t.Errorf("vadalog_epoch_seq = %v, want >= 2", after[`vadalog_epoch_seq`])
+	}
+	// The scrape observes itself mid-flight: exactly one request (the
+	// /metrics GET) is being served at exposition time.
+	if after[`vadalog_http_inflight`] != 1 {
+		t.Errorf("vadalog_http_inflight = %v at scrape time, want 1 (the scrape itself)", after[`vadalog_http_inflight`])
+	}
+}
+
+// TestDaemonExplainAndRequestID: ?explain=1 attaches the trace to the
+// streamed JSON response, and every response carries an X-Request-ID
+// echoed into error bodies.
+func TestDaemonExplainAndRequestID(t *testing.T) {
+	svc := service.New(service.Options{})
+	ts := httptest.NewServer(newHandler(svc))
+	defer ts.Close()
+	defer svc.Close()
+
+	postJSON(t, ts.URL+"/load", map[string]string{"program": tcSource}, nil)
+
+	var qresp struct {
+		Tuples  [][]string `json:"tuples"`
+		Explain *struct {
+			Class   string `json:"class"`
+			Rows    int    `json:"rows"`
+			Pattern *struct {
+				Pred string `json:"pred"`
+			} `json:"pattern"`
+		} `json:"explain"`
+	}
+	resp := postJSON(t, ts.URL+"/query?explain=1", map[string]any{"pred": "t", "args": []string{"a", "_"}}, &qresp)
+	if qresp.Explain == nil {
+		t.Fatal("?explain=1 response has no explain object")
+	}
+	if qresp.Explain.Class != "pattern" || qresp.Explain.Rows != 3 || qresp.Explain.Pattern == nil {
+		t.Fatalf("explain = %+v", qresp.Explain)
+	}
+	id := resp.Header.Get("X-Request-ID")
+	if id == "" {
+		t.Fatal("response missing X-Request-ID")
+	}
+	if !regexp.MustCompile(`^[0-9a-f]+-[0-9a-f]+$`).MatchString(id) {
+		t.Fatalf("request id %q not in prefix-counter form", id)
+	}
+
+	// Error responses echo the ID in the body.
+	var eresp struct {
+		Error     string `json:"error"`
+		RequestID string `json:"request_id"`
+	}
+	r2 := postJSON(t, ts.URL+"/query", map[string]any{"pred": "nosuch", "args": []string{"_"}}, &eresp)
+	if r2.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("bad query status = %d", r2.StatusCode)
+	}
+	if eresp.RequestID == "" || eresp.RequestID != r2.Header.Get("X-Request-ID") {
+		t.Fatalf("error body request_id %q does not echo header %q", eresp.RequestID, r2.Header.Get("X-Request-ID"))
+	}
+
+	// A client-supplied correlation ID is honored.
+	req, _ := http.NewRequest("POST", ts.URL+"/query", strings.NewReader(`{"pred":"t","args":["a","_"]}`))
+	req.Header.Set("X-Request-ID", "client-7")
+	r3, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3.Body.Close()
+	if got := r3.Header.Get("X-Request-ID"); got != "client-7" {
+		t.Fatalf("client-supplied id not echoed: %q", got)
+	}
+}

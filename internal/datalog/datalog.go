@@ -74,6 +74,13 @@ type Options struct {
 	// served. Nil means unlimited, with zero hot-loop cost beyond one
 	// nil-check per probe.
 	Budget *plan.Budget
+	// Tracer, when non-nil, records the evaluation's execution trace:
+	// join-order decisions per (rule, delta, round) including adaptive
+	// switches, per-stratum round/derived/probe counts, and run totals.
+	// The hooks fire at round granularity on the coordinating goroutine
+	// (never per probe), so a nil Tracer costs one nil-check per
+	// round×rule×delta and a live one stays off the hot loop.
+	Tracer *plan.Tracer
 }
 
 // Stats reports evaluation effort.
@@ -133,6 +140,19 @@ func (e *evaluator) collectProbes(execs []*plan.Exec) {
 	}
 }
 
+// probesNow sums the live per-rule probe counters — the running total
+// behind per-stratum trace deltas. Only called when a tracer is
+// attached, from the coordinating goroutine.
+func (e *evaluator) probesNow() int64 {
+	var n int64
+	for _, ex := range e.execs {
+		if ex != nil {
+			n += int64(ex.Probes)
+		}
+	}
+	return n
+}
+
 // Eval computes the least fixpoint of the program over the database,
 // returning an instance containing the input facts plus all derived facts
 // — a new private clone by default, db itself under Options.InPlace. The
@@ -178,6 +198,8 @@ func Eval(prog *logic.Program, db *storage.DB, opt Options) (*storage.DB, *Stats
 	}
 	e.collectProbes(e.execs)
 	stats := e.stats
+	opt.Tracer.Fixpoint(stats.Rounds, stats.Derived, int64(stats.Probes))
+	recordFixpoint(&stats)
 	if err := opt.Budget.Err(); err != nil {
 		// The fixpoint aborted mid-round: e.db is consistent (every fact
 		// in it is derivable) but incomplete, so no instance is returned.
@@ -221,7 +243,15 @@ func (e *evaluator) evalStratified() {
 		for _, ri := range rules {
 			growing[e.prog.TGDs[ri].Head[0].Pred] = true
 		}
+		var rounds0, derived0 int
+		var probes0 int64
+		if e.opt.Tracer != nil {
+			rounds0, derived0, probes0 = e.stats.Rounds, e.stats.Derived, e.probesNow()
+		}
 		e.fixpoint(rules, growing)
+		if e.opt.Tracer != nil {
+			e.opt.Tracer.Stratum(l, e.stats.Rounds-rounds0, e.stats.Derived-derived0, e.probesNow()-probes0)
+		}
 		e.stats.Strata++
 	}
 }
@@ -247,6 +277,9 @@ func (e *evaluator) fixpoint(rules []int, growing map[schema.PredID]bool) {
 				alt := 0
 				if e.opt.Adaptive {
 					alt = plan.ChooseAlt(e.db, e.plans.Rules[ri], di, mark)
+				}
+				if e.opt.Tracer != nil {
+					e.opt.Tracer.Join(ri, di, round, alt, e.opt.Adaptive, e.plans.Rules[ri].Variants[di].Alts[alt].Order)
 				}
 				e.joinRule(ri, di, alt, mark)
 				if e.opt.Budget.Aborted() {
@@ -310,6 +343,9 @@ func (e *evaluator) fixpointBarrier(rules []int, growing map[schema.PredID]bool)
 				alt := 0
 				if e.opt.Adaptive {
 					alt = plan.ChooseAlt(e.db, e.plans.Rules[ri], di, mark)
+				}
+				if e.opt.Tracer != nil {
+					e.opt.Tracer.Join(ri, di, round, alt, e.opt.Adaptive, e.plans.Rules[ri].Variants[di].Alts[alt].Order)
 				}
 				ex := e.exec(ri)
 				hasNeg := len(ex.Rule.Neg) > 0

@@ -105,7 +105,15 @@ func EvalParallel(prog *logic.Program, db *storage.DB, opt Options, workers int)
 			for _, ri := range rules {
 				growing[prog.TGDs[ri].Head[0].Pred] = true
 			}
+			var rounds0, derived0 int
+			var probes0 int64
+			if opt.Tracer != nil {
+				rounds0, derived0, probes0 = e.stats.Rounds, e.stats.Derived, e.probesNowPar()
+			}
 			e.fixpointParallel(rules, growing)
+			if opt.Tracer != nil {
+				opt.Tracer.Stratum(l, e.stats.Rounds-rounds0, e.stats.Derived-derived0, e.probesNowPar()-probes0)
+			}
 			e.stats.Strata++
 		}
 	} else {
@@ -115,6 +123,8 @@ func EvalParallel(prog *logic.Program, db *storage.DB, opt Options, workers int)
 		e.collectProbes(wes)
 	}
 	stats := e.stats
+	opt.Tracer.Fixpoint(stats.Rounds, stats.Derived, int64(stats.Probes))
+	recordFixpoint(&stats)
 	if err := opt.Budget.Err(); err != nil {
 		// Some worker tripped the budget: the private clone holds a
 		// consistent but incomplete fixpoint and is not returned.
@@ -160,6 +170,20 @@ type job struct {
 	rule, delta, alt int
 	shard, shards    int
 	buf              *storage.TupleBuffer
+}
+
+// probesNowPar sums every worker's live probe counters. Only called at
+// stratum boundaries (workers idle), when a tracer is attached.
+func (e *parEvaluator) probesNowPar() int64 {
+	var n int64
+	for _, wes := range e.wexecs {
+		for _, ex := range wes {
+			if ex != nil {
+				n += int64(ex.Probes)
+			}
+		}
+	}
+	return n
 }
 
 // wexec returns worker w's executor for rule ri, creating it on first use.
@@ -211,7 +235,7 @@ func (e *parEvaluator) fixpointParallel(rules []int, growing map[schema.PredID]b
 		if round == 1 {
 			pairs = first
 		}
-		added := e.runRound(pairs, mark)
+		added := e.runRound(pairs, mark, round)
 		e.stats.Derived += added
 		if added > e.stats.PeakDelta {
 			e.stats.PeakDelta = added
@@ -230,7 +254,7 @@ func (e *parEvaluator) fixpointParallel(rules []int, growing map[schema.PredID]b
 // delta window (choosing its join-order alternative while at it), then
 // either run the whole round inline on the coordinator or shard it across
 // the worker pool with buffered derivations and a bulk merge.
-func (e *parEvaluator) runRound(pairs []pair, mark storage.Mark) int {
+func (e *parEvaluator) runRound(pairs []pair, mark storage.Mark, round int) int {
 	total := 0
 	for len(e.alts) < len(pairs) {
 		e.alts = append(e.alts, 0)
@@ -243,6 +267,11 @@ func (e *parEvaluator) runRound(pairs []pair, mark storage.Mark) int {
 		total += rows[pi]
 		if e.opt.Adaptive {
 			alts[pi] = plan.ChooseAlt(e.db, e.plans.Rules[pr.rule], pr.delta, mark)
+		}
+		if e.opt.Tracer != nil {
+			// Alternatives are chosen on the coordinator, so the tracer
+			// needs no locking even in fanned rounds.
+			e.opt.Tracer.Join(pr.rule, pr.delta, round, alts[pi], e.opt.Adaptive, e.plans.Rules[pr.rule].Variants[pr.delta].Alts[alts[pi]].Order)
 		}
 	}
 	if e.workers == 1 || total < inlineRoundRows {

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Budgets: the single cancellation/backpressure mechanism of every
@@ -115,9 +117,26 @@ func (b *Budget) Aborted() bool {
 	return b != nil && b.err.Load() != nil
 }
 
+// Budget aborts by reason — counted once per budget, at the first
+// trip only (the CAS winner).
+var (
+	obsAbortOverBudget = obs.NewCounter("vadalog_budget_aborts_total", `reason="over_budget"`, "Evaluations aborted by budget trips, by reason.")
+	obsAbortTimeout    = obs.NewCounter("vadalog_budget_aborts_total", `reason="timeout"`, "Evaluations aborted by budget trips, by reason.")
+	obsAbortCanceled   = obs.NewCounter("vadalog_budget_aborts_total", `reason="canceled"`, "Evaluations aborted by budget trips, by reason.")
+)
+
 // abort records the first verdict and returns the winning one.
 func (b *Budget) abort(err error) error {
-	b.err.CompareAndSwap(nil, &err)
+	if b.err.CompareAndSwap(nil, &err) && obs.On() {
+		switch {
+		case errors.Is(err, ErrOverBudget):
+			obsAbortOverBudget.Inc()
+		case errors.Is(err, context.DeadlineExceeded):
+			obsAbortTimeout.Inc()
+		default:
+			obsAbortCanceled.Inc()
+		}
+	}
 	return *b.err.Load()
 }
 

@@ -39,6 +39,10 @@ type CQPlan struct {
 	// Scans is the compiled join: one access path per body atom, in greedy
 	// join order.
 	Scans []*storage.ScanPlan
+	// Order is the greedy join order behind Scans: Order[k] is the index
+	// of the body atom Scans[k] was compiled from. Exposed for explain
+	// traces; read-only.
+	Order []int
 
 	// unsat marks a query with an output variable occurring in no body
 	// atom: no homomorphism can instantiate it to a constant, so the query
@@ -95,6 +99,7 @@ func CompileCQ(q *logic.CQ) *CQPlan {
 	}
 	ord := greedyOrderBound(q.Atoms, slotOf, make([]bool, p.NumSlots))
 	p.Scans = compileJoin(q.Atoms, ord, -1, slotOf, live, nil).Scans
+	p.Order = ord
 	return p
 }
 
@@ -107,7 +112,7 @@ func CompileCQ(q *logic.CQ) *CQPlan {
 // query stops at its first body match either way. Run reports whether the
 // enumeration ran to completion.
 func (p *CQPlan) Run(db *storage.DB, yield func(tup []term.Term) bool) bool {
-	done, _ := p.run(context.Background(), nil, db, yield)
+	done, _, _ := p.run(context.Background(), nil, db, yield)
 	return done
 }
 
@@ -116,7 +121,8 @@ func (p *CQPlan) Run(db *storage.DB, yield func(tup []term.Term) bool) bool {
 // context's error. The completion flag reports false when yield stopped
 // the run early OR the context fired.
 func (p *CQPlan) RunCtx(ctx context.Context, db *storage.DB, yield func(tup []term.Term) bool) (bool, error) {
-	return p.run(ctx, nil, db, yield)
+	done, _, err := p.run(ctx, nil, db, yield)
+	return done, err
 }
 
 // RunBudget is Run charged against a budget: every cqCancelStride row
@@ -124,15 +130,25 @@ func (p *CQPlan) RunCtx(ctx context.Context, db *storage.DB, yield func(tup []te
 // deadline — a cross-product query burns gas even when the limit
 // pushdown never fires. A nil budget behaves exactly like Run.
 func (p *CQPlan) RunBudget(bud *Budget, db *storage.DB, yield func(tup []term.Term) bool) (bool, error) {
-	return p.run(bud.Context(), bud, db, yield)
+	done, _, err := p.run(bud.Context(), bud, db, yield)
+	return done, err
 }
 
-func (p *CQPlan) run(ctx context.Context, bud *Budget, db *storage.DB, yield func(tup []term.Term) bool) (bool, error) {
+// RunBudgetTraced is RunBudget recording the enumeration into tr: the
+// compiled join order and the row-match count across all join levels.
+// A nil tr behaves exactly like RunBudget.
+func (p *CQPlan) RunBudgetTraced(bud *Budget, tr *Tracer, db *storage.DB, yield func(tup []term.Term) bool) (bool, error) {
+	done, matches, err := p.run(bud.Context(), bud, db, yield)
+	tr.CQ(p.Order, matches)
+	return done, err
+}
+
+func (p *CQPlan) run(ctx context.Context, bud *Budget, db *storage.DB, yield func(tup []term.Term) bool) (bool, int, error) {
 	if p.unsat {
-		return true, nil
+		return true, 0, nil
 	}
 	if err := bud.Check(); err != nil {
-		return false, err
+		return false, 0, err
 	}
 	frame := storage.NewFrame(p.NumSlots)
 	out := make([]term.Term, p.Arity)
@@ -188,7 +204,7 @@ func (p *CQPlan) run(ctx context.Context, bud *Budget, db *storage.DB, yield fun
 		})
 	}
 	rec(0)
-	return completed, ctxErr
+	return completed, matches, ctxErr
 }
 
 // EvalCQ evaluates q over db through a freshly compiled CQPlan, returning

@@ -1,0 +1,109 @@
+package plan
+
+// Tracer collects one evaluation's structured execution trace: the
+// join orders actually chosen per rule and delta position (including
+// the adaptive alternative picked each round), per-stratum fixpoint
+// effort, and run totals. The service attaches one per explain/slow
+// query; the engines call the hooks unconditionally.
+//
+// All methods are nil-receiver no-ops, so instrumentation sites are a
+// single nil check — the contract that keeps the disabled path free.
+// A Tracer is NOT safe for concurrent use; the engines only invoke
+// the hooks from the coordinating goroutine (the parallel evaluator
+// chooses join alternatives and closes rounds on the coordinator), so
+// one tracer per evaluation needs no locking.
+type Tracer struct {
+	// Joins holds the join-order decisions in execution order,
+	// deduplicated per (rule, delta) on change: a rule re-running the
+	// same alternative every round records once; an adaptive switch
+	// records again.
+	Joins []JoinChoice
+	// Strata holds per-stratum fixpoint effort (stratified runs only).
+	Strata []StratumTrace
+	// Rounds, Derived, Probes are the run totals across all strata.
+	Rounds  int
+	Derived int
+	Probes  int64
+	// CQOrder and CQMatches describe a compiled conjunctive query
+	// enumeration (RunBudgetTraced): the atom join order and the
+	// number of row matches across all join levels.
+	CQOrder   []int
+	CQMatches int
+
+	last map[joinKey]int // last recorded alt per (rule, delta)
+}
+
+type joinKey struct{ rule, delta int }
+
+// JoinChoice is one recorded join-order decision.
+type JoinChoice struct {
+	// Rule is the rule's index in the compiled program (RulePlan
+	// order); callers resolve it to a label for rendering.
+	Rule int `json:"rule"`
+	// Delta is the delta atom position driving this variant.
+	Delta int `json:"delta"`
+	// Round is the 1-based fixpoint round (within the stratum) the
+	// decision was made in.
+	Round int `json:"round"`
+	// Alt is the index of the chosen join-order alternative; Adaptive
+	// reports whether it was picked by the per-round cost heuristic
+	// (false: the static default, alt 0).
+	Alt      int  `json:"alt"`
+	Adaptive bool `json:"adaptive,omitempty"`
+	// Order is the body-atom visit order of the chosen alternative
+	// (indices into the rule body). Shared with the compiled plan —
+	// read-only.
+	Order []int `json:"order"`
+}
+
+// StratumTrace is one stratum's fixpoint effort.
+type StratumTrace struct {
+	Level   int   `json:"level"`
+	Rounds  int   `json:"rounds"`
+	Derived int   `json:"derived"`
+	Probes  int64 `json:"probes"`
+}
+
+// Join records a join-order decision. Repeated decisions with the
+// same alternative for the same (rule, delta) are dropped.
+func (t *Tracer) Join(rule, delta, round, alt int, adaptive bool, order []int) {
+	if t == nil {
+		return
+	}
+	k := joinKey{rule, delta}
+	if prev, ok := t.last[k]; ok && prev == alt {
+		return
+	}
+	if t.last == nil {
+		t.last = make(map[joinKey]int)
+	}
+	t.last[k] = alt
+	t.Joins = append(t.Joins, JoinChoice{Rule: rule, Delta: delta, Round: round, Alt: alt, Adaptive: adaptive, Order: order})
+}
+
+// Stratum records one stratum's fixpoint effort.
+func (t *Tracer) Stratum(level, rounds, derived int, probes int64) {
+	if t == nil {
+		return
+	}
+	t.Strata = append(t.Strata, StratumTrace{Level: level, Rounds: rounds, Derived: derived, Probes: probes})
+}
+
+// Fixpoint accumulates run totals (called once per Eval).
+func (t *Tracer) Fixpoint(rounds, derived int, probes int64) {
+	if t == nil {
+		return
+	}
+	t.Rounds += rounds
+	t.Derived += derived
+	t.Probes += probes
+}
+
+// CQ records a compiled conjunctive query enumeration.
+func (t *Tracer) CQ(order []int, matches int) {
+	if t == nil {
+		return
+	}
+	t.CQOrder = order
+	t.CQMatches += matches
+}

@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"log"
 
 	"repro/internal/incremental"
 	"repro/internal/logic"
@@ -128,10 +127,10 @@ func (s *Service) Recover(ctx context.Context) error {
 		return fmt.Errorf("service: recover: %w", err)
 	}
 	if rec.Torn {
-		log.Printf("service: recover: torn WAL tail skipped (%s)", rec.TornDetail)
+		s.logger().Warn("recover: torn WAL tail skipped", "detail", rec.TornDetail)
 	}
 	if rec.CheckpointsSkipped > 0 {
-		log.Printf("service: recover: %d invalid checkpoint(s) skipped, fell back to an older one", rec.CheckpointsSkipped)
+		s.logger().Warn("recover: invalid checkpoint(s) skipped, fell back to an older one", "skipped", rec.CheckpointsSkipped)
 	}
 	if !rec.HasCheckpoint {
 		if len(rec.Records) > 0 {
@@ -299,7 +298,7 @@ func (s *Service) maybeCheckpoint() {
 		return
 	}
 	if err := s.checkpoint(); err != nil {
-		log.Printf("service: checkpoint failed (will retry): %v", err)
+		s.logger().Warn("checkpoint failed (will retry)", "error", err)
 	}
 }
 

@@ -4,10 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/atom"
 	"repro/internal/datalog"
 	"repro/internal/logic"
+	"repro/internal/obs"
 	"repro/internal/parser"
 	"repro/internal/plan"
 	"repro/internal/schema"
@@ -54,6 +56,16 @@ type QueryRequest struct {
 	TimeoutMS  int `json:"timeout_ms,omitempty"`
 	MaxDerived int `json:"max_derived,omitempty"`
 	MaxProbes  int `json:"max_probes,omitempty"`
+	// Explain requests a structured execution trace alongside the
+	// answer: join orders (with adaptive decisions), per-stratum round
+	// counts, probes, derived facts, cache hits, and per-stage wall
+	// time. Delivered through the sink's TraceSink hook after End (the
+	// HTTP layer maps ?explain=1 here and attaches it to the JSON
+	// response).
+	Explain bool `json:"explain,omitempty"`
+	// RequestID tags the query's trace and slow-query log line; set by
+	// the transport (never from the request body).
+	RequestID string `json:"-"`
 }
 
 // QueryResponse is one query's answer, tagged with the epoch it was
@@ -65,6 +77,9 @@ type QueryResponse struct {
 	Truncated bool       `json:"truncated,omitempty"`
 	// Bool is set for boolean rule queries (no output variables).
 	Bool *bool `json:"bool,omitempty"`
+	// Explain carries the execution trace when the request asked for
+	// one.
+	Explain *QueryTrace `json:"explain,omitempty"`
 }
 
 // Sink receives one query's answer incrementally: Begin once, Row per
@@ -122,6 +137,11 @@ func (c *collectSink) End(truncated bool, boolAns *bool) error {
 	return nil
 }
 
+func (c *collectSink) Trace(tr *QueryTrace) error {
+	c.resp.Explain = tr
+	return nil
+}
+
 // Query evaluates one request against the current epoch's snapshot,
 // returning the materialized answer set. Embedders wanting incremental
 // delivery or cancellation use QueryStream directly.
@@ -147,18 +167,58 @@ func (s *Service) QueryStream(ctx context.Context, req *QueryRequest, sink Sink)
 	}
 	defer e.release()
 	s.queries.Add(1)
+	// One trace serves both explain responses and the slow-query log;
+	// queries needing neither never allocate it. The clock is read only
+	// when a trace or the metrics registry will consume the elapsed time.
+	var tr *QueryTrace
+	if req.Explain || s.opt.SlowQuery > 0 {
+		tr = &QueryTrace{RequestID: req.RequestID, Epoch: e.seq}
+	}
+	var t0 time.Time
+	if tr != nil || obs.On() {
+		t0 = time.Now()
+	}
 	bud, cancel := s.requestBudget(ctx, req.TimeoutMS, req.MaxDerived, req.MaxProbes)
 	defer cancel()
 	limit := req.Limit
 	if limit <= 0 || limit > DefaultLimit {
 		limit = DefaultLimit
 	}
+	var class queryClass
+	var rows int
 	if req.Query != "" {
-		err = s.ruleQueryStream(bud, e, req.Query, limit, sink)
+		class, rows, err = s.ruleQueryStream(bud, e, req.Query, limit, sink, tr)
 	} else {
-		err = s.patternQueryStream(bud, e, req, limit, sink)
+		class, rows, err = s.patternQueryStream(bud, e, req, limit, sink, tr)
 	}
 	s.classify(err)
+	var elapsed time.Duration
+	if !t0.IsZero() {
+		elapsed = time.Since(t0)
+	}
+	if obs.On() {
+		obsQueries.Inc()
+		qSeconds[class].Observe(int64(elapsed))
+		qRows[class].Observe(int64(rows))
+	}
+	if tr != nil {
+		tr.Class = class.String()
+		tr.Rows = rows
+		tr.WallMicros = elapsed.Microseconds()
+		if err != nil {
+			tr.Error = err.Error()
+		}
+		if req.Explain && err == nil {
+			if ts, ok := sink.(TraceSink); ok {
+				if terr := ts.Trace(tr); terr != nil {
+					return sinkErr(terr)
+				}
+			}
+		}
+		if s.opt.SlowQuery > 0 && elapsed >= s.opt.SlowQuery {
+			s.slowLog(tr)
+		}
+	}
 	return err
 }
 
@@ -179,18 +239,19 @@ func sinkErr(err error) error {
 // fill a frame, probe the snapshot. The probe stops the moment the limit
 // is exceeded (the limit+1-th match only sets the truncation flag) — a
 // "first 10 of a million" pattern query costs 11 matches, not a scan.
-func (s *Service) patternQueryStream(bud *plan.Budget, e *epoch, req *QueryRequest, limit int, sink Sink) error {
+func (s *Service) patternQueryStream(bud *plan.Budget, e *epoch, req *QueryRequest, limit int, sink Sink, tr *QueryTrace) (queryClass, int, error) {
 	prog := e.gen.prog
+	class := classPattern
 	pid, ok := prog.Reg.Lookup(req.Pred)
 	if !ok {
-		return fmt.Errorf("service: unknown predicate %q", req.Pred)
+		return class, 0, fmt.Errorf("service: unknown predicate %q", req.Pred)
 	}
 	arity := prog.Reg.Arity(pid)
 	if len(req.Args) != arity {
-		return fmt.Errorf("service: %s has arity %d, got %d args", req.Pred, arity, len(req.Args))
+		return class, 0, fmt.Errorf("service: %s has arity %d, got %d args", req.Pred, arity, len(req.Args))
 	}
 	if arity > 64 {
-		return errors.New("service: pattern arity exceeds 64")
+		return class, 0, errors.New("service: pattern arity exceeds 64")
 	}
 	var mask uint64
 	frame := storage.NewFrame(arity)
@@ -208,22 +269,36 @@ func (s *Service) patternQueryStream(bud *plan.Budget, e *epoch, req *QueryReque
 		mask |= 1 << uint(i)
 		frame[i] = c
 	}
+	if arity > 0 && mask == (uint64(1)<<uint(arity))-1 {
+		class = classGround
+	}
+	var pt *PatternTrace
+	if tr != nil {
+		pt = &PatternTrace{Pred: req.Pred, BoundMask: mask}
+		tr.Pattern = pt
+	}
 	if err := bud.Check(); err != nil {
-		return err
+		return class, 0, err
 	}
 	if err := sink.Begin(e.seq, arity); err != nil {
-		return sinkErr(err)
+		return class, 0, sinkErr(err)
 	}
 	if !known {
-		return sinkErr(sink.End(false, nil))
+		return class, 0, sinkErr(sink.End(false, nil))
 	}
 
-	p := s.patternPlan(e.gen, pid, mask, arity)
+	p, cached := s.patternPlan(e.gen, pid, mask, arity)
+	if pt != nil {
+		pt.PlanCached = cached
+	}
 	st := prog.Store
 	names := make([]string, arity)
 	emitted, truncated, pending := 0, false, 0
 	var abort error
 	e.snap.DB().Probe(p, frame, 0, 0, 1, func() bool {
+		if pt != nil {
+			pt.Matches++
+		}
 		if emitted >= limit {
 			truncated = true
 			return false
@@ -247,22 +322,26 @@ func (s *Service) patternQueryStream(bud *plan.Budget, e *epoch, req *QueryReque
 		emitted++
 		return true
 	})
-	if abort != nil {
-		return abort
+	if tr != nil {
+		tr.Truncated = truncated
 	}
-	return sinkErr(sink.End(truncated, nil))
+	if abort != nil {
+		return class, emitted, abort
+	}
+	return class, emitted, sinkErr(sink.End(truncated, nil))
 }
 
 // patternPlan returns the generation's cached scan plan for the shape,
-// compiling it on first use. Bound positions read the frame (ArgBound),
-// free positions bind it (ArgBind); slot i is position i.
-func (s *Service) patternPlan(g *generation, pid schema.PredID, mask uint64, arity int) *storage.ScanPlan {
+// compiling it on first use (the second result reports a cache hit).
+// Bound positions read the frame (ArgBound), free positions bind it
+// (ArgBind); slot i is position i.
+func (s *Service) patternPlan(g *generation, pid schema.PredID, mask uint64, arity int) (*storage.ScanPlan, bool) {
 	k := planKey{pred: pid, mask: mask}
 	g.planMu.RLock()
 	p, ok := g.plans[k]
 	g.planMu.RUnlock()
 	if ok {
-		return p
+		return p, true
 	}
 	args := make([]storage.ScanArg, arity)
 	for i := 0; i < arity; i++ {
@@ -276,60 +355,78 @@ func (s *Service) patternPlan(g *generation, pid schema.PredID, mask uint64, ari
 	g.planMu.Lock()
 	g.plans[k] = p
 	g.planMu.Unlock()
-	return p
+	return p, false
 }
 
 // ruleQueryStream parses "view rules + one query" source against the
 // generation's naming context and evaluates it over the epoch snapshot:
 // view rules materialize into a cached copy-on-write overlay, the query
 // itself runs as a cached compiled CQPlan streaming through the sink.
-func (s *Service) ruleQueryStream(bud *plan.Budget, e *epoch, src string, limit int, sink Sink) error {
+func (s *Service) ruleQueryStream(bud *plan.Budget, e *epoch, src string, limit int, sink Sink, tr *QueryTrace) (queryClass, int, error) {
 	prog := e.gen.prog
+	class := classCQ
+	mark := traceClock(tr)
 	// Parsing interns constants and variables — concurrent-safe, so no
 	// lock; a scratch program keeps parsed TGDs out of the served rules.
 	tmp := &logic.Program{Store: prog.Store, Reg: prog.Reg}
 	res, err := parser.ParseInto(tmp, src)
 	if err != nil {
-		return fmt.Errorf("service: query: %w", err)
+		return class, 0, fmt.Errorf("service: query: %w", err)
 	}
 	if len(res.Queries) != 1 {
-		return fmt.Errorf("service: query text must contain exactly one query, got %d", len(res.Queries))
+		return class, 0, fmt.Errorf("service: query text must contain exactly one query, got %d", len(res.Queries))
 	}
 	if len(res.Facts) > 0 {
-		return errors.New("service: query text must not contain facts")
+		return class, 0, errors.New("service: query text must not contain facts")
 	}
+	mark = tr.stage("parse", mark)
 	q := res.Queries[0]
 	sdb := e.snap.DB()
 	if len(tmp.TGDs) > 0 {
-		sdb, err = s.viewOverlay(bud, e, tmp)
+		class = classView
+		sdb, err = s.viewOverlay(bud, e, tmp, tr)
 		if err != nil {
-			return err
+			return class, 0, err
 		}
+		name := "view_build"
+		if tr != nil && tr.View != nil && tr.View.CacheHit {
+			name = "view_cache"
+		}
+		mark = tr.stage(name, mark)
 	}
-	p := s.cqPlan(e.gen, q)
+	p, cached := s.cqPlan(e.gen, q)
+	mark = tr.stage("plan", mark)
+	var pt *plan.Tracer
+	if tr != nil {
+		pt = &plan.Tracer{}
+	}
 
 	if q.IsBoolean() {
 		found := false
-		if _, err := p.RunBudget(bud, sdb, func([]term.Term) bool {
+		if _, err := p.RunBudgetTraced(bud, pt, sdb, func([]term.Term) bool {
 			found = true
 			return false
 		}); err != nil {
-			return err
+			return class, 0, err
+		}
+		if tr != nil {
+			tr.CQ = &CQTrace{JoinOrder: p.Order, PlanCached: cached, Matches: pt.CQMatches}
+			tr.stage("enumerate", mark)
 		}
 		if err := sink.Begin(e.seq, 0); err != nil {
-			return sinkErr(err)
+			return class, 0, sinkErr(err)
 		}
-		return sinkErr(sink.End(false, &found))
+		return class, 0, sinkErr(sink.End(false, &found))
 	}
 
 	if err := sink.Begin(e.seq, len(q.Output)); err != nil {
-		return sinkErr(err)
+		return class, 0, sinkErr(err)
 	}
 	st := prog.Store
 	names := make([]string, len(q.Output))
 	emitted, truncated := 0, false
 	var abort error
-	if _, err := p.RunBudget(bud, sdb, func(tup []term.Term) bool {
+	if _, err := p.RunBudgetTraced(bud, pt, sdb, func(tup []term.Term) bool {
 		if emitted >= limit {
 			truncated = true
 			return false
@@ -344,26 +441,32 @@ func (s *Service) ruleQueryStream(bud *plan.Budget, e *epoch, src string, limit 
 		emitted++
 		return true
 	}); err != nil {
-		return err
+		return class, emitted, err
+	}
+	if tr != nil {
+		tr.CQ = &CQTrace{JoinOrder: p.Order, PlanCached: cached, Matches: pt.CQMatches}
+		tr.Truncated = truncated
+		tr.stage("enumerate", mark)
 	}
 	if abort != nil {
-		return abort
+		return class, emitted, abort
 	}
-	return sinkErr(sink.End(truncated, nil))
+	return class, emitted, sinkErr(sink.End(truncated, nil))
 }
 
 // cqPlan returns the generation's cached compiled plan for the query
-// shape. Plans depend only on the query structure (slot assignment, join
-// order, access paths) — never on data — so one plan serves every epoch
-// of the generation. Keys are structural (predicate and term IDs), so
-// textual re-parses of the same query hit.
-func (s *Service) cqPlan(g *generation, q *logic.CQ) *plan.CQPlan {
+// shape (the second result reports a cache hit). Plans depend only on
+// the query structure (slot assignment, join order, access paths) —
+// never on data — so one plan serves every epoch of the generation.
+// Keys are structural (predicate and term IDs), so textual re-parses of
+// the same query hit.
+func (s *Service) cqPlan(g *generation, q *logic.CQ) (*plan.CQPlan, bool) {
 	k := cqKey(q)
 	g.planMu.RLock()
 	p, ok := g.cqPlans[k]
 	g.planMu.RUnlock()
 	if ok {
-		return p
+		return p, true
 	}
 	p = plan.CompileCQ(q)
 	g.planMu.Lock()
@@ -372,7 +475,7 @@ func (s *Service) cqPlan(g *generation, q *logic.CQ) *plan.CQPlan {
 	}
 	g.cqPlans[k] = p
 	g.planMu.Unlock()
-	return p
+	return p, false
 }
 
 // maxCQPlans bounds a generation's compiled-CQ cache; an adversarial
@@ -407,7 +510,7 @@ type overlayEntry struct {
 // a waiter whose builder aborted — but whose own budget is still live —
 // retries as the new builder under its own allowance, so one canceled
 // client never poisons the shape for everyone behind it.
-func (s *Service) viewOverlay(bud *plan.Budget, e *epoch, view *logic.Program) (*storage.DB, error) {
+func (s *Service) viewOverlay(bud *plan.Budget, e *epoch, view *logic.Program, tr *QueryTrace) (*storage.DB, error) {
 	k := viewKey(view.TGDs)
 	for {
 		e.ovMu.Lock()
@@ -424,6 +527,14 @@ func (s *Service) viewOverlay(bud *plan.Budget, e *epoch, view *logic.Program) (
 					}
 					continue // builder aborted; its entry is evicted — retry
 				}
+				if ent.err == nil {
+					if obs.On() {
+						obsViewHits.Inc()
+					}
+					if tr != nil {
+						tr.View = &ViewTrace{Rules: len(view.TGDs), CacheHit: true}
+					}
+				}
 				return ent.db, ent.err
 			case <-bud.Context().Done():
 				return nil, bud.Check()
@@ -436,7 +547,10 @@ func (s *Service) viewOverlay(bud *plan.Budget, e *epoch, view *logic.Program) (
 		}
 		e.ovMu.Unlock()
 
-		db, err := s.buildOverlay(bud, e, view)
+		if obs.On() {
+			obsViewMisses.Inc()
+		}
+		db, err := s.buildOverlay(bud, e, view, tr)
 		if ent != nil {
 			if err != nil {
 				// Evict BEFORE closing ready: a woken waiter re-probes the
@@ -457,13 +571,21 @@ func (s *Service) viewOverlay(bud *plan.Budget, e *epoch, view *logic.Program) (
 // overlay IS the private copy, so no clone precedes it — and on abort the
 // partially evaluated overlay is simply dropped; the snapshot backings it
 // borrowed stay pinned by the epoch, untouched.
-func (s *Service) buildOverlay(bud *plan.Budget, e *epoch, view *logic.Program) (*storage.DB, error) {
+func (s *Service) buildOverlay(bud *plan.Budget, e *epoch, view *logic.Program, tr *QueryTrace) (*storage.DB, error) {
 	s.viewBuilds.Add(1)
+	var pt *plan.Tracer
+	if tr != nil {
+		pt = &plan.Tracer{}
+	}
 	ov := e.snap.DB().Overlay()
 	if _, _, err := datalog.Eval(view, ov, datalog.Options{
 		Stratify: true, BiasRecursiveAtom: true, Adaptive: s.opt.Adaptive, InPlace: true, Budget: bud,
+		Tracer: pt,
 	}); err != nil {
 		return nil, fmt.Errorf("service: view: %w", err)
+	}
+	if tr != nil {
+		tr.View = buildViewTrace(view.Reg, view, pt)
 	}
 	return ov, nil
 }

@@ -42,13 +42,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/incremental"
 	"repro/internal/logic"
+	"repro/internal/obs"
 	"repro/internal/parser"
 	"repro/internal/plan"
 	"repro/internal/relio"
@@ -92,6 +93,13 @@ type Options struct {
 	// CheckpointEvery is the number of WAL records between automatic
 	// checkpoints (0: 4096).
 	CheckpointEvery int
+	// SlowQuery, when positive, logs a structured trace (the same shape
+	// ?explain=1 returns) for every query whose wall time reaches the
+	// threshold. 0 disables the slow-query log.
+	SlowQuery time.Duration
+	// Logger receives the service's structured log lines (recovery
+	// warnings, WAL failures, the slow-query log). Nil: slog.Default().
+	Logger *slog.Logger
 }
 
 // Service is a materialized reasoning service. Create with New, load a
@@ -140,6 +148,11 @@ type Service struct {
 	walFailed  atomic.Bool
 	engBroken  atomic.Bool
 	replayed   atomic.Uint64
+
+	// lastEngine caches the most recent engine stats snapshot so Stats
+	// can report (staleness-marked) numbers instead of zeros when the
+	// writer lock is contended; see Stats.
+	lastEngine atomic.Pointer[incremental.Stats]
 }
 
 // generation is the program-scoped state shared by every epoch published
@@ -223,6 +236,10 @@ func (s *Service) publish() uint64 {
 	e.refs.Store(1)
 	if old := s.cur.Swap(e); old != nil {
 		old.release()
+	}
+	if obs.On() {
+		obsEpochSeq.Set(int64(e.seq))
+		lastPublishNano.Store(time.Now().UnixNano())
 	}
 	return e.seq
 }
@@ -537,7 +554,11 @@ type Stats struct {
 	TimedOut      uint64            `json:"queries_timeout"`
 	EpochsDrained uint64            `json:"epochs_drained"`
 	Engine        incremental.Stats `json:"engine"`
-	Durability    *DurabilityStats  `json:"durability,omitempty"`
+	// EngineStale marks Engine as a cached earlier snapshot (or, before
+	// any snapshot exists, all zeros): the writer lock was contended or
+	// recovery was in progress, so live engine counters were unavailable.
+	EngineStale bool             `json:"stats_engine_stale,omitempty"`
+	Durability  *DurabilityStats `json:"durability,omitempty"`
 }
 
 // Stats reports the current epoch, the live fact count of its snapshot,
@@ -566,13 +587,23 @@ func (s *Service) Stats() Stats {
 		}
 	}
 	// Engine stats need the writer lock; during recovery mu is held for
-	// the whole replay, so report without them instead of blocking.
-	if !s.recovering.Load() {
-		s.mu.Lock()
+	// the whole replay, and blocking a health probe behind a bulk load
+	// would defeat its purpose. When the lock is immediately available,
+	// read live counters and refresh the cache; otherwise serve the last
+	// snapshot, explicitly marked stale (previously this silently
+	// reported zeros).
+	if !s.recovering.Load() && s.mu.TryLock() {
 		if s.eng != nil {
-			st.Engine = s.eng.Stats()
+			es := s.eng.Stats()
+			st.Engine = es
+			s.lastEngine.Store(&es)
 		}
 		s.mu.Unlock()
+	} else if p := s.lastEngine.Load(); p != nil {
+		st.Engine = *p
+		st.EngineStale = true
+	} else {
+		st.EngineStale = true
 	}
 	return st
 }
@@ -591,7 +622,7 @@ func (s *Service) Close() {
 	s.eng = nil
 	if s.wal != nil {
 		if err := s.wal.Close(); err != nil {
-			log.Printf("service: close wal: %v", err)
+			s.logger().Warn("close wal", "error", err)
 		}
 	}
 }

@@ -1,6 +1,9 @@
 package storage
 
-import "repro/internal/term"
+import (
+	"repro/internal/obs"
+	"repro/internal/term"
+)
 
 // Compact physically reclaims tombstoned rows, one relation at a time.
 //
@@ -45,6 +48,7 @@ func (db *DB) compact(minDeadFrac float64, respectPins bool) int {
 	if db.dead == 0 && db.holes == 0 {
 		return 0
 	}
+	t0 := obs.Now()
 	var reclaim []int
 	for p, r := range db.rels {
 		if r != nil && r.nDead > 0 && float64(r.nDead) >= minDeadFrac*float64(r.rows()) &&
@@ -103,6 +107,10 @@ func (db *DB) compact(minDeadFrac float64, respectPins bool) int {
 	// Compact from invalidating marks while readers are active.
 	if db.holes > 0 && 2*db.holes > len(db.order) && (!respectPins || !db.pinnedLive()) {
 		db.squashLog()
+	}
+	if !t0.IsZero() {
+		obsCompactSec.ObserveSince(t0)
+		obsCompactRows.Add(uint64(removed))
 	}
 	return removed
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/schema"
 	"repro/internal/term"
 )
@@ -34,6 +35,7 @@ import (
 // DECISION which tuples are new by fact hash, but appends acceptances in
 // exactly the serial order.
 func (db *DB) MergeBuffers(bufs []*TupleBuffer, par int) int {
+	t0 := obs.Now()
 	db.mutable()
 	// Parallelism beyond the cores actually available buys nothing and
 	// still pays the sharded path's bitmap/scratch setup: a caller asking
@@ -133,6 +135,10 @@ func (db *DB) MergeBuffers(bufs []*TupleBuffer, par int) int {
 		}
 		added += accepted[pi]
 	}
+	if !t0.IsZero() {
+		obsMergeSec.ObserveSince(t0)
+		obsMergeRows.Add(uint64(added))
+	}
 	return added
 }
 
@@ -164,6 +170,7 @@ func (db *DB) mergeSharded(p schema.PredID, bufs []*TupleBuffer, estimate, par i
 	}
 	base := len(r.hashes)
 	r.growTabTo(base + estimate)
+	tA := obs.Now()
 	// Phase A.
 	accept := make([][]uint64, len(bufs))
 	for bi, b := range bufs {
@@ -195,6 +202,8 @@ func (db *DB) mergeSharded(p schema.PredID, bufs []*TupleBuffer, estimate, par i
 			}
 		}
 	})
+	obsMergeAccept.ObserveSince(tA)
+	tB := obs.Now()
 	// Phase B.
 	for bi, b := range bufs {
 		if accept[bi] == nil {
@@ -209,6 +218,8 @@ func (db *DB) mergeSharded(p schema.PredID, bufs []*TupleBuffer, estimate, par i
 			r.hashes = append(r.hashes, pb.hashes[k])
 		}
 	}
+	obsMergeAppend.ObserveSince(tB)
+	tC := obs.Now()
 	// Phase C.
 	n := len(r.hashes)
 	jobs := relShards + r.arity*relShards
@@ -230,6 +241,7 @@ func (db *DB) mergeSharded(p schema.PredID, bufs []*TupleBuffer, estimate, par i
 			}
 		}
 	})
+	obsMergeLink.ObserveSince(tC)
 	return n - base
 }
 

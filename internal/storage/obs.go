@@ -1,0 +1,19 @@
+package storage
+
+import "repro/internal/obs"
+
+// Storage maintenance series: bulk merge folds (the round boundary of
+// barrier/fanned fixpoints and CSV loads) and tombstone compaction.
+// Observed per call, never per row.
+var (
+	obsMergeSec  = obs.NewHistogram("vadalog_storage_merge_seconds", "", "MergeBuffers fold duration.", obs.Seconds, obs.LatencyBuckets)
+	obsMergeRows = obs.NewCounter("vadalog_storage_merge_rows_total", "", "Rows accepted by MergeBuffers folds.")
+	// Per-phase timings of the intra-relation sharded merge:
+	// accept (parallel dedup decision), append (serial column append),
+	// link (parallel dedup/posting linking).
+	obsMergeAccept = obs.NewHistogram("vadalog_storage_merge_phase_seconds", `phase="accept"`, "Sharded merge phase durations.", obs.Seconds, obs.LatencyBuckets)
+	obsMergeAppend = obs.NewHistogram("vadalog_storage_merge_phase_seconds", `phase="append"`, "Sharded merge phase durations.", obs.Seconds, obs.LatencyBuckets)
+	obsMergeLink   = obs.NewHistogram("vadalog_storage_merge_phase_seconds", `phase="link"`, "Sharded merge phase durations.", obs.Seconds, obs.LatencyBuckets)
+	obsCompactSec  = obs.NewHistogram("vadalog_storage_compaction_seconds", "", "Compact/CompactAll duration (when any work ran).", obs.Seconds, obs.LatencyBuckets)
+	obsCompactRows = obs.NewCounter("vadalog_storage_compaction_reclaimed_rows_total", "", "Tombstoned rows physically reclaimed by compaction.")
+)

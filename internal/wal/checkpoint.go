@@ -7,6 +7,8 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+
+	"repro/internal/obs"
 )
 
 // Checkpoint file format:
@@ -34,6 +36,7 @@ var (
 // applies the retention policy. The caller must have quiesced appends
 // (the service holds its writer lock).
 func (m *Manager) WriteCheckpoint(sections [][]byte) error {
+	t0 := obs.Now()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.dead {
@@ -90,7 +93,12 @@ func (m *Manager) WriteCheckpoint(sections [][]byte) error {
 		// truncated: recovery must seq-filter the stale records.
 		return m.die()
 	}
-	return m.rotateAndRetain(seq)
+	err = m.rotateAndRetain(seq)
+	if err == nil && !t0.IsZero() {
+		obsCkptSec.ObserveSince(t0)
+		obsCkptBytes.Observe(int64(len(buf)))
+	}
+	return err
 }
 
 // rotateAndRetain starts a fresh active log file after a checkpoint at

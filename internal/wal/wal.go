@@ -45,6 +45,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Record kinds. The payload data is kind-specific; the wal package does
@@ -278,10 +280,23 @@ func (m *Manager) Recover() (*Recovery, error) {
 	return rec, nil
 }
 
+// WAL effort series. Append latency includes the inline fsync under
+// SyncAlways (that IS the append cost the caller pays); background
+// interval syncs land in the fsync histogram only.
+var (
+	obsAppendSec  = obs.NewHistogram("vadalog_wal_append_seconds", "", "WAL record append latency (frame encode + write, plus fsync under the always policy).", obs.Seconds, obs.LatencyBuckets)
+	obsFsyncSec   = obs.NewHistogram("vadalog_wal_fsync_seconds", "", "WAL fsync latency.", obs.Seconds, obs.LatencyBuckets)
+	obsWalRecords = obs.NewCounter("vadalog_wal_records_total", "", "WAL records appended.")
+	obsWalBytes   = obs.NewCounter("vadalog_wal_bytes_total", "", "WAL bytes appended (framed).")
+	obsCkptSec    = obs.NewHistogram("vadalog_checkpoint_seconds", "", "Checkpoint write duration (serialize + fsync + rename + rotation).", obs.Seconds, obs.LatencyBuckets)
+	obsCkptBytes  = obs.NewHistogram("vadalog_checkpoint_bytes", "", "Checkpoint file size.", obs.Units, obs.BytesBuckets)
+)
+
 // Append logs one record, assigning and returning its sequence number.
 // The record is on disk (page cache) when Append returns; whether it is
 // on stable storage depends on the fsync policy.
 func (m *Manager) Append(kind byte, data []byte) (uint64, error) {
+	t0 := obs.Now()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.dead {
@@ -320,6 +335,11 @@ func (m *Manager) Append(kind byte, data []byte) (uint64, error) {
 		m.syncLocked() //nolint:errcheck // dying anyway
 		return 0, m.die()
 	}
+	if !t0.IsZero() {
+		obsAppendSec.ObserveSince(t0)
+		obsWalRecords.Inc()
+		obsWalBytes.Add(uint64(len(frame)))
+	}
 	return seq, nil
 }
 
@@ -337,9 +357,11 @@ func (m *Manager) syncLocked() error {
 	if m.f == nil {
 		return nil
 	}
+	t0 := obs.Now()
 	if err := m.f.Sync(); err != nil {
 		return fmt.Errorf("wal: sync: %w", err)
 	}
+	obsFsyncSec.ObserveSince(t0)
 	m.stats.Syncs++
 	return nil
 }
@@ -365,9 +387,11 @@ func (m *Manager) scheduleSync() {
 			return
 		}
 		m.mu.Unlock()
+		t0 := obs.Now()
 		if err := f.Sync(); err != nil {
 			return // best-effort background sync
 		}
+		obsFsyncSec.ObserveSince(t0)
 		m.mu.Lock()
 		m.stats.Syncs++
 		m.mu.Unlock()
